@@ -1,0 +1,40 @@
+//! Times a short end-to-end FROTE run (select -> generate -> retrain -> score).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote::{Frote, FroteConfig, SelectionStrategy};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_eval::{ModelKind, Scale};
+use frote_rules::{parse::parse_rule, FeedbackRuleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+    let rule = parse_rule("safety = low AND buying = low => acc", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let trainer = ModelKind::Rf.trainer(Scale::Smoke);
+    let mut group = c.benchmark_group("frote_3_iterations");
+    group.sample_size(10);
+    for strategy in [SelectionStrategy::Random, SelectionStrategy::Ip] {
+        let config = FroteConfig {
+            iteration_limit: 3,
+            instances_per_iteration: Some(20),
+            selection: strategy,
+            ..Default::default()
+        };
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(42);
+                black_box(
+                    Frote::new(config).run(&ds, trainer.as_ref(), &frs, &mut rng).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

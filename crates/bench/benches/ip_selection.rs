@@ -1,0 +1,33 @@
+//! Times the Eq. 5 selection IP (simplex relaxation + rounding + repair).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote_opt::SelectionProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn problem(p: usize, rules: usize, seed: u64) -> SelectionProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..p).map(|_| rng.random_range(1.0..4.0)).collect();
+    let coverage: Vec<Vec<usize>> = (0..rules)
+        .map(|_| (0..p).filter(|_| rng.random::<f64>() < 0.4).collect())
+        .collect();
+    SelectionProblem::new(weights, coverage, 6, 20)
+}
+
+fn bench(c: &mut Criterion) {
+    for (p, rules) in [(50usize, 3usize), (200, 5)] {
+        let prob = problem(p, rules, 42);
+        c.bench_function(&format!("ip_lp_rounding_p{p}_m{rules}"), |b| {
+            b.iter(|| black_box(prob.solve()))
+        });
+        let greedy = problem(p, rules, 42);
+        c.bench_function(&format!("ip_greedy_p{p}_m{rules}"), |b| {
+            b.iter(|| black_box(greedy.solve_greedy()))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

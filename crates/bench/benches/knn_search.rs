@@ -1,0 +1,34 @@
+//! Times mixed-type brute-force kNN vs the numeric ball tree.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote_data::encode::Encoder;
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_ml::balltree::BallTree;
+use frote_ml::distance::{MixedDistance, MixedMetric};
+use frote_ml::knn::k_nearest_of_row;
+
+fn bench(c: &mut Criterion) {
+    let ds =
+        DatasetKind::BreastCancer.generate(&SynthConfig { n_rows: 569, ..Default::default() });
+    let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+    let all: Vec<usize> = (0..ds.n_rows()).collect();
+    c.bench_function("brute_force_knn_k5", |b| {
+        b.iter(|| black_box(k_nearest_of_row(&ds, 0, &all, 5, &dist)))
+    });
+
+    let encoder = Encoder::fit(&ds);
+    let points = encoder.encode_dataset(&ds);
+    let query = points[0].clone();
+    c.bench_function("ball_tree_build", |b| {
+        b.iter(|| black_box(BallTree::build(points.clone())))
+    });
+    let tree = BallTree::build(points);
+    c.bench_function("ball_tree_knn_k5", |b| {
+        b.iter(|| black_box(tree.k_nearest(&query, 5)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

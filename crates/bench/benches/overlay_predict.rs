@@ -1,0 +1,41 @@
+//! Times Overlay post-processing prediction vs the raw model — the latency
+//! overhead the paper cites as a reason to prefer editing the model.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_eval::{ModelKind, Scale};
+use frote_overlay::{Overlay, OverlayMode};
+use frote_rules::{parse::parse_rule, FeedbackRuleSet};
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetKind::Mushroom.generate(&SynthConfig { n_rows: 1000, ..Default::default() });
+    let rule = parse_rule("odor = odor-3 => edible", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let model = ModelKind::Rf.trainer(Scale::Smoke).train(&ds);
+    let rows: Vec<Vec<frote_data::Value>> = (0..200).map(|i| ds.row(i)).collect();
+
+    c.bench_function("raw_model_200_predictions", |b| {
+        b.iter(|| {
+            for row in &rows {
+                black_box(model.predict(row));
+            }
+        })
+    });
+    for (mode, name) in
+        [(OverlayMode::Hard, "overlay_hard_200"), (OverlayMode::Soft, "overlay_soft_200")]
+    {
+        let ov = Overlay::new(model.as_ref(), frs.clone(), mode, &ds);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                for row in &rows {
+                    black_box(ov.predict(row));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Times PreSelectBP (Algorithm 2), including rule relaxation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote::preselect::BasePopulation;
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_data::Value;
+use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
+use frote_rules::FeedbackRuleSet;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetKind::Adult.generate(&SynthConfig { n_rows: 2000, ..Default::default() });
+    // A wide rule (no relaxation) and a zero-coverage one (full relaxation).
+    let wide = FeedbackRule::new(
+        Clause::new(vec![Predicate::new(0, Op::Ge, Value::Num(40.0))]),
+        LabelDist::Deterministic(1),
+    );
+    let narrow = FeedbackRule::new(
+        Clause::new(vec![
+            Predicate::new(0, Op::Ge, Value::Num(95.0)),
+            Predicate::new(3, Op::Ge, Value::Num(90.0)),
+            Predicate::new(6, Op::Eq, Value::Cat(3)),
+        ]),
+        LabelDist::Deterministic(1),
+    );
+    let frs = FeedbackRuleSet::new(vec![wide, narrow]);
+    c.bench_function("preselect_bp_with_relaxation", |b| {
+        b.iter(|| black_box(BasePopulation::pre_select(&ds, &frs, 5)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

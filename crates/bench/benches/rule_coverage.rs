@@ -1,0 +1,25 @@
+//! Times rule coverage scans — the hot loop of objectives and pre-selection.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote_data::synth::DatasetKind;
+use frote_eval::setup::{draw_conflict_free_frs, prepare};
+use frote_eval::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let setup = prepare(DatasetKind::Mushroom, Scale::Smoke, 42);
+    let mut rng = StdRng::seed_from_u64(1);
+    let frs = draw_conflict_free_frs(&setup, 5, &mut rng);
+    c.bench_function("frs_union_coverage", |b| {
+        b.iter(|| black_box(frs.coverage(&setup.dataset)))
+    });
+    c.bench_function("frs_attributed_coverage", |b| {
+        b.iter(|| black_box(frs.attributed_coverage(&setup.dataset)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Times SMOTE / SMOTE-NC generation and FROTE's rule-constrained generator.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote::generate::{Generator, LabelPolicy};
+use frote::preselect::BasePopulation;
+use frote::select::BaseInstance;
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_rules::{parse::parse_rule, FeedbackRuleSet};
+use frote_smote::{SmoteNc, SmoteParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetKind::Contraceptive
+        .generate(&SynthConfig { n_rows: 1000, ..Default::default() });
+
+    c.bench_function("smote_nc_generate_100", |b| {
+        let smote = SmoteNc::new(SmoteParams::default());
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(42);
+            black_box(smote.generate(&ds, 1, 100, &mut rng).unwrap())
+        })
+    });
+
+    let rule = parse_rule("wife-age < 30 AND n-children >= 2 => short-term", ds.schema())
+        .expect("rule parses");
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let bp = BasePopulation::pre_select(&ds, &frs, 5);
+    let members = bp.population(0).members.clone();
+    let base: Vec<BaseInstance> =
+        (0..100).map(|i| BaseInstance::new(0, members[i % members.len()])).collect();
+    c.bench_function("frote_generate_100_rule_constrained", |b| {
+        b.iter(|| {
+            let generator = Generator::new(&ds, &frs, &bp, 5, LabelPolicy::FromRule);
+            let mut rng = StdRng::seed_from_u64(42);
+            black_box(generator.generate(&base, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

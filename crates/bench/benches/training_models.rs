@@ -1,0 +1,22 @@
+//! Times one training call per model family — the unit cost of each FROTE
+//! iteration (Algorithm 1 retrains every round).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_eval::{ModelKind, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 800, ..Default::default() });
+    let mut group = c.benchmark_group("train_800_rows");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let trainer = kind.trainer(Scale::Smoke);
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(trainer.train(&ds))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the supplement's online-learning proxy selection strategy vs
+//! random and IP. The supplement judged the full evaluation-based variant
+//! impractical; this measures what the O(|P|) proxy variant buys.
+
+use frote::SelectionStrategy;
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::aggregate::Summary;
+use frote_eval::runner::{run_many, RunSpec};
+use frote_eval::setup::prepare;
+use frote_eval::{render, ModelKind};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds = [DatasetKind::Car, DatasetKind::Mushroom, DatasetKind::Contraceptive];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let setup = prepare(kind, opts.scale, 42);
+        for model in [ModelKind::Rf, ModelKind::Lr] {
+            let mut cols = vec![kind.name().to_string(), model.name().to_string()];
+            for strategy in [
+                SelectionStrategy::Random,
+                SelectionStrategy::Ip,
+                SelectionStrategy::OnlineProxy,
+                SelectionStrategy::JointNeighbors,
+            ] {
+                let spec = RunSpec { selection: strategy, ..RunSpec::new(model, opts.scale) };
+                let results = run_many(&setup, &spec, opts.scale.runs(), 70_000);
+                let dj: Vec<f64> = results.iter().map(|r| r.delta_j()).collect();
+                cols.push(Summary::of(&dj).display());
+            }
+            rows.push(cols);
+        }
+    }
+    println!(
+        "{}",
+        render::table(
+            "Ablation: ΔJ̄ by selection strategy (random / IP / online proxy / joint)",
+            &["Dataset", "Model", "ΔJ random", "ΔJ IP", "ΔJ online", "ΔJ joint"],
+            &rows,
+        )
+    );
+}

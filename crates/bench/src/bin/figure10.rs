@@ -1,0 +1,19 @@
+//! Regenerates the supplement's Figure 10: rule-set-size sweeps on the Car,
+//! Contraceptive, Nursery and Splice datasets.
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::rule_count;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    for kind in [
+        DatasetKind::Car,
+        DatasetKind::Contraceptive,
+        DatasetKind::Nursery,
+        DatasetKind::Splice,
+    ] {
+        let cells = rule_count::run_dataset(kind, opts.scale, &rule_count::SIZE_GRID);
+        println!("{}", rule_count::render_cells(kind, &cells));
+    }
+}

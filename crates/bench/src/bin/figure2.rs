@@ -1,0 +1,34 @@
+//! Regenerates Figure 2 (and, with `--mod-strategy none|drop` and
+//! `--all-datasets`, the supplement's Figures 4-8): the benefit of
+//! augmentation across training coverage fractions.
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::benefit;
+use frote_eval::Scale;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds: Vec<DatasetKind> = if opts.all_datasets {
+        DatasetKind::ALL.to_vec()
+    } else {
+        // The main paper's Figure 2 shows Adult, Wine and Contraceptive; at
+        // smoke scale the shapes are clearest on the smaller three.
+        match opts.scale {
+            Scale::Paper | Scale::Medium => {
+                vec![DatasetKind::Adult, DatasetKind::WineQuality, DatasetKind::Contraceptive]
+            }
+            Scale::Smoke => {
+                vec![DatasetKind::Car, DatasetKind::Mushroom, DatasetKind::Contraceptive]
+            }
+        }
+    };
+    let tcf_grid: &[f64] = match opts.scale {
+        Scale::Paper | Scale::Medium => &benefit::TCF_GRID,
+        Scale::Smoke => &[0.0, 0.1, 0.2],
+    };
+    for kind in kinds {
+        let cells = benefit::run_dataset(kind, opts.scale, opts.mod_strategy, tcf_grid);
+        println!("{}", benefit::render_cells(kind, opts.mod_strategy, &cells));
+    }
+}

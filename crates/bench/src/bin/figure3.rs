@@ -1,0 +1,25 @@
+//! Regenerates Figure 3: effect of the feedback rule set size on Breast
+//! Cancer (use `--all-datasets` for the supplement's Figure 10 datasets).
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::rule_count;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds: Vec<DatasetKind> = if opts.all_datasets {
+        vec![
+            DatasetKind::BreastCancer,
+            DatasetKind::Car,
+            DatasetKind::Contraceptive,
+            DatasetKind::Nursery,
+            DatasetKind::Splice,
+        ]
+    } else {
+        vec![DatasetKind::BreastCancer]
+    };
+    for kind in kinds {
+        let cells = rule_count::run_dataset(kind, opts.scale, &rule_count::SIZE_GRID);
+        println!("{}", rule_count::render_cells(kind, &cells));
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the supplement's Figure 9: augmentation progress (held-out
+//! test J̄ vs number of instances added) per model and tcf.
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::progress;
+use frote_eval::Scale;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    // The paper plots Adult; at smoke scale Car gives the same shapes fast.
+    let kind = match opts.scale {
+        Scale::Paper | Scale::Medium => DatasetKind::Adult,
+        Scale::Smoke => DatasetKind::Car,
+    };
+    let tcf_grid: &[f64] = match opts.scale {
+        Scale::Paper | Scale::Medium => &[0.0, 0.1, 0.2, 0.4],
+        Scale::Smoke => &[0.0, 0.2],
+    };
+    let curves = progress::run_dataset(kind, opts.scale, tcf_grid);
+    print!("{}", progress::render_curves(kind, &curves));
+}

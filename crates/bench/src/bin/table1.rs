@@ -1,0 +1,9 @@
+//! Regenerates Table 1: dataset properties.
+
+use frote_bench::CliOptions;
+use frote_eval::experiments::table1;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    print!("{}", table1::run(opts.scale));
+}

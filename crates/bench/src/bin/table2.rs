@@ -1,0 +1,16 @@
+//! Regenerates Table 2: FROTE vs Overlay (soft/hard constraints) on the
+//! binary datasets Breast Cancer and Mushroom.
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::overlay_cmp;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds = [DatasetKind::BreastCancer, DatasetKind::Mushroom];
+    let cells = overlay_cmp::run_datasets(&kinds, opts.scale);
+    println!(
+        "{}",
+        overlay_cmp::render_delta_j("Table 2: ΔJ̄ vs Overlay on binary datasets", &cells)
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 3: random vs IP base-instance selection (ΔJ̄).
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::selection_cmp;
+use frote_eval::Scale;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds: Vec<DatasetKind> = if opts.all_datasets || opts.scale == Scale::Paper {
+        DatasetKind::ALL.to_vec()
+    } else {
+        vec![DatasetKind::Car, DatasetKind::Mushroom]
+    };
+    let cells = selection_cmp::run_datasets(&kinds, opts.scale);
+    if opts.json {
+        use frote_eval::export::{CellRecord, ExperimentRecord};
+        let records: Vec<CellRecord> = cells
+            .iter()
+            .map(|c| {
+                CellRecord::new()
+                    .dim("dataset", c.kind.name())
+                    .dim("model", c.model.name())
+                    .dim("strategy", c.strategy.name())
+                    .summary("delta_j", c.delta_j)
+                    .summary("delta_mra", c.delta_mra)
+                    .summary("delta_f1", c.delta_f1)
+                    .summary("added_fraction", c.added_fraction)
+            })
+            .collect();
+        println!("{}", ExperimentRecord::new("table3", opts.scale, records).to_json());
+    } else {
+        println!("{}", selection_cmp::render_table3(&kinds, &cells));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the supplement's Table 4: ΔJ̄ plus the augmentation used
+//! (Δ#Ins/|D|) for random and IP selection.
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::selection_cmp;
+use frote_eval::Scale;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds: Vec<DatasetKind> = if opts.all_datasets || opts.scale == Scale::Paper {
+        DatasetKind::ALL.to_vec()
+    } else {
+        vec![DatasetKind::Car, DatasetKind::Mushroom]
+    };
+    let cells = selection_cmp::run_datasets(&kinds, opts.scale);
+    println!("{}", selection_cmp::render_table4(&kinds, &cells));
+}

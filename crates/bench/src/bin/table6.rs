@@ -1,0 +1,14 @@
+//! Regenerates the supplement's Table 6: probabilistic rules under a wrong
+//! expert (Mushroom, Wine, Breast Cancer; LR; |F| = 1; tcf = 0).
+
+use frote_bench::CliOptions;
+use frote_data::synth::DatasetKind;
+use frote_eval::experiments::probabilistic;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let kinds =
+        [DatasetKind::Mushroom, DatasetKind::WineQuality, DatasetKind::BreastCancer];
+    let cells = probabilistic::run_datasets(&kinds, opts.scale);
+    println!("{}", probabilistic::render_cells(&cells));
+}

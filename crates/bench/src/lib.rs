@@ -1,0 +1,120 @@
+//! # frote-bench
+//!
+//! Benchmark harness for the FROTE reproduction:
+//!
+//! - **binaries** (`src/bin/`) regenerate every table and figure of the
+//!   paper (`table1`, `figure2`, `table2`, `figure3`, `table3`, `table4`,
+//!   `table5`, `table6`, `table7_8`, `figure9`, `figure10`,
+//!   `ablation_online`, `repro_all`). All accept
+//!   `--scale {smoke,paper}` (default `smoke`).
+//! - **criterion benches** (`benches/`) time the core operations:
+//!   SMOTE generation, model training, rule coverage, `PreSelectBP`, the
+//!   selection IP, a full FROTE iteration, Overlay prediction, and kNN
+//!   search.
+
+#![warn(missing_docs)]
+
+use frote_eval::Scale;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Experiment scale (default smoke).
+    pub scale: Scale,
+    /// Run on all applicable datasets rather than the paper's headline
+    /// subset (`--all-datasets`).
+    pub all_datasets: bool,
+    /// Modification strategy override (`--mod-strategy none|relabel|drop`).
+    pub mod_strategy: frote::ModStrategy,
+    /// Emit machine-readable JSON (via `frote_eval::export`) instead of the
+    /// text table, where the binary supports it (`--json`).
+    pub json: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: Scale::Smoke,
+            all_datasets: false,
+            mod_strategy: frote::ModStrategy::Relabel,
+            json: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from an argument iterator (excluding `argv[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments — appropriate for
+    /// the small experiment binaries this serves.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
+        let mut opts = CliOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().expect("--scale requires a value");
+                    opts.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale {v:?} (smoke|paper)"));
+                }
+                "--all-datasets" => opts.all_datasets = true,
+                "--json" => opts.json = true,
+                "--mod-strategy" => {
+                    let v = iter.next().expect("--mod-strategy requires a value");
+                    opts.mod_strategy = match v.as_str() {
+                        "none" => frote::ModStrategy::None,
+                        "relabel" => frote::ModStrategy::Relabel,
+                        "drop" => frote::ModStrategy::Drop,
+                        other => panic!("unknown mod strategy {other:?}"),
+                    };
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> CliOptions {
+        CliOptions::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliOptions {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.scale, Scale::Smoke);
+        assert!(!o.all_datasets);
+    }
+
+    #[test]
+    fn full_parse() {
+        let o = parse(&["--scale", "paper", "--all-datasets", "--mod-strategy", "drop", "--json"]);
+        assert_eq!(o.scale, Scale::Paper);
+        assert!(o.all_datasets);
+        assert_eq!(o.mod_strategy, frote::ModStrategy::Drop);
+        assert!(o.json);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_argument_panics() {
+        parse(&["--wat"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn unknown_scale_panics() {
+        parse(&["--scale", "galactic"]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the FROTE core.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use frote_rules::RuleError;
+
+/// Errors produced by the FROTE pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FroteError {
+    /// The input dataset was empty.
+    EmptyDataset,
+    /// The feedback rule set was empty — nothing to edit.
+    EmptyRuleSet,
+    /// The rule set failed validation or contained conflicts.
+    Rules(RuleError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The dataset is smaller than `k + 1`, so no rule can be covered even
+    /// after full relaxation.
+    DatasetTooSmall {
+        /// Dataset rows.
+        rows: usize,
+        /// Required minimum (`k + 1`).
+        required: usize,
+    },
+}
+
+impl fmt::Display for FroteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FroteError::EmptyDataset => write!(f, "input dataset is empty"),
+            FroteError::EmptyRuleSet => write!(f, "feedback rule set is empty"),
+            FroteError::Rules(e) => write!(f, "invalid feedback rules: {e}"),
+            FroteError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            FroteError::DatasetTooSmall { rows, required } => {
+                write!(f, "dataset has {rows} rows, augmentation needs at least {required}")
+            }
+        }
+    }
+}
+
+impl StdError for FroteError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FroteError::Rules(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuleError> for FroteError {
+    fn from(e: RuleError) -> Self {
+        FroteError::Rules(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FroteError::DatasetTooSmall { rows: 3, required: 6 };
+        assert_eq!(e.to_string(), "dataset has 3 rows, augmentation needs at least 6");
+        let e = FroteError::from(RuleError::UnknownClass { class: 9 });
+        assert!(e.to_string().contains("unknown class index 9"));
+        assert!(StdError::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<FroteError>();
+    }
+}

@@ -1,0 +1,522 @@
+//! Rule-constrained synthetic instance generation (§4.2 + supplement A).
+//!
+//! FROTE's generator differs from SMOTE in three ways (paper §4.2):
+//!
+//! 1. neighbours are found among instances satisfying the *same feedback
+//!    rule* (possibly relaxed) rather than the same class,
+//! 2. the generated instance must satisfy the conditions of the **original,
+//!    unrelaxed** rule — numeric features constrained by `>`, `>=`, `<`, `<=`
+//!    conditions are generated inside a min/max window tightened by the base
+//!    and neighbour values; `=` conditions assign directly; categorical
+//!    features take the most frequent neighbour value that passes every
+//!    condition,
+//! 3. the class label is sampled from the rule's distribution `π` instead of
+//!    copied from the base instance.
+
+use frote_data::stats::DatasetStats;
+use frote_data::{Dataset, FeatureKind, Value};
+use frote_ml::distance::{MixedDistance, MixedMetric};
+use frote_ml::knn::k_nearest_of_row;
+use frote_rules::{Clause, FeedbackRuleSet, Op};
+use rand::seq::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::preselect::BasePopulation;
+use crate::select::BaseInstance;
+
+/// How generated instances are labelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelPolicy {
+    /// Sample from the rule's distribution `π` (the paper's default; exact
+    /// assignment for deterministic rules).
+    FromRule,
+    /// The supplement's probabilistic-rule experiment (Table 6): with
+    /// probability `p` the label is the rule's class `c`; otherwise it is the
+    /// base instance's label, except when that label is `c`, in which case it
+    /// is drawn uniformly from the other classes.
+    Calibrated {
+        /// Confidence in the expert rule.
+        p: f64,
+    },
+}
+
+impl Default for LabelPolicy {
+    fn default() -> Self {
+        LabelPolicy::FromRule
+    }
+}
+
+/// The FROTE synthetic instance generator bound to one active dataset.
+pub struct Generator<'a> {
+    ds: &'a Dataset,
+    frs: &'a FeedbackRuleSet,
+    bp: &'a BasePopulation,
+    k: usize,
+    policy: LabelPolicy,
+    dist: MixedDistance,
+    stats: DatasetStats,
+}
+
+impl<'a> Generator<'a> {
+    /// Creates a generator over the active dataset `ds`.
+    pub fn new(
+        ds: &'a Dataset,
+        frs: &'a FeedbackRuleSet,
+        bp: &'a BasePopulation,
+        k: usize,
+        policy: LabelPolicy,
+    ) -> Self {
+        Generator {
+            ds,
+            frs,
+            bp,
+            k,
+            policy,
+            dist: MixedDistance::fit(ds, MixedMetric::SmoteNc),
+            stats: DatasetStats::of(ds),
+        }
+    }
+
+    /// Generates one synthetic instance per base instance (`Generate(B)` in
+    /// Algorithm 1). Base instances whose population cannot supply a
+    /// neighbour are skipped.
+    pub fn generate(&self, base: &[BaseInstance], rng: &mut StdRng) -> Dataset {
+        let mut out = Dataset::with_shared_schema(self.ds.schema_handle());
+        for b in base {
+            if let Some((row, label)) = self.generate_for(b, rng) {
+                out.push_row(&row, label).expect("generated row matches schema");
+            }
+        }
+        out
+    }
+
+    /// Generates a single instance for base row `row` under rule `rule`.
+    pub fn generate_one(
+        &self,
+        rule: usize,
+        row: usize,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<Value>, u32)> {
+        self.generate_for(&BaseInstance::new(rule, row), rng)
+    }
+
+    /// Generates a single instance for `base`, honouring a pinned neighbour
+    /// when present.
+    pub fn generate_for(
+        &self,
+        base: &BaseInstance,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<Value>, u32)> {
+        let (rule, row) = (base.rule, base.row);
+        let members = &self.bp.population(rule).members;
+        let neighbors = k_nearest_of_row(self.ds, row, members, self.k, &self.dist);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let neighbor = match base.neighbor {
+            Some(n) => n,
+            None => neighbors.choose(rng).expect("non-empty neighbours").index,
+        };
+        let clause = self.frs.rule(rule).clause();
+        let mut values = Vec::with_capacity(self.ds.n_features());
+        for j in 0..self.ds.n_features() {
+            let v = match self.ds.schema().feature(j).kind() {
+                FeatureKind::Numeric => {
+                    Value::Num(self.numeric_value(j, row, neighbor, clause, rng))
+                }
+                FeatureKind::Categorical { categories } => Value::Cat(self.categorical_value(
+                    j,
+                    &neighbors.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    clause,
+                    categories.len(),
+                )),
+            };
+            values.push(v);
+        }
+        debug_assert!(
+            clause.satisfied_by(&values),
+            "generated instance violates its rule: {clause} on {values:?}"
+        );
+        let label = self.label(rule, row, rng);
+        Some((values, label))
+    }
+
+    /// Numeric feature: interpolate base/neighbour, respecting any window
+    /// implied by the original rule's conditions (supplement A).
+    fn numeric_value(
+        &self,
+        feature: usize,
+        base: usize,
+        neighbor: usize,
+        clause: &Clause,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let window = Window::from_clause(clause, feature);
+        if let Some(eq) = window.eq {
+            return eq;
+        }
+        let a = self.ds.value(base, feature).expect_num();
+        let b = self.ds.value(neighbor, feature).expect_num();
+        let w: f64 = rng.random::<f64>();
+        let candidate = a + (b - a) * w;
+        if window.contains(candidate) {
+            return candidate;
+        }
+        // Base/neighbour lie (partly) outside the window — the rule was
+        // relaxed. Sample inside the intersection of the window and the
+        // column's observed range where possible.
+        let stats = self.stats.numeric(feature).expect("numeric column has stats");
+        let data_lo = stats.min.min(a.min(b));
+        let data_hi = stats.max.max(a.max(b));
+        let wlo = window.sample_lo();
+        let whi = window.sample_hi();
+        let lo = wlo.max(data_lo);
+        let hi = whi.min(data_hi);
+        if lo < hi {
+            return rng.random_range(lo..hi);
+        }
+        // The data lies entirely outside the window (the paper's
+        // Figure 1(c): no existing instances in the region to adjust).
+        // Extrapolate: sample a band one standard deviation wide just inside
+        // the window on the side nearest the data, so synthetic instances
+        // spread out rather than clumping at the boundary.
+        let spread = if stats.std > 0.0 { stats.std } else { 1.0 };
+        if whi.is_finite() && data_lo >= whi {
+            // Data sits above the window: fill (whi - spread, whi].
+            let band_lo = (whi - spread).max(wlo);
+            return rng.random_range(band_lo..whi);
+        }
+        if wlo.is_finite() && data_hi <= wlo {
+            // Data sits below the window: fill [wlo, wlo + spread).
+            let band_hi = (wlo + spread).min(whi);
+            return rng.random_range(wlo..band_hi);
+        }
+        // Window bounded on both sides with no data inside: sample it whole.
+        if wlo.is_finite() && whi.is_finite() && wlo < whi {
+            return rng.random_range(wlo..whi);
+        }
+        // Degenerate point window.
+        0.5 * (wlo.max(data_lo) + whi.min(data_hi))
+    }
+
+    /// Categorical feature: most frequent neighbour value satisfying every
+    /// condition; if none qualifies, the smallest vocabulary value that does.
+    fn categorical_value(
+        &self,
+        feature: usize,
+        neighbor_rows: &[usize],
+        clause: &Clause,
+        cardinality: usize,
+    ) -> u32 {
+        let conds: Vec<_> =
+            clause.predicates().iter().filter(|p| p.feature() == feature).collect();
+        let ok = |c: u32| conds.iter().all(|p| p.eval(Value::Cat(c)));
+        // Equality condition pins the value outright.
+        if let Some(p) = conds.iter().find(|p| p.op() == Op::Eq) {
+            return p.value().expect_cat();
+        }
+        // Frequency-ordered neighbour values (ties to the lowest category).
+        let mut counts = vec![0usize; cardinality];
+        for &i in neighbor_rows {
+            counts[self.ds.value(i, feature).expect_cat() as usize] += 1;
+        }
+        let mut order: Vec<u32> = (0..cardinality as u32).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(counts[c as usize]));
+        for c in order {
+            if counts[c as usize] > 0 && ok(c) {
+                return c;
+            }
+        }
+        (0..cardinality as u32).find(|&c| ok(c)).unwrap_or(0)
+    }
+
+    fn label(&self, rule: usize, base_row: usize, rng: &mut StdRng) -> u32 {
+        let dist = self.frs.rule(rule).dist();
+        match self.policy {
+            LabelPolicy::FromRule => dist.sample(rng),
+            LabelPolicy::Calibrated { p } => {
+                let c = dist.mode();
+                if rng.random::<f64>() < p {
+                    c
+                } else {
+                    let base_label = self.ds.label(base_row);
+                    if base_label != c {
+                        base_label
+                    } else {
+                        let n = self.ds.n_classes() as u32;
+                        if n <= 1 {
+                            c
+                        } else {
+                            let offset = rng.random_range(1..n);
+                            (c + offset) % n
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A per-feature numeric window implied by rule conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Window {
+    lo: Option<(f64, bool)>, // (bound, strict)
+    hi: Option<(f64, bool)>,
+    eq: Option<f64>,
+}
+
+impl Window {
+    fn from_clause(clause: &Clause, feature: usize) -> Window {
+        let mut w = Window { lo: None, hi: None, eq: None };
+        for p in clause.predicates().iter().filter(|p| p.feature() == feature) {
+            let v = p.value().expect_num();
+            match p.op() {
+                Op::Eq => w.eq = Some(v),
+                Op::Gt => w.raise_lo(v, true),
+                Op::Ge => w.raise_lo(v, false),
+                Op::Lt => w.lower_hi(v, true),
+                Op::Le => w.lower_hi(v, false),
+                Op::Ne => {} // not legal on numeric features
+            }
+        }
+        w
+    }
+
+    fn raise_lo(&mut self, v: f64, strict: bool) {
+        match self.lo {
+            Some((cur, cur_strict)) if v < cur || (v == cur && cur_strict) => {
+                let _ = cur_strict;
+            }
+            _ => self.lo = Some((v, strict)),
+        }
+    }
+
+    fn lower_hi(&mut self, v: f64, strict: bool) {
+        match self.hi {
+            Some((cur, cur_strict)) if v > cur || (v == cur && cur_strict) => {
+                let _ = cur_strict;
+            }
+            _ => self.hi = Some((v, strict)),
+        }
+    }
+
+    fn contains(&self, x: f64) -> bool {
+        if let Some(eq) = self.eq {
+            return x == eq;
+        }
+        let lo_ok = match self.lo {
+            None => true,
+            Some((v, true)) => x > v,
+            Some((v, false)) => x >= v,
+        };
+        let hi_ok = match self.hi {
+            None => true,
+            Some((v, true)) => x < v,
+            Some((v, false)) => x <= v,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// The window's sampling lower bound (strict bounds nudged inward);
+    /// `-inf` when unbounded below.
+    fn sample_lo(&self) -> f64 {
+        match self.lo {
+            None => f64::NEG_INFINITY,
+            Some((v, strict)) => {
+                if strict {
+                    v + eps_for(v)
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// The window's sampling upper bound; `+inf` when unbounded above.
+    fn sample_hi(&self) -> f64 {
+        match self.hi {
+            None => f64::INFINITY,
+            Some((v, strict)) => {
+                if strict {
+                    v - eps_for(v)
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+fn eps_for(v: f64) -> f64 {
+    1e-9 * v.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preselect::BasePopulation;
+    use frote_data::{Schema, Value};
+    use frote_rules::{FeedbackRule, LabelDist, Predicate};
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::builder("y", vec!["a".into(), "b".into(), "c".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into(), "r".into()])
+            .build()
+    }
+
+    /// x uniform-ish over 0..30, k cycles p,q,r.
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(schema());
+        for i in 0..30 {
+            d.push_row(&[Value::Num(i as f64), Value::Cat((i % 3) as u32)], (i % 3) as u32)
+                .unwrap();
+        }
+        d
+    }
+
+    fn frs(preds: Vec<Predicate>, class: u32) -> FeedbackRuleSet {
+        FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(preds),
+            LabelDist::Deterministic(class),
+        )])
+    }
+
+    fn generate_many(
+        d: &Dataset,
+        frs: &FeedbackRuleSet,
+        n: usize,
+        policy: LabelPolicy,
+    ) -> Dataset {
+        let bp = BasePopulation::pre_select(d, frs, 5);
+        let gen = Generator::new(d, frs, &bp, 5, policy);
+        let mut rng = StdRng::seed_from_u64(42);
+        let members = &bp.population(0).members;
+        let base: Vec<BaseInstance> = (0..n)
+            .map(|t| BaseInstance::new(0, members[t % members.len()]))
+            .collect();
+        gen.generate(&base, &mut rng)
+    }
+
+    #[test]
+    fn generated_instances_satisfy_unrelaxed_rule() {
+        let d = ds();
+        // Narrow rule on both features; relaxation will widen the BP but the
+        // generated instances must still satisfy the ORIGINAL conditions.
+        let f = frs(
+            vec![
+                Predicate::new(0, Op::Ge, Value::Num(25.0)),
+                Predicate::new(1, Op::Eq, Value::Cat(2)),
+            ],
+            1,
+        );
+        let out = generate_many(&d, &f, 50, LabelPolicy::FromRule);
+        assert_eq!(out.n_rows(), 50);
+        let clause = f.rule(0).clause();
+        for i in 0..out.n_rows() {
+            assert!(clause.satisfied_by(&out.row(i)), "row {i} violates rule");
+            assert_eq!(out.label(i), 1);
+        }
+    }
+
+    #[test]
+    fn window_with_upper_and_lower_bounds() {
+        let d = ds();
+        let f = frs(
+            vec![
+                Predicate::new(0, Op::Gt, Value::Num(10.0)),
+                Predicate::new(0, Op::Le, Value::Num(20.0)),
+            ],
+            2,
+        );
+        let out = generate_many(&d, &f, 80, LabelPolicy::FromRule);
+        for i in 0..out.n_rows() {
+            let x = out.value(i, 0).expect_num();
+            assert!(x > 10.0 && x <= 20.0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn numeric_equality_condition_assigns_exactly() {
+        let d = ds();
+        let f = frs(vec![Predicate::new(0, Op::Eq, Value::Num(7.0))], 0);
+        let out = generate_many(&d, &f, 20, LabelPolicy::FromRule);
+        for i in 0..out.n_rows() {
+            assert_eq!(out.value(i, 0), Value::Num(7.0));
+        }
+    }
+
+    #[test]
+    fn categorical_ne_condition_respected() {
+        let d = ds();
+        let f = frs(vec![Predicate::new(1, Op::Ne, Value::Cat(0))], 1);
+        let out = generate_many(&d, &f, 40, LabelPolicy::FromRule);
+        for i in 0..out.n_rows() {
+            assert_ne!(out.value(i, 1).expect_cat(), 0);
+        }
+    }
+
+    #[test]
+    fn probabilistic_rule_labels_follow_pi() {
+        let d = ds();
+        let f = FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(20.0))]),
+            LabelDist::probabilistic(vec![0.1, 0.8, 0.1]).unwrap(),
+        )]);
+        let out = generate_many(&d, &f, 300, LabelPolicy::FromRule);
+        let ones = out.labels().iter().filter(|&&l| l == 1).count();
+        let frac = ones as f64 / out.n_rows() as f64;
+        assert!((frac - 0.8).abs() < 0.1, "frac {frac}");
+    }
+
+    #[test]
+    fn calibrated_policy_mixes_rule_and_base_labels() {
+        let d = ds();
+        let f = frs(vec![Predicate::new(0, Op::Lt, Value::Num(20.0))], 1);
+        // p = 0: the label never comes from the rule; base labels 1 are
+        // remapped away from c=1.
+        let out = generate_many(&d, &f, 200, LabelPolicy::Calibrated { p: 0.0 });
+        // Labels can be 0, 1 or 2? No: base label 1 is remapped to 0 or 2.
+        // Labels equal to 1 can only appear via remap of... never.
+        assert!(out.labels().iter().all(|&l| l != 1), "{:?}", out.class_counts());
+        // p = 1: always the rule class.
+        let out = generate_many(&d, &f, 50, LabelPolicy::Calibrated { p: 1.0 });
+        assert!(out.labels().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn interpolation_stays_between_parents_when_unconstrained() {
+        let d = ds();
+        let f = frs(vec![Predicate::new(1, Op::Eq, Value::Cat(0))], 0);
+        let out = generate_many(&d, &f, 100, LabelPolicy::FromRule);
+        // x unconstrained: all values must lie within the population's hull.
+        for i in 0..out.n_rows() {
+            let x = out.value(i, 0).expect_num();
+            assert!((0.0..=29.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn window_helpers() {
+        let c = Clause::new(vec![
+            Predicate::new(0, Op::Gt, Value::Num(1.0)),
+            Predicate::new(0, Op::Lt, Value::Num(5.0)),
+        ]);
+        let w = Window::from_clause(&c, 0);
+        assert!(w.contains(3.0));
+        assert!(!w.contains(1.0));
+        assert!(!w.contains(5.0));
+        assert!(w.sample_lo() > 1.0);
+        assert!(w.sample_hi() < 5.0);
+        // Tighter of two bounds wins.
+        let c = Clause::new(vec![
+            Predicate::new(0, Op::Ge, Value::Num(1.0)),
+            Predicate::new(0, Op::Gt, Value::Num(2.0)),
+        ]);
+        let w = Window::from_clause(&c, 0);
+        assert!(!w.contains(2.0));
+        assert!(w.contains(2.5));
+    }
+}

@@ -1,0 +1,148 @@
+//! Input-dataset modification strategies (§5.1 "Input dataset choices").
+
+use frote_data::Dataset;
+use frote_rules::FeedbackRuleSet;
+
+/// What to do with existing instances that contradict the feedback rules
+/// before augmentation starts.
+///
+/// The paper notes `relabel` and `drop` "may not be possible if the user is
+/// reluctant to make changes to the existing dataset for various data
+/// integrity reasons"; `relabel` is the default used in most experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModStrategy {
+    /// Leave the dataset untouched.
+    None,
+    /// Relabel covered instances whose label disagrees with their covering
+    /// rule to that rule's (most likely) class.
+    #[default]
+    Relabel,
+    /// Drop covered instances whose label disagrees with their covering rule.
+    Drop,
+}
+
+impl ModStrategy {
+    /// Display name matching the paper's plots (`none` / `relabel` / `drop`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModStrategy::None => "none",
+            ModStrategy::Relabel => "relabel",
+            ModStrategy::Drop => "drop",
+        }
+    }
+
+    /// Applies the strategy, returning the modified dataset.
+    ///
+    /// Rule attribution is first-match (disjoint effective coverage). For
+    /// probabilistic rules, "disagrees" means the instance's label has zero
+    /// probability under the rule; relabelling assigns the rule's mode.
+    pub fn apply(self, ds: &Dataset, frs: &FeedbackRuleSet) -> Dataset {
+        match self {
+            ModStrategy::None => ds.clone(),
+            ModStrategy::Relabel => {
+                let mut out = ds.clone();
+                for (r, rows) in frs.attributed_coverage(ds).iter().enumerate() {
+                    let rule = frs.rule(r);
+                    for &i in rows {
+                        if !rule.label_agrees(ds.label(i)) {
+                            out.set_label(i, rule.dist().mode())
+                                .expect("rule classes validated against schema");
+                        }
+                    }
+                }
+                out
+            }
+            ModStrategy::Drop => {
+                let mut keep = vec![true; ds.n_rows()];
+                for (r, rows) in frs.attributed_coverage(ds).iter().enumerate() {
+                    let rule = frs.rule(r);
+                    for &i in rows {
+                        if !rule.label_agrees(ds.label(i)) {
+                            keep[i] = false;
+                        }
+                    }
+                }
+                let kept: Vec<usize> =
+                    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
+                ds.gather(&kept)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+    use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
+
+    fn ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for i in 0..6 {
+            d.push_row(&[Value::Num(i as f64)], u32::from(i % 2 == 0)).unwrap();
+        }
+        d
+    }
+
+    fn frs() -> FeedbackRuleSet {
+        // x < 3 -> class 1 (rows 0,1,2; labels 1,0,1 -> row 1 disagrees... )
+        // labels: i%2==0 -> 1? u32::from(i%2==0): i=0 ->1, 1->0, 2->1.
+        FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(3.0))]),
+            LabelDist::Deterministic(1),
+        )])
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let d = ds();
+        assert_eq!(ModStrategy::None.apply(&d, &frs()), d);
+    }
+
+    #[test]
+    fn relabel_fixes_disagreements_only() {
+        let d = ds();
+        let out = ModStrategy::Relabel.apply(&d, &frs());
+        assert_eq!(out.n_rows(), 6);
+        // Covered rows 0,1,2 now all class 1.
+        assert_eq!(out.label(0), 1);
+        assert_eq!(out.label(1), 1); // was 0, relabelled
+        assert_eq!(out.label(2), 1);
+        // Outside coverage untouched.
+        assert_eq!(out.label(3), d.label(3));
+        assert_eq!(out.label(5), d.label(5));
+    }
+
+    #[test]
+    fn drop_removes_disagreements_only() {
+        let d = ds();
+        let out = ModStrategy::Drop.apply(&d, &frs());
+        assert_eq!(out.n_rows(), 5); // row 1 dropped
+        // Remaining covered rows agree with the rule.
+        for i in 0..out.n_rows() {
+            if out.value(i, 0).expect_num() < 3.0 {
+                assert_eq!(out.label(i), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_rule_agreement_keeps_positive_mass_labels() {
+        let d = ds();
+        let frs = FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(3.0))]),
+            LabelDist::probabilistic(vec![0.3, 0.7]).unwrap(),
+        )]);
+        // Both labels have positive probability -> nothing to fix.
+        assert_eq!(ModStrategy::Relabel.apply(&d, &frs), d);
+        assert_eq!(ModStrategy::Drop.apply(&d, &frs).n_rows(), 6);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModStrategy::None.name(), "none");
+        assert_eq!(ModStrategy::Relabel.name(), "relabel");
+        assert_eq!(ModStrategy::Drop.name(), "drop");
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's objective: MRA, outside-coverage F1, `Ĵ` and `J̄`.
+//!
+//! The true objective (paper Eq. 3) weights each rule's disagreement by its
+//! coverage probability and adds the outside-coverage loss. Two estimators
+//! are provided:
+//!
+//! - [`empirical_j`] — the `Ĵ` used *inside* the augmentation loop: a plain
+//!   `0.5·MRA + 0.5·F1` combination evaluated on the current active dataset
+//!   (§5.1: "we simply use a 0.5-0.5 weighting ... because the test set
+//!   coverage probabilities are not known to FROTE"). Returned as the
+//!   *complement* `J̄ = 1 − J`; FROTE minimizes the loss, reports the
+//!   complement.
+//! - [`paper_j`] — the held-out-test metric of the figures/tables: MRA terms
+//!   weighted by empirical rule-coverage probabilities, plus the F1 term
+//!   weighted by the outside-coverage probability.
+
+use frote_data::Dataset;
+use frote_ml::{metrics, Classifier};
+use frote_rules::FeedbackRuleSet;
+
+/// Weights of the internal `Ĵ` combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight on the model-rule-agreement term.
+    pub mra: f64,
+    /// Weight on the outside-coverage F1 term.
+    pub f1: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights { mra: 0.5, f1: 0.5 }
+    }
+}
+
+/// The two components of an objective evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveValue {
+    /// Model-rule agreement over the rules' (first-match) coverage; 1.0 when
+    /// the coverage is empty.
+    pub mra: f64,
+    /// Macro-F1 over the outside-coverage population; 1.0 when empty.
+    pub f1: f64,
+    /// The combined complement `J̄` (higher is better).
+    pub j: f64,
+}
+
+/// Model-rule agreement of `model` over the covered rows of `ds`, or `None`
+/// when nothing is covered.
+///
+/// Uses first-match rule attribution (disjoint effective coverages, §3.2).
+/// For a deterministic rule the agreement of a covered row is
+/// `1{prediction == class}`; for a probabilistic rule it is the probability
+/// `π(prediction)` — the expectation of the 0-1 agreement under `Y ~ π`.
+pub fn mra_opt(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> Option<f64> {
+    let attributed = frs.attributed_coverage(ds);
+    let mut total = 0usize;
+    let mut agreement = 0.0;
+    for (r, rows) in attributed.iter().enumerate() {
+        let rule = frs.rule(r);
+        for &i in rows {
+            let pred = model.predict(&ds.row(i));
+            agreement += rule.dist().prob(pred);
+            total += 1;
+        }
+    }
+    (total > 0).then(|| agreement / total as f64)
+}
+
+/// [`mra_opt`] with empty coverage scored as 1.0 (vacuous truth) — the
+/// held-out-test reading, where an uncovered test set contributes no MRA
+/// mass to the coverage-weighted `J̄`.
+pub fn mra(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
+    mra_opt(model, ds, frs).unwrap_or(1.0)
+}
+
+/// Macro-F1 of `model` over the rows of `ds` *outside* the rules' coverage,
+/// against the dataset's own labels. Returns 1.0 when empty.
+pub fn outside_f1(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
+    let outside = frs.outside_coverage(ds);
+    let preds: Vec<u32> = outside.iter().map(|&i| model.predict(&ds.row(i))).collect();
+    let labels: Vec<u32> = outside.iter().map(|&i| ds.label(i)).collect();
+    metrics::macro_f1(&preds, &labels, ds.n_classes())
+}
+
+/// The internal estimator `Ĵ` (complement form, higher is better).
+///
+/// Empty coverage scores the MRA term **0**, not vacuously 1: the loop's
+/// candidate datasets carry their synthetic instances inside coverage, and
+/// the difficult `tcf = 0` case *starts* with empty coverage — a vacuous 1.0
+/// would make the initial objective unbeatable and deadlock Algorithm 1,
+/// whereas the paper reports its largest gains exactly there (Figure 2).
+pub fn empirical_j(
+    model: &dyn Classifier,
+    ds: &Dataset,
+    frs: &FeedbackRuleSet,
+    weights: &ObjectiveWeights,
+) -> ObjectiveValue {
+    let mra = mra_opt(model, ds, frs).unwrap_or(0.0);
+    let f1 = outside_f1(model, ds, frs);
+    let wsum = weights.mra + weights.f1;
+    let j = if wsum > 0.0 { (weights.mra * mra + weights.f1 * f1) / wsum } else { 0.0 };
+    ObjectiveValue { mra, f1, j }
+}
+
+/// The paper's held-out-test metric `J̄` (§5.1 "Metrics"): rule-coverage
+/// probabilities estimated on `ds` weight the MRA terms; the remaining mass
+/// weights the outside-coverage F1.
+pub fn paper_j(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> ObjectiveValue {
+    let n = ds.n_rows();
+    if n == 0 {
+        return ObjectiveValue { mra: 1.0, f1: 1.0, j: 1.0 };
+    }
+    let attributed = frs.attributed_coverage(ds);
+    let mut j = 0.0;
+    let mut covered_rows = 0usize;
+    let mut agreement_total = 0.0;
+    for (r, rows) in attributed.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let rule = frs.rule(r);
+        let mut agree = 0.0;
+        for &i in rows {
+            agree += rule.dist().prob(model.predict(&ds.row(i)));
+        }
+        agreement_total += agree;
+        covered_rows += rows.len();
+        let rule_mra = agree / rows.len() as f64;
+        let prob = rows.len() as f64 / n as f64;
+        j += prob * rule_mra;
+    }
+    let f1 = outside_f1(model, ds, frs);
+    let outside_prob = (n - covered_rows) as f64 / n as f64;
+    j += outside_prob * f1;
+    let mra = if covered_rows == 0 { 1.0 } else { agreement_total / covered_rows as f64 };
+    ObjectiveValue { mra, f1, j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+    use frote_ml::Classifier;
+    use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
+
+    /// Model: class 1 iff x >= 5.
+    struct Threshold;
+    impl Classifier for Threshold {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+            if row[0].expect_num() >= 5.0 {
+                vec![0.0, 1.0]
+            } else {
+                vec![1.0, 0.0]
+            }
+        }
+    }
+
+    fn ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push_row(&[Value::Num(i as f64)], u32::from(i >= 5)).unwrap();
+        }
+        d
+    }
+
+    fn rule(class: u32) -> FeedbackRuleSet {
+        // covers x < 4 (rows 0..4)
+        FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(4.0))]),
+            LabelDist::Deterministic(class),
+        )])
+    }
+
+    #[test]
+    fn mra_counts_agreement_within_coverage() {
+        let m = Threshold;
+        // Rule says covered rows are class 0; model predicts 0 there -> MRA 1.
+        assert_eq!(mra(&m, &ds(), &rule(0)), 1.0);
+        // Rule says class 1; model disagrees on all 4 covered rows -> MRA 0.
+        assert_eq!(mra(&m, &ds(), &rule(1)), 0.0);
+    }
+
+    #[test]
+    fn mra_probabilistic_uses_expected_agreement() {
+        let m = Threshold;
+        let frs = FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(4.0))]),
+            LabelDist::probabilistic(vec![0.7, 0.3]).unwrap(),
+        )]);
+        // Model predicts 0 on the coverage; expected agreement 0.7.
+        assert!((mra(&m, &ds(), &frs) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_coverage_is_vacuous() {
+        let m = Threshold;
+        let frs = FeedbackRuleSet::new(vec![FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Gt, Value::Num(100.0))]),
+            LabelDist::Deterministic(1),
+        )]);
+        assert_eq!(mra(&m, &ds(), &frs), 1.0);
+        let v = paper_j(&m, &ds(), &frs);
+        assert_eq!(v.mra, 1.0);
+    }
+
+    #[test]
+    fn outside_f1_ignores_coverage() {
+        let m = Threshold;
+        // Model is perfect on the true labels; outside F1 should be 1.
+        assert_eq!(outside_f1(&m, &ds(), &rule(1)), 1.0);
+    }
+
+    #[test]
+    fn empirical_j_weighted_combination() {
+        let m = Threshold;
+        let v = empirical_j(&m, &ds(), &rule(1), &ObjectiveWeights::default());
+        assert_eq!(v.mra, 0.0);
+        assert_eq!(v.f1, 1.0);
+        assert!((v.j - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_j_weights_by_coverage_probability() {
+        let m = Threshold;
+        // Coverage = 4/10 rows with MRA 0, outside = 6/10 with F1 1.
+        let v = paper_j(&m, &ds(), &rule(1));
+        assert!((v.j - 0.6).abs() < 1e-12, "j = {}", v.j);
+        // And with an agreeing rule the metric is perfect.
+        let v = paper_j(&m, &ds(), &rule(0));
+        assert!((v.j - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_paper_j() {
+        let m = Threshold;
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let empty = Dataset::new(schema);
+        let v = paper_j(&m, &empty, &rule(0));
+        assert_eq!(v.j, 1.0);
+    }
+
+    #[test]
+    fn zero_weights_are_safe() {
+        let m = Threshold;
+        let v = empirical_j(&m, &ds(), &rule(0), &ObjectiveWeights { mra: 0.0, f1: 0.0 });
+        assert_eq!(v.j, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! `PreSelectBP` — base-population pre-selection (paper Algorithm 2).
+//!
+//! FROTE restricts the base population to the rules' coverage (motivated by
+//! the MRA term of Eq. 3) and maintains *per-rule* populations. A rule whose
+//! coverage in the active dataset is below `k + 1` is relaxed to its maximal
+//! partial rule (`frote_rules::relax`), so every rule retains enough
+//! neighbours for SMOTE-style generation; instances matching the relaxed
+//! clause are the paper's "weakly covered" base instances.
+
+use frote_data::Dataset;
+use frote_rules::relax::relax_clause;
+use frote_rules::{Clause, FeedbackRuleSet};
+
+/// Per-rule base population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RulePopulation {
+    /// Index of the rule in the FRS.
+    pub rule: usize,
+    /// The clause actually used for membership (the rule's own clause, or
+    /// its maximal partial relaxation).
+    pub effective_clause: Clause,
+    /// Whether relaxation fired.
+    pub relaxed: bool,
+    /// Row indices of the active dataset in this population.
+    pub members: Vec<usize>,
+}
+
+/// The full base population: one entry per rule, in FRS order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasePopulation {
+    populations: Vec<RulePopulation>,
+}
+
+impl BasePopulation {
+    /// Runs `PreSelectBP` over `ds` requiring at least `k + 1` members per
+    /// rule.
+    ///
+    /// Rules that cannot reach `k + 1` members even fully relaxed (only
+    /// possible when `ds.n_rows() < k + 1`) keep whatever the empty clause
+    /// covers; [`BasePopulation::viable`] reports per-rule viability so the
+    /// caller can skip generation for them.
+    pub fn pre_select(ds: &Dataset, frs: &FeedbackRuleSet, k: usize) -> BasePopulation {
+        let min_support = k + 1;
+        let populations = frs
+            .iter()
+            .enumerate()
+            .map(|(r, rule)| {
+                let relaxed = relax_clause(rule.clause(), ds, min_support);
+                RulePopulation {
+                    rule: r,
+                    members: relaxed.clause.coverage(ds),
+                    relaxed: relaxed.was_relaxed(),
+                    effective_clause: relaxed.clause,
+                }
+            })
+            .collect();
+        BasePopulation { populations }
+    }
+
+    /// Per-rule populations in FRS order.
+    pub fn populations(&self) -> &[RulePopulation] {
+        &self.populations
+    }
+
+    /// The population of rule `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn population(&self, r: usize) -> &RulePopulation {
+        &self.populations[r]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.populations.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.populations.is_empty()
+    }
+
+    /// Rules with at least `k + 1` members (generation is possible).
+    pub fn viable(&self, k: usize) -> Vec<usize> {
+        self.populations
+            .iter()
+            .filter_map(|p| (p.members.len() >= k + 1).then_some(p.rule))
+            .collect()
+    }
+
+    /// Union of all members (sorted, deduplicated) — the paper's `P`.
+    pub fn union(&self) -> Vec<usize> {
+        let mut all: Vec<usize> =
+            self.populations.iter().flat_map(|p| p.members.iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+    use frote_rules::{FeedbackRule, LabelDist, Op, Predicate};
+
+    fn schema() -> Schema {
+        Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build()
+    }
+
+    /// x = 0..20; k = q only for x >= 18.
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(schema());
+        for i in 0..20 {
+            d.push_row(&[Value::Num(i as f64), Value::Cat(u32::from(i >= 18))], 0).unwrap();
+        }
+        d
+    }
+
+    fn rule(preds: Vec<Predicate>) -> FeedbackRule {
+        FeedbackRule::new(Clause::new(preds), LabelDist::Deterministic(1))
+    }
+
+    #[test]
+    fn wide_rule_is_not_relaxed() {
+        let frs =
+            FeedbackRuleSet::new(vec![rule(vec![Predicate::new(0, Op::Lt, Value::Num(10.0))])]);
+        let bp = BasePopulation::pre_select(&ds(), &frs, 5);
+        let p = bp.population(0);
+        assert!(!p.relaxed);
+        assert_eq!(p.members.len(), 10);
+        assert_eq!(bp.viable(5), vec![0]);
+    }
+
+    #[test]
+    fn narrow_rule_gets_relaxed_to_k_plus_one() {
+        // "x >= 18 AND k = q" covers 2 rows < 6; relaxation must widen it.
+        let frs = FeedbackRuleSet::new(vec![rule(vec![
+            Predicate::new(0, Op::Ge, Value::Num(18.0)),
+            Predicate::new(1, Op::Eq, Value::Cat(1)),
+        ])]);
+        let bp = BasePopulation::pre_select(&ds(), &frs, 5);
+        let p = bp.population(0);
+        assert!(p.relaxed);
+        assert!(p.members.len() >= 6, "members {:?}", p.members.len());
+        // The effective clause is a subset of the original conditions.
+        assert!(p.effective_clause.subset_of(frs.rule(0).clause()));
+    }
+
+    #[test]
+    fn zero_coverage_rule_relaxes_fully() {
+        let frs =
+            FeedbackRuleSet::new(vec![rule(vec![Predicate::new(0, Op::Gt, Value::Num(99.0))])]);
+        let bp = BasePopulation::pre_select(&ds(), &frs, 5);
+        let p = bp.population(0);
+        assert!(p.relaxed);
+        assert!(p.effective_clause.is_empty());
+        assert_eq!(p.members.len(), 20);
+    }
+
+    #[test]
+    fn tiny_dataset_rule_not_viable() {
+        let mut d = Dataset::new(schema());
+        for i in 0..3 {
+            d.push_row(&[Value::Num(i as f64), Value::Cat(0)], 0).unwrap();
+        }
+        let frs =
+            FeedbackRuleSet::new(vec![rule(vec![Predicate::new(0, Op::Lt, Value::Num(2.0))])]);
+        let bp = BasePopulation::pre_select(&d, &frs, 5);
+        assert!(bp.viable(5).is_empty());
+        assert_eq!(bp.union().len(), 3);
+    }
+
+    #[test]
+    fn union_dedups_across_rules() {
+        let frs = FeedbackRuleSet::new(vec![
+            rule(vec![Predicate::new(0, Op::Lt, Value::Num(12.0))]),
+            rule(vec![Predicate::new(0, Op::Lt, Value::Num(8.0))]),
+        ]);
+        let bp = BasePopulation::pre_select(&ds(), &frs, 3);
+        assert_eq!(bp.len(), 2);
+        assert!(!bp.is_empty());
+        assert_eq!(bp.union().len(), 12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Augmentation progress reporting (feeds the paper's Figure 9).
+
+use crate::objective::ObjectiveValue;
+
+/// One Algorithm 1 iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index `i` (0-based).
+    pub iteration: usize,
+    /// Whether the candidate dataset was accepted (`j' < ĵ`).
+    pub accepted: bool,
+    /// Number of synthetic instances proposed this iteration.
+    pub proposed: usize,
+    /// The candidate objective (complement form, higher is better).
+    pub candidate: ObjectiveValue,
+    /// Cumulative synthetic instances in the active dataset after this
+    /// iteration.
+    pub total_added: usize,
+}
+
+/// Full progress trace of a FROTE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FroteReport {
+    /// Objective of the model trained on the (modified) input dataset.
+    pub initial: ObjectiveValue,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Objective of the final model on the final active dataset.
+    pub final_objective: ObjectiveValue,
+    /// Total synthetic instances in the output dataset.
+    pub instances_added: usize,
+}
+
+impl FroteReport {
+    /// Number of iterations run.
+    pub fn n_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Number of accepted iterations.
+    pub fn n_accepted(&self) -> usize {
+        self.iterations.iter().filter(|r| r.accepted).count()
+    }
+
+    /// Improvement in the combined objective (final − initial).
+    pub fn improvement(&self) -> f64 {
+        self.final_objective.j - self.initial.j
+    }
+
+    /// The `(total_added, objective)` series for augmentation-progress plots
+    /// (paper Figure 9): one point per accepted iteration, starting at
+    /// `(0, initial)`.
+    pub fn progress_series(&self) -> Vec<(usize, f64)> {
+        let mut out = vec![(0, self.initial.j)];
+        for r in self.iterations.iter().filter(|r| r.accepted) {
+            out.push((r.total_added, r.candidate.j));
+        }
+        out
+    }
+
+    /// A human-readable run summary for examples and logs.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "FROTE run: {} iterations, {} accepted, {} instances added",
+            self.n_iterations(),
+            self.n_accepted(),
+            self.instances_added
+        );
+        let _ = writeln!(
+            out,
+            "  objective: {:.3} -> {:.3} (MRA {:.3} -> {:.3}, F1 {:.3} -> {:.3})",
+            self.initial.j,
+            self.final_objective.j,
+            self.initial.mra,
+            self.final_objective.mra,
+            self.initial.f1,
+            self.final_objective.f1
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(j: f64) -> ObjectiveValue {
+        ObjectiveValue { mra: j, f1: j, j }
+    }
+
+    fn record(i: usize, accepted: bool, j: f64, total: usize) -> IterationRecord {
+        IterationRecord { iteration: i, accepted, proposed: 10, candidate: obj(j), total_added: total }
+    }
+
+    #[test]
+    fn counts_and_improvement() {
+        let report = FroteReport {
+            initial: obj(0.5),
+            iterations: vec![record(0, true, 0.6, 10), record(1, false, 0.55, 10), record(2, true, 0.7, 20)],
+            final_objective: obj(0.7),
+            instances_added: 20,
+        };
+        assert_eq!(report.n_iterations(), 3);
+        assert_eq!(report.n_accepted(), 2);
+        assert!((report.improvement() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_counts_and_objectives() {
+        let report = FroteReport {
+            initial: obj(0.5),
+            iterations: vec![record(0, true, 0.6, 10)],
+            final_objective: obj(0.6),
+            instances_added: 10,
+        };
+        let text = report.render();
+        assert!(text.contains("1 iterations, 1 accepted, 10 instances added"));
+        assert!(text.contains("0.500 -> 0.600"));
+    }
+
+    #[test]
+    fn progress_series_includes_initial_point() {
+        let report = FroteReport {
+            initial: obj(0.5),
+            iterations: vec![record(0, true, 0.6, 10), record(1, false, 0.4, 10)],
+            final_objective: obj(0.6),
+            instances_added: 10,
+        };
+        assert_eq!(report.progress_series(), vec![(0, 0.5), (10, 0.6)]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Typed CSV read/write for datasets.
+//!
+//! The format is self-describing: the header encodes each feature as
+//! `name:num` or `name:cat`, with the label column last as `name:label`.
+//! Categorical cells and labels are written as their string names; the reader
+//! rebuilds the vocabularies in first-seen order unless a schema is supplied.
+//!
+//! ```
+//! use frote_data::{csv, Dataset, Schema, Value};
+//! let schema = Schema::builder("y", vec!["no".into(), "yes".into()])
+//!     .numeric("age")
+//!     .categorical("job", vec!["eng".into(), "law".into()])
+//!     .build();
+//! let mut ds = Dataset::new(schema);
+//! ds.push_row(&[Value::Num(30.0), Value::Cat(1)], 0)?;
+//! let text = csv::to_string(&ds);
+//! let back = csv::from_str(&text)?;
+//! assert_eq!(back.n_rows(), 1);
+//! # Ok::<(), frote_data::DataError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::value::{FeatureKind, Value};
+
+/// Serializes a dataset to CSV text.
+pub fn to_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let schema = ds.schema();
+    for (j, f) in schema.features().iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let tag = if f.kind().is_numeric() { "num" } else { "cat" };
+        let _ = write!(out, "{}:{}", f.name(), tag);
+    }
+    if schema.n_features() > 0 {
+        out.push(',');
+    }
+    let _ = writeln!(out, "{}:label", schema.label_name());
+    for i in 0..ds.n_rows() {
+        for (j, f) in schema.features().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match (ds.value(i, j), f.kind()) {
+                (Value::Num(x), _) => {
+                    let _ = write!(out, "{x}");
+                }
+                (Value::Cat(c), FeatureKind::Categorical { categories }) => {
+                    out.push_str(&categories[c as usize]);
+                }
+                _ => unreachable!("column/schema mismatch"),
+            }
+        }
+        if schema.n_features() > 0 {
+            out.push(',');
+        }
+        let _ = writeln!(out, "{}", schema.class_name(ds.label(i)));
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] with line 0 describing the I/O failure (the
+/// crate keeps a single error type; I/O is only reachable through these two
+/// convenience functions).
+pub fn write_path(ds: &Dataset, path: impl AsRef<std::path::Path>) -> Result<(), DataError> {
+    std::fs::write(path, to_string(ds)).map_err(|e| DataError::Parse {
+        line: 0,
+        detail: format!("io error: {e}"),
+    })
+}
+
+/// Reads a dataset from a CSV file written by [`write_path`].
+///
+/// # Errors
+///
+/// As [`from_str`], plus an I/O error surfaced as [`DataError::Parse`] with
+/// line 0.
+pub fn read_path(path: impl AsRef<std::path::Path>) -> Result<Dataset, DataError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DataError::Parse {
+        line: 0,
+        detail: format!("io error: {e}"),
+    })?;
+    from_str(&text)
+}
+
+/// Parses CSV text produced by [`to_string`], rebuilding vocabularies in
+/// first-seen order.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] on malformed headers, wrong arity, or
+/// unparsable numeric cells.
+pub fn from_str(text: &str) -> Result<Dataset, DataError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or(DataError::Parse { line: 1, detail: "missing header".into() })?;
+
+    #[derive(Clone)]
+    enum ColSpec {
+        Num(String),
+        Cat(String),
+    }
+    let mut specs = Vec::new();
+    let mut label_name = None;
+    for part in header.split(',') {
+        let (name, tag) = part.rsplit_once(':').ok_or(DataError::Parse {
+            line: 1,
+            detail: format!("header field {part:?} missing :type tag"),
+        })?;
+        match tag {
+            "num" => specs.push(ColSpec::Num(name.to_string())),
+            "cat" => specs.push(ColSpec::Cat(name.to_string())),
+            "label" => label_name = Some(name.to_string()),
+            other => {
+                return Err(DataError::Parse {
+                    line: 1,
+                    detail: format!("unknown column tag {other:?}"),
+                })
+            }
+        }
+    }
+    let label_name =
+        label_name.ok_or(DataError::Parse { line: 1, detail: "missing label column".into() })?;
+    if !matches!(header.rsplit(',').next(), Some(last) if last.ends_with(":label")) {
+        return Err(DataError::Parse { line: 1, detail: "label column must be last".into() });
+    }
+
+    // First pass: collect vocabularies.
+    let mut vocabs: Vec<Vec<String>> = vec![Vec::new(); specs.len()];
+    let mut classes: Vec<String> = Vec::new();
+    let mut rows: Vec<(Vec<String>, String)> = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != specs.len() + 1 {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                detail: format!("expected {} cells, got {}", specs.len() + 1, cells.len()),
+            });
+        }
+        for (j, spec) in specs.iter().enumerate() {
+            if let ColSpec::Cat(_) = spec {
+                let s = cells[j].to_string();
+                if !vocabs[j].contains(&s) {
+                    vocabs[j].push(s);
+                }
+            }
+        }
+        let class = cells[specs.len()].to_string();
+        if !classes.contains(&class) {
+            classes.push(class.clone());
+        }
+        rows.push((cells[..specs.len()].iter().map(|s| s.to_string()).collect(), class));
+    }
+    if classes.len() < 2 {
+        // Schemas require two classes; pad with a synthetic unused class so
+        // degenerate single-class files still load.
+        classes.push("__other__".to_string());
+    }
+
+    let mut builder = Schema::builder(label_name, classes.clone());
+    for (j, spec) in specs.iter().enumerate() {
+        builder = match spec {
+            ColSpec::Num(name) => builder.numeric(name.clone()),
+            ColSpec::Cat(name) => builder.categorical(name.clone(), vocabs[j].clone()),
+        };
+    }
+    let schema = builder.build();
+    let class_of: HashMap<&str, u32> =
+        classes.iter().enumerate().map(|(i, c)| (c.as_str(), i as u32)).collect();
+
+    let mut ds = Dataset::new(schema);
+    for (lineno, (cells, class)) in rows.iter().enumerate() {
+        let mut row = Vec::with_capacity(specs.len());
+        for (j, spec) in specs.iter().enumerate() {
+            match spec {
+                ColSpec::Num(_) => {
+                    let x: f64 = cells[j].parse().map_err(|_| DataError::Parse {
+                        line: lineno + 2,
+                        detail: format!("bad numeric cell {:?}", cells[j]),
+                    })?;
+                    row.push(Value::Num(x));
+                }
+                ColSpec::Cat(_) => {
+                    let c = vocabs[j]
+                        .iter()
+                        .position(|v| v == &cells[j])
+                        .expect("vocab built in first pass");
+                    row.push(Value::Cat(c as u32));
+                }
+            }
+        }
+        ds.push_row(&row, class_of[class.as_str()])?;
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn demo() -> Dataset {
+        let schema = Schema::builder("y", vec!["no".into(), "yes".into()])
+            .numeric("age")
+            .categorical("job", vec!["eng".into(), "law".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(30.0), Value::Cat(1)], 0).unwrap();
+        ds.push_row(&[Value::Num(41.5), Value::Cat(0)], 1).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        let ds = demo();
+        let text = to_string(&ds);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.value(0, 0), Value::Num(30.0));
+        assert_eq!(back.schema().feature(1).name(), "job");
+        // Vocab is rebuilt in first-seen order: "law" first.
+        let kind = back.schema().feature(1).kind();
+        assert_eq!(kind.cardinality(), Some(2));
+        assert_eq!(back.label(1), back.schema().class_index("yes").unwrap());
+    }
+
+    #[test]
+    fn header_format() {
+        let text = to_string(&demo());
+        assert!(text.starts_with("age:num,job:cat,y:label\n"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str("").is_err());
+        assert!(from_str("a:num,b:wat,y:label\n").is_err());
+        assert!(from_str("a:num\n1.0\n").is_err()); // no label column
+        let bad_arity = "a:num,y:label\n1.0,x,extra\n";
+        assert!(matches!(from_str(bad_arity), Err(DataError::Parse { line: 2, .. })));
+        let bad_num = "a:num,y:label\nnot_a_number,x\n";
+        assert!(from_str(bad_num).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "a:num,y:label\n1.0,p\n\n2.0,q\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("frote-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.csv");
+        let ds = demo();
+        write_path(&ds, &path).unwrap();
+        let back = read_path(&path).unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.value(1, 0), ds.value(1, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        let err = read_path("/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 0, .. }));
+    }
+
+    #[test]
+    fn single_class_file_gets_padded_vocab() {
+        let text = "a:num,y:label\n1.0,only\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.schema().class_name(0), "only");
+    }
+}

@@ -1,0 +1,155 @@
+//! Feature encoding: standardized numeric + one-hot categorical.
+//!
+//! Linear models (`frote-ml::logreg`) and the online-learning selection proxy
+//! operate on dense `f64` vectors. [`Encoder`] fits column means/stds on a
+//! training dataset and then maps any schema-compatible row to a vector:
+//! numeric columns are z-scored (constant columns map to 0), categorical
+//! columns expand to one-hot blocks.
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+use crate::stats::NumericStats;
+use crate::value::{FeatureKind, Value};
+
+/// A fitted feature encoder. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    cols: Vec<ColEncoder>,
+    width: usize,
+}
+
+#[derive(Debug, Clone)]
+enum ColEncoder {
+    Numeric { mean: f64, std: f64 },
+    OneHot { cardinality: usize },
+}
+
+impl Encoder {
+    /// Fits an encoder to the columns of `ds`.
+    ///
+    /// Works on empty datasets too (numeric columns then standardize as
+    /// identity minus zero mean).
+    pub fn fit(ds: &Dataset) -> Encoder {
+        let mut cols = Vec::with_capacity(ds.n_features());
+        let mut width = 0;
+        for j in 0..ds.n_features() {
+            let enc = match (ds.column(j), ds.schema().feature(j).kind()) {
+                (Column::Numeric(v), _) => {
+                    let s = NumericStats::of(v);
+                    width += 1;
+                    ColEncoder::Numeric { mean: s.mean, std: s.std }
+                }
+                (Column::Categorical(_), FeatureKind::Categorical { categories }) => {
+                    width += categories.len();
+                    ColEncoder::OneHot { cardinality: categories.len() }
+                }
+                _ => unreachable!("dataset column/schema kind mismatch"),
+            };
+            cols.push(enc);
+        }
+        Encoder { cols, width }
+    }
+
+    /// Output vector width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes one row into `out`, which is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity or cell kinds do not match the fitted
+    /// dataset's schema.
+    pub fn encode_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        out.clear();
+        out.reserve(self.width);
+        for (enc, &v) in self.cols.iter().zip(row) {
+            match (enc, v) {
+                (ColEncoder::Numeric { mean, std }, Value::Num(x)) => {
+                    out.push(if *std > 0.0 { (x - mean) / std } else { x - mean });
+                }
+                (ColEncoder::OneHot { cardinality }, Value::Cat(c)) => {
+                    let start = out.len();
+                    out.resize(start + cardinality, 0.0);
+                    out[start + c as usize] = 1.0;
+                }
+                _ => panic!("row cell kind does not match encoder"),
+            }
+        }
+    }
+
+    /// Encodes one row into a fresh vector.
+    pub fn encode(&self, row: &[Value]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.encode_into(row, &mut out);
+        out
+    }
+
+    /// Encodes every row of `ds` as a dense row-major matrix.
+    pub fn encode_dataset(&self, ds: &Dataset) -> Vec<Vec<f64>> {
+        (0..ds.n_rows()).map(|i| self.encode(&ds.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn demo() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("c", vec!["u".into(), "v".into(), "w".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(1.0), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(3.0), Value::Cat(2)], 1).unwrap();
+        ds
+    }
+
+    #[test]
+    fn width_counts_onehot_blocks() {
+        let enc = Encoder::fit(&demo());
+        assert_eq!(enc.width(), 1 + 3);
+    }
+
+    #[test]
+    fn zscore_and_onehot() {
+        let ds = demo();
+        let enc = Encoder::fit(&ds);
+        let v = enc.encode(&ds.row(0));
+        // mean 2, std 1 -> z = -1
+        assert!((v[0] + 1.0).abs() < 1e-12);
+        assert_eq!(&v[1..], &[1.0, 0.0, 0.0]);
+        let v = enc.encode(&ds.row(1));
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert_eq!(&v[1..], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(5.0)], 0).unwrap();
+        ds.push_row(&[Value::Num(5.0)], 1).unwrap();
+        let enc = Encoder::fit(&ds);
+        assert_eq!(enc.encode(&ds.row(0)), vec![0.0]);
+    }
+
+    #[test]
+    fn encode_dataset_shape() {
+        let ds = demo();
+        let m = Encoder::fit(&ds).encode_dataset(&ds);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let enc = Encoder::fit(&demo());
+        enc.encode(&[Value::Num(0.0)]);
+    }
+}

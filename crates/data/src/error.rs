@@ -1,0 +1,68 @@
+//! Error type for the data crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by dataset construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A row's arity or cell types did not match the schema.
+    SchemaMismatch {
+        /// Human-readable detail of the mismatch.
+        detail: String,
+    },
+    /// A label index was outside the schema's class vocabulary.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// Number of classes in the schema.
+        n_classes: usize,
+    },
+    /// CSV parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Requested an operation on an empty dataset that requires rows.
+    EmptyDataset,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            DataError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            DataError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+        }
+    }
+}
+
+impl StdError for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DataError::LabelOutOfRange { label: 9, n_classes: 2 };
+        assert_eq!(e.to_string(), "label 9 out of range for 2 classes");
+        let e = DataError::SchemaMismatch { detail: "expected 3 cells, got 2".into() };
+        assert!(e.to_string().starts_with("schema mismatch"));
+        let e = DataError::Parse { line: 4, detail: "bad float".into() };
+        assert!(e.to_string().contains("line 4"));
+        assert_eq!(DataError::EmptyDataset.to_string(), "operation requires a non-empty dataset");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Train/test splitting utilities.
+//!
+//! The FROTE evaluation protocol (§5.1) splits the *outside-coverage*
+//! population 80/20 and then adds a `tcf` fraction of the coverage population
+//! to the training side. The generic index-level splitters live here; the
+//! coverage-aware protocol composition lives in `frote-eval`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// A pair of disjoint row-index sets describing a split.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplitIndices {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Materializes the two sides against `ds`.
+    pub fn apply(&self, ds: &Dataset) -> (Dataset, Dataset) {
+        (ds.gather(&self.train), ds.gather(&self.test))
+    }
+}
+
+/// Randomly splits `indices` so that a `train_fraction` share lands in the
+/// training side.
+///
+/// The incoming order does not matter; the split is a fresh shuffle driven by
+/// `rng`. `train_fraction` is clamped to `[0, 1]`.
+pub fn split_indices<R: Rng + ?Sized>(
+    indices: &[usize],
+    train_fraction: f64,
+    rng: &mut R,
+) -> SplitIndices {
+    let f = train_fraction.clamp(0.0, 1.0);
+    let mut shuffled = indices.to_vec();
+    shuffled.shuffle(rng);
+    let n_train = (f * shuffled.len() as f64).round() as usize;
+    let n_train = n_train.min(shuffled.len());
+    let test = shuffled.split_off(n_train);
+    SplitIndices { train: shuffled, test }
+}
+
+/// Randomly splits all rows of `ds` with the given train fraction.
+pub fn train_test_split<R: Rng + ?Sized>(
+    ds: &Dataset,
+    train_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    let all: Vec<usize> = (0..ds.n_rows()).collect();
+    split_indices(&all, train_fraction, rng).apply(ds)
+}
+
+/// Stratified split: preserves per-class proportions on both sides.
+///
+/// Each class's rows are shuffled and split independently, so small classes
+/// are represented on both sides whenever they have at least two rows.
+pub fn stratified_split<R: Rng + ?Sized>(
+    ds: &Dataset,
+    train_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    let mut split = SplitIndices::default();
+    for class in 0..ds.n_classes() as u32 {
+        let class_rows = ds.indices_of_class(class);
+        let s = split_indices(&class_rows, train_fraction, rng);
+        split.train.extend(s.train);
+        split.test.extend(s.test);
+    }
+    split.train.shuffle(rng);
+    split.test.shuffle(rng);
+    split.apply(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo(n: usize) -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..n {
+            ds.push_row(&[Value::Num(i as f64)], (i % 4 == 0) as u32).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn split_sizes() {
+        let ds = demo(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, te) = train_test_split(&ds, 0.8, &mut rng);
+        assert_eq!(tr.n_rows(), 80);
+        assert_eq!(te.n_rows(), 20);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = demo(37);
+        let mut rng = StdRng::seed_from_u64(2);
+        let all: Vec<usize> = (0..ds.n_rows()).collect();
+        let s = split_indices(&all, 0.6, &mut rng);
+        let mut merged = s.train.clone();
+        merged.extend(&s.test);
+        merged.sort_unstable();
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let ds = demo(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (tr, te) = train_test_split(&ds, 0.0, &mut rng);
+        assert_eq!((tr.n_rows(), te.n_rows()), (0, 10));
+        let (tr, te) = train_test_split(&ds, 1.0, &mut rng);
+        assert_eq!((tr.n_rows(), te.n_rows()), (10, 0));
+        // Out-of-range fractions are clamped rather than panicking.
+        let (tr, _) = train_test_split(&ds, 1.7, &mut rng);
+        assert_eq!(tr.n_rows(), 10);
+    }
+
+    #[test]
+    fn stratified_preserves_class_presence() {
+        let ds = demo(40); // 10 of class 1, 30 of class 0
+        let mut rng = StdRng::seed_from_u64(4);
+        let (tr, te) = stratified_split(&ds, 0.5, &mut rng);
+        assert_eq!(tr.n_rows() + te.n_rows(), 40);
+        assert!(tr.class_counts()[1] > 0);
+        assert!(te.class_counts()[1] > 0);
+        // Proportions preserved exactly for round numbers.
+        assert_eq!(tr.class_counts(), vec![15, 5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = demo(25);
+        let s1 = split_indices(&(0..25).collect::<Vec<_>>(), 0.8, &mut StdRng::seed_from_u64(9));
+        let s2 = split_indices(&(0..25).collect::<Vec<_>>(), 0.8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(s1, s2);
+        let _ = ds;
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-column statistics used by encoders, distances, and generators.
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+
+/// Summary statistics of a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl NumericStats {
+    /// Computes stats over a slice.
+    ///
+    /// Returns a zeroed struct for an empty slice.
+    pub fn of(values: &[f64]) -> NumericStats {
+        if values.is_empty() {
+            return NumericStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in values {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        let mean = sum / values.len() as f64;
+        let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
+        NumericStats { min, max, mean, std: var.sqrt() }
+    }
+
+    /// The value range `max - min`.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Frequency table of a categorical column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoricalStats {
+    counts: Vec<usize>,
+}
+
+impl CategoricalStats {
+    /// Computes category counts over a slice, with `cardinality` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= cardinality`.
+    pub fn of(values: &[u32], cardinality: usize) -> CategoricalStats {
+        let mut counts = vec![0usize; cardinality];
+        for &c in values {
+            counts[c as usize] += 1;
+        }
+        CategoricalStats { counts }
+    }
+
+    /// Per-category counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The most frequent category (ties to the lowest index), or `None` for
+    /// an empty vocabulary.
+    pub fn mode(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Statistics for all columns of a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    numeric: Vec<Option<NumericStats>>,
+}
+
+impl DatasetStats {
+    /// Computes numeric stats per column (categorical columns get `None`).
+    pub fn of(ds: &Dataset) -> DatasetStats {
+        let numeric = (0..ds.n_features())
+            .map(|j| match ds.column(j) {
+                Column::Numeric(v) => Some(NumericStats::of(v)),
+                Column::Categorical(_) => None,
+            })
+            .collect();
+        DatasetStats { numeric }
+    }
+
+    /// Numeric stats of column `j`, if numeric.
+    pub fn numeric(&self, j: usize) -> Option<&NumericStats> {
+        self.numeric.get(j).and_then(|s| s.as_ref())
+    }
+
+    /// Median of the standard deviations of all numeric columns (the
+    /// SMOTE-NC nominal-mismatch penalty), or 0 when there are none.
+    pub fn median_numeric_std(&self) -> f64 {
+        let mut stds: Vec<f64> =
+            self.numeric.iter().flatten().map(|s| s.std).collect();
+        if stds.is_empty() {
+            return 0.0;
+        }
+        stds.sort_by(|a, b| a.partial_cmp(b).expect("std is never NaN"));
+        let n = stds.len();
+        if n % 2 == 1 {
+            stds[n / 2]
+        } else {
+            0.5 * (stds[n / 2 - 1] + stds[n / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schema, Value};
+
+    #[test]
+    fn numeric_stats_basic() {
+        let s = NumericStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.range(), 3.0);
+    }
+
+    #[test]
+    fn numeric_stats_empty() {
+        let s = NumericStats::of(&[]);
+        assert_eq!(s, NumericStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 });
+    }
+
+    #[test]
+    fn categorical_mode() {
+        let s = CategoricalStats::of(&[0, 1, 1, 2, 1], 3);
+        assert_eq!(s.counts(), &[1, 3, 1]);
+        assert_eq!(s.mode(), Some(1));
+        let tie = CategoricalStats::of(&[0, 1], 2);
+        assert_eq!(tie.mode(), Some(0));
+    }
+
+    #[test]
+    fn dataset_stats_skips_categorical() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("c", vec!["u".into(), "v".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(2.0), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(4.0), Value::Cat(1)], 1).unwrap();
+        let st = DatasetStats::of(&ds);
+        assert!(st.numeric(0).is_some());
+        assert!(st.numeric(1).is_none());
+        assert_eq!(st.numeric(0).unwrap().mean, 3.0);
+    }
+
+    #[test]
+    fn median_std_odd_even() {
+        // Single numeric column -> its own std.
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(0.0)], 0).unwrap();
+        ds.push_row(&[Value::Num(2.0)], 1).unwrap();
+        let st = DatasetStats::of(&ds);
+        assert!((st.median_numeric_std() - 1.0).abs() < 1e-12);
+
+        // No numeric columns -> 0.
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("c", vec!["u".into(), "v".into()])
+            .build();
+        let ds = Dataset::new(schema);
+        assert_eq!(DatasetStats::of(&ds).median_numeric_std(), 0.0);
+    }
+}

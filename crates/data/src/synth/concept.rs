@@ -1,0 +1,247 @@
+//! Planted labelling concepts: ordered rule lists over raw feature values.
+//!
+//! A [`PlantedConcept`] is a first-match-wins decision list. It is *not* the
+//! user-facing feedback-rule machinery (that lives in `frote-rules`, above
+//! this crate); it is only the ground truth that gives synthetic data
+//! learnable structure.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A primitive condition on one feature, evaluated on raw values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConceptCond {
+    /// Numeric feature `feature` is `< threshold`.
+    NumLt {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Numeric feature `feature` is `>= threshold`.
+    NumGe {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Categorical feature `feature` equals `category`.
+    CatEq {
+        /// Feature index.
+        feature: usize,
+        /// Category index.
+        category: u32,
+    },
+    /// Categorical feature `feature` is one of `categories` (small set).
+    CatIn {
+        /// Feature index.
+        feature: usize,
+        /// Allowed category indices.
+        categories: [u32; 2],
+    },
+}
+
+impl ConceptCond {
+    /// Evaluates the condition on a row.
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match *self {
+            ConceptCond::NumLt { feature, threshold } => row[feature].expect_num() < threshold,
+            ConceptCond::NumGe { feature, threshold } => row[feature].expect_num() >= threshold,
+            ConceptCond::CatEq { feature, category } => row[feature].expect_cat() == category,
+            ConceptCond::CatIn { feature, categories } => {
+                categories.contains(&row[feature].expect_cat())
+            }
+        }
+    }
+
+    fn feature(&self) -> usize {
+        match *self {
+            ConceptCond::NumLt { feature, .. }
+            | ConceptCond::NumGe { feature, .. }
+            | ConceptCond::CatEq { feature, .. }
+            | ConceptCond::CatIn { feature, .. } => feature,
+        }
+    }
+}
+
+/// One rule of a planted concept: a conjunction of conditions and the class
+/// it assigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptRule {
+    conds: Vec<ConceptCond>,
+    class: u32,
+}
+
+impl ConceptRule {
+    /// Creates a rule from conditions and a class.
+    pub fn new(conds: Vec<ConceptCond>, class: u32) -> Self {
+        ConceptRule { conds, class }
+    }
+
+    /// The class this rule assigns.
+    pub fn class(&self) -> u32 {
+        self.class
+    }
+
+    /// Whether the row satisfies all conditions.
+    pub fn matches(&self, row: &[Value]) -> bool {
+        self.conds.iter().all(|c| c.eval(row))
+    }
+}
+
+/// A first-match-wins decision list plus default class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedConcept {
+    rules: Vec<ConceptRule>,
+    default_class: u32,
+}
+
+impl PlantedConcept {
+    /// Creates a concept.
+    pub fn new(rules: Vec<ConceptRule>, default_class: u32) -> Self {
+        PlantedConcept { rules, default_class }
+    }
+
+    /// Rules in evaluation order.
+    pub fn rules(&self) -> &[ConceptRule] {
+        &self.rules
+    }
+
+    /// The default class for rows no rule matches.
+    pub fn default_class(&self) -> u32 {
+        self.default_class
+    }
+
+    /// A copy with rule `index`'s class changed — simulates a policy change
+    /// (the paper's premise: "the distribution of future data is different
+    /// ... due to a policy change"). Generate a dataset with the edited
+    /// concept to obtain post-change data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_rule_class(&self, index: usize, class: u32) -> PlantedConcept {
+        let mut rules = self.rules.clone();
+        rules[index] = ConceptRule::new(rules[index].conds.clone(), class);
+        PlantedConcept { rules, default_class: self.default_class }
+    }
+
+    /// A copy with a different default class.
+    pub fn with_default_class(&self, class: u32) -> PlantedConcept {
+        PlantedConcept { rules: self.rules.clone(), default_class: class }
+    }
+
+    /// Labels a row.
+    pub fn label(&self, row: &[Value]) -> u32 {
+        for rule in &self.rules {
+            if rule.matches(row) {
+                return rule.class;
+            }
+        }
+        self.default_class
+    }
+
+    /// Validates feature indices and classes against a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a condition references a feature index outside the schema,
+    /// mismatches its kind, or a class exceeds the schema's class count.
+    pub fn validate(&self, schema: &Schema) {
+        let n_classes = schema.n_classes() as u32;
+        assert!(self.default_class < n_classes, "default class out of range");
+        for rule in &self.rules {
+            assert!(rule.class < n_classes, "rule class out of range");
+            for cond in &rule.conds {
+                let j = cond.feature();
+                assert!(j < schema.n_features(), "condition references feature {j}");
+                let kind = schema.feature(j).kind();
+                match cond {
+                    ConceptCond::NumLt { .. } | ConceptCond::NumGe { .. } => {
+                        assert!(kind.is_numeric(), "numeric condition on categorical feature {j}")
+                    }
+                    ConceptCond::CatEq { .. } | ConceptCond::CatIn { .. } => assert!(
+                        kind.is_categorical(),
+                        "categorical condition on numeric feature {j}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder("y", vec!["a".into(), "b".into(), "c".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into(), "r".into()])
+            .build()
+    }
+
+    fn concept() -> PlantedConcept {
+        PlantedConcept::new(
+            vec![
+                ConceptRule::new(
+                    vec![
+                        ConceptCond::NumGe { feature: 0, threshold: 10.0 },
+                        ConceptCond::CatEq { feature: 1, category: 1 },
+                    ],
+                    2,
+                ),
+                ConceptRule::new(vec![ConceptCond::NumLt { feature: 0, threshold: 0.0 }], 1),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let c = concept();
+        assert_eq!(c.label(&[Value::Num(12.0), Value::Cat(1)]), 2);
+        assert_eq!(c.label(&[Value::Num(-5.0), Value::Cat(1)]), 1);
+        assert_eq!(c.label(&[Value::Num(5.0), Value::Cat(0)]), 0);
+    }
+
+    #[test]
+    fn cat_in_matches_set() {
+        let cond = ConceptCond::CatIn { feature: 1, categories: [0, 2] };
+        assert!(cond.eval(&[Value::Num(0.0), Value::Cat(2)]));
+        assert!(!cond.eval(&[Value::Num(0.0), Value::Cat(1)]));
+    }
+
+    #[test]
+    fn validate_accepts_good_concept() {
+        concept().validate(&schema());
+    }
+
+    #[test]
+    #[should_panic(expected = "references feature")]
+    fn validate_rejects_bad_feature() {
+        let c = PlantedConcept::new(
+            vec![ConceptRule::new(vec![ConceptCond::NumLt { feature: 9, threshold: 0.0 }], 0)],
+            0,
+        );
+        c.validate(&schema());
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric condition on categorical")]
+    fn validate_rejects_kind_mismatch() {
+        let c = PlantedConcept::new(
+            vec![ConceptRule::new(vec![ConceptCond::NumLt { feature: 1, threshold: 0.0 }], 0)],
+            0,
+        );
+        c.validate(&schema());
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn validate_rejects_bad_class() {
+        let c = PlantedConcept::new(vec![], 9);
+        c.validate(&schema());
+    }
+}

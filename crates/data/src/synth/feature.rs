@@ -1,0 +1,169 @@
+//! Per-feature value samplers.
+
+use rand::Rng;
+
+use crate::value::Value;
+
+/// A sampler for one feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureGen {
+    /// Mixture of Gaussians: component `i` has weight `weights[i]`, mean
+    /// `means[i]`, standard deviation `stds[i]`. Weights need not be
+    /// normalized.
+    GaussianMixture {
+        /// Component weights (unnormalized).
+        weights: Vec<f64>,
+        /// Component means.
+        means: Vec<f64>,
+        /// Component standard deviations.
+        stds: Vec<f64>,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Categorical over indices `0..weights.len()` with the given
+    /// (unnormalized) weights.
+    Categorical {
+        /// Per-category weights (unnormalized).
+        weights: Vec<f64>,
+    },
+}
+
+impl FeatureGen {
+    /// A single Gaussian.
+    pub fn gaussian(mean: f64, std: f64) -> FeatureGen {
+        FeatureGen::GaussianMixture { weights: vec![1.0], means: vec![mean], stds: vec![std] }
+    }
+
+    /// A uniform categorical over `k` values.
+    pub fn uniform_categorical(k: usize) -> FeatureGen {
+        FeatureGen::Categorical { weights: vec![1.0; k] }
+    }
+
+    /// Draws one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mixture/categorical has no components or non-positive
+    /// total weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        match self {
+            FeatureGen::GaussianMixture { weights, means, stds } => {
+                let k = pick_weighted(weights, rng);
+                Value::Num(means[k] + stds[k] * gaussian_unit(rng))
+            }
+            FeatureGen::Uniform { lo, hi } => Value::Num(rng.random_range(*lo..*hi)),
+            FeatureGen::Categorical { weights } => {
+                Value::Cat(pick_weighted(weights, rng) as u32)
+            }
+        }
+    }
+
+    /// Whether this generator produces numeric values.
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, FeatureGen::Categorical { .. })
+    }
+}
+
+/// Samples an index proportional to `weights`.
+fn pick_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "weighted pick over empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted pick needs positive total weight");
+    let mut t = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone has no normal
+/// distribution; `rand_distr` is not in the offline set).
+fn gaussian_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_roughly_match() {
+        let g = FeatureGen::gaussian(5.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng).expect_num()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let g = FeatureGen::Uniform { lo: -1.0, hi: 3.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = g.sample(&mut rng).expect_num();
+            assert!((-1.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let g = FeatureGen::Categorical { weights: vec![1.0, 3.0] };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| g.sample(&mut rng).expect_cat() == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn uniform_categorical_covers_all() {
+        let g = FeatureGen::uniform_categorical(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[g.sample(&mut rng).expect_cat() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mixture_picks_both_modes() {
+        let g = FeatureGen::GaussianMixture {
+            weights: vec![1.0, 1.0],
+            means: vec![-10.0, 10.0],
+            stds: vec![0.5, 0.5],
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            if g.sample(&mut rng).expect_num() < 0.0 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 300 && hi > 300, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn empty_weights_panic() {
+        let g = FeatureGen::Categorical { weights: vec![] };
+        let mut rng = StdRng::seed_from_u64(6);
+        g.sample(&mut rng);
+    }
+}

@@ -1,0 +1,488 @@
+//! Per-dataset generator specs matching the paper's Table 1 schemas.
+//!
+//! Feature names follow the real UCI datasets where practical; vocabularies
+//! use the real category names for the well-known columns and generic
+//! `v0..vk` names elsewhere. The planted concepts are hand-designed decision
+//! lists that give each dataset non-trivial, model-learnable class structure
+//! touching both numeric and nominal features.
+
+use super::concept::{ConceptCond, ConceptRule, PlantedConcept};
+use super::feature::FeatureGen;
+use super::SynthSpec;
+use crate::schema::Schema;
+
+fn vocab(prefix: &str, k: usize) -> Vec<String> {
+    (0..k).map(|i| format!("{prefix}{i}")).collect()
+}
+
+fn skewed_weights(k: usize, decay: f64) -> Vec<f64> {
+    (0..k).map(|i| decay.powi(i as i32)).collect()
+}
+
+/// Adult census income: 4 numeric + 8 nominal, 2 classes, 45222 rows.
+pub(super) fn adult() -> SynthSpec {
+    let schema = Schema::builder("income", vec!["<=50K".into(), ">50K".into()])
+        .numeric("age")
+        .numeric("education-num")
+        .numeric("capital-gain")
+        .numeric("hours-per-week")
+        .categorical("workclass", vocab("work", 7))
+        .categorical("education", vocab("edu", 8))
+        .categorical(
+            "marital-status",
+            vec!["single".into(), "married".into(), "divorced".into(), "widowed".into()],
+        )
+        .categorical("occupation", vocab("occ", 10))
+        .categorical("relationship", vocab("rel", 6))
+        .categorical("race", vocab("race", 5))
+        .categorical("sex", vec!["female".into(), "male".into()])
+        .categorical("native-country", vocab("country", 10))
+        .build();
+    let gens = vec![
+        FeatureGen::GaussianMixture {
+            weights: vec![2.0, 1.0],
+            means: vec![34.0, 52.0],
+            stds: vec![8.0, 9.0],
+        },
+        FeatureGen::GaussianMixture {
+            weights: vec![3.0, 1.0],
+            means: vec![9.5, 14.0],
+            stds: vec![2.0, 1.5],
+        },
+        FeatureGen::GaussianMixture {
+            weights: vec![9.0, 1.0],
+            means: vec![0.0, 12_000.0],
+            stds: vec![500.0, 4_000.0],
+        },
+        FeatureGen::gaussian(40.0, 10.0),
+        FeatureGen::Categorical { weights: skewed_weights(7, 0.6) },
+        FeatureGen::Categorical { weights: skewed_weights(8, 0.7) },
+        FeatureGen::Categorical { weights: vec![3.0, 4.0, 2.0, 1.0] },
+        FeatureGen::Categorical { weights: skewed_weights(10, 0.8) },
+        FeatureGen::Categorical { weights: skewed_weights(6, 0.7) },
+        FeatureGen::Categorical { weights: skewed_weights(5, 0.4) },
+        FeatureGen::Categorical { weights: vec![1.0, 1.4] },
+        FeatureGen::Categorical { weights: skewed_weights(10, 0.5) },
+    ];
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 2, threshold: 6_000.0 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 1, threshold: 12.5 },
+                    ConceptCond::CatEq { feature: 6, category: 1 },
+                    ConceptCond::NumGe { feature: 3, threshold: 38.0 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 0, threshold: 45.0 },
+                    ConceptCond::NumGe { feature: 1, threshold: 10.0 },
+                    ConceptCond::CatIn { feature: 4, categories: [0, 1] },
+                ],
+                1,
+            ),
+        ],
+        0,
+    );
+    SynthSpec::new(schema, gens, concept, 45222)
+}
+
+/// Breast Cancer (diagnostic): 30 numeric features, 2 classes, 569 rows.
+pub(super) fn breast_cancer() -> SynthSpec {
+    let stems = ["radius", "texture", "perimeter", "area", "smoothness", "compactness",
+        "concavity", "concave-points", "symmetry", "fractal-dim"];
+    let suffixes = ["mean", "se", "worst"];
+    let mut builder = Schema::builder("diagnosis", vec!["benign".into(), "malignant".into()]);
+    for suffix in suffixes {
+        for stem in stems {
+            builder = builder.numeric(format!("{stem}-{suffix}"));
+        }
+    }
+    let schema = builder.build();
+    let mut gens = Vec::with_capacity(30);
+    for j in 0..30 {
+        // Two sub-populations with overlapping feature distributions; the
+        // first ten ("mean") features carry the most signal.
+        let base = 10.0 + j as f64;
+        gens.push(FeatureGen::GaussianMixture {
+            weights: vec![1.7, 1.0],
+            means: vec![base, base + 4.0],
+            stds: vec![2.0, 2.5],
+        });
+    }
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 0, threshold: 13.0 },
+                    ConceptCond::NumGe { feature: 3, threshold: 15.5 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 6, threshold: 18.5 },
+                    ConceptCond::NumGe { feature: 1, threshold: 12.0 },
+                ],
+                1,
+            ),
+        ],
+        0,
+    );
+    SynthSpec::new(schema, gens, concept, 569)
+}
+
+/// Nursery: 8 nominal features, 4 classes, 12958 rows.
+pub(super) fn nursery() -> SynthSpec {
+    let schema = Schema::builder(
+        "recommendation",
+        vec!["not_recom".into(), "priority".into(), "spec_prior".into(), "very_recom".into()],
+    )
+    .categorical("parents", vec!["usual".into(), "pretentious".into(), "great_pret".into()])
+    .categorical("has_nurs", vocab("nurs", 5))
+    .categorical("form", vocab("form", 4))
+    .categorical("children", vec!["1".into(), "2".into(), "3".into(), "more".into()])
+    .categorical("housing", vocab("housing", 3))
+    .categorical("finance", vec!["convenient".into(), "inconv".into()])
+    .categorical("social", vocab("social", 3))
+    .categorical("health", vec!["recommended".into(), "priority".into(), "not_recom".into()])
+    .build();
+    let gens = vec![
+        FeatureGen::uniform_categorical(3),
+        FeatureGen::Categorical { weights: skewed_weights(5, 0.8) },
+        FeatureGen::uniform_categorical(4),
+        FeatureGen::Categorical { weights: vec![2.0, 2.0, 1.0, 1.0] },
+        FeatureGen::uniform_categorical(3),
+        FeatureGen::uniform_categorical(2),
+        FeatureGen::uniform_categorical(3),
+        FeatureGen::uniform_categorical(3),
+    ];
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(vec![ConceptCond::CatEq { feature: 7, category: 2 }], 0),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 7, category: 0 },
+                    ConceptCond::CatIn { feature: 0, categories: [0, 1] },
+                    ConceptCond::CatIn { feature: 6, categories: [0, 1] },
+                ],
+                3,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 1, category: 4 },
+                    ConceptCond::CatEq { feature: 5, category: 1 },
+                ],
+                2,
+            ),
+            ConceptRule::new(vec![ConceptCond::CatIn { feature: 1, categories: [3, 4] }], 2),
+        ],
+        1,
+    );
+    SynthSpec::new(schema, gens, concept, 12958)
+}
+
+/// Wine Quality (white): 11 numeric features, 7 classes, 4898 rows.
+pub(super) fn wine_quality() -> SynthSpec {
+    let names = ["fixed-acidity", "volatile-acidity", "citric-acid", "residual-sugar",
+        "chlorides", "free-so2", "total-so2", "density", "ph", "sulphates", "alcohol"];
+    let mut builder =
+        Schema::builder("quality", (3..=9).map(|q| q.to_string()).collect());
+    for n in names {
+        builder = builder.numeric(n);
+    }
+    let schema = builder.build();
+    let params: [(f64, f64); 11] = [
+        (6.9, 0.8),
+        (0.28, 0.1),
+        (0.33, 0.12),
+        (6.4, 5.0),
+        (0.046, 0.02),
+        (35.0, 17.0),
+        (138.0, 42.0),
+        (0.994, 0.003),
+        (3.19, 0.15),
+        (0.49, 0.11),
+        (10.5, 1.2),
+    ];
+    let gens = params.iter().map(|&(m, s)| FeatureGen::gaussian(m, s)).collect();
+    // Quality tiers driven mostly by alcohol (feature 10) and volatile
+    // acidity (feature 1), echoing the real dataset's dominant correlates.
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 10, threshold: 12.6 },
+                    ConceptCond::NumLt { feature: 1, threshold: 0.25 },
+                ],
+                6,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 10, threshold: 12.0 },
+                    ConceptCond::NumLt { feature: 1, threshold: 0.32 },
+                ],
+                5,
+            ),
+            ConceptRule::new(vec![ConceptCond::NumGe { feature: 10, threshold: 11.0 }], 4),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumLt { feature: 10, threshold: 9.2 },
+                    ConceptCond::NumGe { feature: 1, threshold: 0.38 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumLt { feature: 10, threshold: 8.8 },
+                    ConceptCond::NumGe { feature: 4, threshold: 0.07 },
+                ],
+                0,
+            ),
+            ConceptRule::new(vec![ConceptCond::NumLt { feature: 10, threshold: 9.8 }], 2),
+        ],
+        3,
+    );
+    SynthSpec::new(schema, gens, concept, 4898)
+}
+
+/// Mushroom: 21 nominal features, 2 classes, 8124 rows.
+pub(super) fn mushroom() -> SynthSpec {
+    let cards = [6usize, 4, 10, 2, 9, 2, 2, 2, 12, 2, 5, 4, 4, 9, 9, 4, 3, 5, 9, 6, 7];
+    let names = ["cap-shape", "cap-surface", "cap-color", "bruises", "odor", "gill-attachment",
+        "gill-spacing", "gill-size", "gill-color", "stalk-shape", "stalk-root",
+        "stalk-surface-above", "stalk-surface-below", "stalk-color-above", "stalk-color-below",
+        "veil-color", "ring-number", "ring-type", "spore-print-color", "population", "habitat"];
+    let mut builder = Schema::builder("class", vec!["edible".into(), "poisonous".into()]);
+    for (name, &k) in names.iter().zip(&cards) {
+        builder = builder.categorical(*name, vocab(&format!("{name}-"), k));
+    }
+    let schema = builder.build();
+    let gens = cards
+        .iter()
+        .map(|&k| FeatureGen::Categorical { weights: skewed_weights(k, 0.75) })
+        .collect();
+    // Odor (feature 4) nearly determines edibility in the real dataset.
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(vec![ConceptCond::CatIn { feature: 4, categories: [3, 4] }], 1),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 18, category: 2 },
+                    ConceptCond::CatEq { feature: 7, category: 1 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatIn { feature: 4, categories: [0, 1] },
+                    ConceptCond::CatEq { feature: 3, category: 1 },
+                ],
+                0,
+            ),
+            ConceptRule::new(vec![ConceptCond::CatIn { feature: 19, categories: [4, 5] }], 1),
+        ],
+        0,
+    );
+    SynthSpec::new(schema, gens, concept, 8124)
+}
+
+/// Contraceptive method choice: 2 numeric + 7 nominal, 3 classes, 1473 rows.
+pub(super) fn contraceptive() -> SynthSpec {
+    let schema = Schema::builder(
+        "method",
+        vec!["none".into(), "long-term".into(), "short-term".into()],
+    )
+    .numeric("wife-age")
+    .numeric("n-children")
+    .categorical("wife-education", vocab("wedu", 4))
+    .categorical("husband-education", vocab("hedu", 4))
+    .categorical("wife-religion", vec!["non-islam".into(), "islam".into()])
+    .categorical("wife-working", vec!["yes".into(), "no".into()])
+    .categorical("husband-occupation", vocab("hocc", 4))
+    .categorical("living-standard", vocab("std", 4))
+    .categorical("media-exposure", vec!["good".into(), "not-good".into()])
+    .build();
+    let gens = vec![
+        FeatureGen::gaussian(32.5, 8.2),
+        FeatureGen::GaussianMixture {
+            weights: vec![1.0, 1.0],
+            means: vec![1.5, 5.0],
+            stds: vec![1.0, 2.0],
+        },
+        FeatureGen::Categorical { weights: vec![1.0, 2.0, 3.0, 4.0] },
+        FeatureGen::Categorical { weights: vec![1.0, 2.0, 3.0, 5.0] },
+        FeatureGen::Categorical { weights: vec![1.0, 5.0] },
+        FeatureGen::Categorical { weights: vec![1.0, 3.0] },
+        FeatureGen::uniform_categorical(4),
+        FeatureGen::Categorical { weights: vec![1.0, 2.0, 3.0, 4.0] },
+        FeatureGen::Categorical { weights: vec![12.0, 1.0] },
+    ];
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumLt { feature: 1, threshold: 0.5 },
+                ],
+                0,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::NumGe { feature: 0, threshold: 38.0 },
+                    ConceptCond::NumGe { feature: 1, threshold: 3.0 },
+                ],
+                1,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 2, category: 3 },
+                    ConceptCond::NumLt { feature: 0, threshold: 34.0 },
+                ],
+                2,
+            ),
+            ConceptRule::new(vec![ConceptCond::CatEq { feature: 8, category: 1 }], 0),
+        ],
+        2,
+    );
+    SynthSpec::new(schema, gens, concept, 1473)
+}
+
+/// Car evaluation: 6 nominal features, 4 classes, 1728 rows.
+pub(super) fn car() -> SynthSpec {
+    let schema = Schema::builder(
+        "acceptability",
+        vec!["unacc".into(), "acc".into(), "good".into(), "vgood".into()],
+    )
+    .categorical("buying", vec!["vhigh".into(), "high".into(), "med".into(), "low".into()])
+    .categorical("maint", vec!["vhigh".into(), "high".into(), "med".into(), "low".into()])
+    .categorical("doors", vec!["2".into(), "3".into(), "4".into(), "5more".into()])
+    .categorical("persons", vec!["2".into(), "4".into(), "more".into()])
+    .categorical("lug_boot", vec!["small".into(), "med".into(), "big".into()])
+    .categorical("safety", vec!["low".into(), "med".into(), "high".into()])
+    .build();
+    let gens = vec![
+        FeatureGen::uniform_categorical(4),
+        FeatureGen::uniform_categorical(4),
+        FeatureGen::uniform_categorical(4),
+        FeatureGen::uniform_categorical(3),
+        FeatureGen::uniform_categorical(3),
+        FeatureGen::uniform_categorical(3),
+    ];
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(vec![ConceptCond::CatEq { feature: 5, category: 0 }], 0),
+            ConceptRule::new(vec![ConceptCond::CatEq { feature: 3, category: 0 }], 0),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 5, category: 2 },
+                    ConceptCond::CatIn { feature: 0, categories: [2, 3] },
+                    ConceptCond::CatIn { feature: 1, categories: [2, 3] },
+                ],
+                3,
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 5, category: 2 },
+                    ConceptCond::CatIn { feature: 0, categories: [1, 2] },
+                ],
+                2,
+            ),
+            ConceptRule::new(vec![ConceptCond::CatIn { feature: 0, categories: [0, 1] }], 0),
+        ],
+        1,
+    );
+    SynthSpec::new(schema, gens, concept, 1728)
+}
+
+/// Splice-junction sequences: 60 nominal (A/C/G/T) features, 3 classes, 3190 rows.
+pub(super) fn splice() -> SynthSpec {
+    let bases = vec!["A".to_string(), "C".to_string(), "G".to_string(), "T".to_string()];
+    let mut builder =
+        Schema::builder("junction", vec!["EI".into(), "IE".into(), "N".into()]);
+    for pos in 0..60 {
+        builder = builder.categorical(format!("p{}", pos as i32 - 30), bases.clone());
+    }
+    let schema = builder.build();
+    let gens = (0..60).map(|_| FeatureGen::uniform_categorical(4)).collect();
+    // Donor (GT after position 0) and acceptor (AG before position 0) motifs,
+    // mirroring the real biology the dataset encodes. Feature 30 is position
+    // "+0" in the naming above.
+    let concept = PlantedConcept::new(
+        vec![
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 30, category: 2 }, // G
+                    ConceptCond::CatEq { feature: 31, category: 3 }, // T
+                ],
+                0, // EI (donor)
+            ),
+            ConceptRule::new(
+                vec![
+                    ConceptCond::CatEq { feature: 28, category: 0 }, // A
+                    ConceptCond::CatEq { feature: 29, category: 2 }, // G
+                ],
+                1, // IE (acceptor)
+            ),
+        ],
+        2, // N
+    );
+    SynthSpec::new(schema, gens, concept, 3190)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn all_specs_validate_against_their_schemas() {
+        // SynthSpec::new panics on invalid specs; constructing is the test.
+        let _ = adult();
+        let _ = breast_cancer();
+        let _ = nursery();
+        let _ = wine_quality();
+        let _ = mushroom();
+        let _ = contraceptive();
+        let _ = car();
+        let _ = splice();
+    }
+
+    #[test]
+    fn adult_concept_has_minority_high_income() {
+        let ds = adult().generate(&SynthConfig { n_rows: 4000, ..Default::default() });
+        let counts = ds.class_counts();
+        assert!(counts[1] > 100, "high-income class too rare: {counts:?}");
+        assert!(counts[0] > counts[1], "low income should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn splice_motifs_drive_labels() {
+        let spec = splice();
+        let ds = spec.generate(&SynthConfig { n_rows: 2000, noise: 0.0, ..Default::default() });
+        // Rows labelled EI must carry the GT motif.
+        for i in 0..ds.n_rows() {
+            if ds.label(i) == 0 {
+                assert_eq!(ds.value(i, 30).expect_cat(), 2);
+                assert_eq!(ds.value(i, 31).expect_cat(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn car_unacceptable_on_low_safety() {
+        let spec = car();
+        let ds = spec.generate(&SynthConfig { n_rows: 1000, noise: 0.0, ..Default::default() });
+        for i in 0..ds.n_rows() {
+            if ds.value(i, 5).expect_cat() == 0 {
+                assert_eq!(ds.label(i), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper table/figure. Each experiment returns rendered text
+//! (and structured data where useful); `frote-bench` exposes one binary per
+//! experiment.
+
+pub mod benefit;
+pub mod overlay_cmp;
+pub mod probabilistic;
+pub mod progress;
+pub mod rule_count;
+pub mod selection_cmp;
+pub mod table1;

@@ -1,0 +1,225 @@
+//! Tables 2, 7 and 8: FROTE vs the Overlay baseline (Daly et al. 2021).
+//!
+//! The paper's protocol: binary datasets only; 3 rules per run; both the
+//! coverage and outside-coverage populations split 50/50 into train/test;
+//! `ΔJ`/`ΔMRA`/`ΔF` measured against the initial model on the test set,
+//! 50 runs.
+
+use frote::objective::{paper_j, ObjectiveValue};
+use frote::{Frote, FroteConfig, ModStrategy};
+use frote_data::synth::DatasetKind;
+use frote_data::Dataset;
+use frote_ml::metrics;
+use frote_overlay::{Overlay, OverlayMode};
+use frote_rules::FeedbackRuleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aggregate::Summary;
+use crate::models::ModelKind;
+use crate::protocol::overlay_split;
+use crate::render;
+use crate::runner::RunSpec;
+use crate::scale::Scale;
+use crate::setup::{draw_conflict_free_frs_with_origins, prepare};
+
+/// Per-(dataset, model) comparison aggregates.
+#[derive(Debug, Clone)]
+pub struct OverlayCell {
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Model family.
+    pub model: ModelKind,
+    /// `ΔJ` for Overlay-Soft / Overlay-Hard / FROTE.
+    pub delta_j: [Summary; 3],
+    /// `ΔMRA` in the same order.
+    pub delta_mra: [Summary; 3],
+    /// `ΔF-Score` in the same order.
+    pub delta_f: [Summary; 3],
+}
+
+/// Scores an Overlay layer the same way models are scored: MRA against the
+/// rules inside coverage (first-match) and macro-F1 outside, coverage-
+/// weighted (`J̄`).
+fn overlay_objective(ov: &Overlay<'_>, test: &Dataset, frs: &FeedbackRuleSet) -> ObjectiveValue {
+    let n = test.n_rows();
+    let attributed = frs.attributed_coverage(test);
+    let mut j = 0.0;
+    let mut covered = 0usize;
+    let mut agree_total = 0.0;
+    for (r, rows) in attributed.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let rule = frs.rule(r);
+        let agree: f64 =
+            rows.iter().map(|&i| rule.dist().prob(ov.predict(&test.row(i)))).sum();
+        agree_total += agree;
+        covered += rows.len();
+        j += (rows.len() as f64 / n as f64) * (agree / rows.len() as f64);
+    }
+    let outside = frs.outside_coverage(test);
+    let preds: Vec<u32> = outside.iter().map(|&i| ov.predict(&test.row(i))).collect();
+    let labels: Vec<u32> = outside.iter().map(|&i| test.label(i)).collect();
+    let f1 = metrics::macro_f1(&preds, &labels, test.n_classes());
+    j += (n - covered) as f64 / n as f64 * f1;
+    let mra = if covered == 0 { 1.0 } else { agree_total / covered as f64 };
+    ObjectiveValue { mra, f1, j }
+}
+
+/// Runs the comparison for the given (binary) datasets.
+pub fn run_datasets(kinds: &[DatasetKind], scale: Scale) -> Vec<OverlayCell> {
+    let mut cells = Vec::new();
+    for &kind in kinds {
+        assert!(kind.is_binary(), "the Overlay comparison uses binary datasets");
+        let setup = prepare(kind, scale, 42);
+        for &model in &ModelKind::ALL {
+            let mut dj = [Vec::new(), Vec::new(), Vec::new()];
+            let mut dm = [Vec::new(), Vec::new(), Vec::new()];
+            let mut df = [Vec::new(), Vec::new(), Vec::new()];
+            for run in 0..scale.overlay_runs() {
+                let mut rng = StdRng::seed_from_u64(40_000 + run as u64 * 17);
+                let (frs, origins) = draw_conflict_free_frs_with_origins(&setup, 3, &mut rng);
+                if frs.is_empty() {
+                    continue;
+                }
+                let triggers: Vec<Option<frote_rules::Clause>> =
+                    origins.into_iter().map(Some).collect();
+                let (train, test) = overlay_split(&setup.dataset, &frs, &mut rng);
+                if train.n_rows() < 20 || test.is_empty() {
+                    continue;
+                }
+                let trainer = model.trainer(scale);
+                let initial_model = trainer.train(&train);
+                let initial = paper_j(initial_model.as_ref(), &test, &frs);
+
+                // Overlay (both modes) wraps the initial model. The patch
+                // layer triggers on the ORIGINAL explanation-rule regions in
+                // addition to the feedback clauses (Daly et al.'s design),
+                // which is what costs it outside-coverage F-score when the
+                // feedback deviates from the model.
+                let soft = Overlay::with_triggers(
+                    initial_model.as_ref(),
+                    frs.clone(),
+                    triggers.clone(),
+                    OverlayMode::Soft,
+                    &train,
+                );
+                let soft_v = overlay_objective(&soft, &test, &frs);
+                let hard = Overlay::with_triggers(
+                    initial_model.as_ref(),
+                    frs.clone(),
+                    triggers,
+                    OverlayMode::Hard,
+                    &train,
+                );
+                let hard_v = overlay_objective(&hard, &test, &frs);
+
+                // FROTE retrains (relabel strategy, random selection).
+                let spec = RunSpec::new(model, scale);
+                let modified = ModStrategy::Relabel.apply(&train, &frs);
+                let config = FroteConfig {
+                    iteration_limit: scale.iteration_limit(),
+                    instances_per_iteration: Some(scale.eta(kind)),
+                    mod_strategy: ModStrategy::None,
+                    selection: spec.selection,
+                    ..Default::default()
+                };
+                let Ok(out) = Frote::new(config).run(&modified, trainer.as_ref(), &frs, &mut rng)
+                else {
+                    continue;
+                };
+                let frote_v = paper_j(out.model.as_ref(), &test, &frs);
+
+                for (slot, v) in [soft_v, hard_v, frote_v].into_iter().enumerate() {
+                    dj[slot].push(v.j - initial.j);
+                    dm[slot].push(v.mra - initial.mra);
+                    df[slot].push(v.f1 - initial.f1);
+                }
+            }
+            cells.push(OverlayCell {
+                kind,
+                model,
+                delta_j: [Summary::of(&dj[0]), Summary::of(&dj[1]), Summary::of(&dj[2])],
+                delta_mra: [Summary::of(&dm[0]), Summary::of(&dm[1]), Summary::of(&dm[2])],
+                delta_f: [Summary::of(&df[0]), Summary::of(&df[1]), Summary::of(&df[2])],
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Table 2 / Table 7 (`ΔJ` columns).
+pub fn render_delta_j(title: &str, cells: &[OverlayCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.kind.name().to_string(),
+                c.model.name().to_string(),
+                c.delta_j[0].display(),
+                c.delta_j[1].display(),
+                c.delta_j[2].display(),
+            ]
+        })
+        .collect();
+    render::table(
+        title,
+        &["Dataset", "Model", "ΔJ Overlay-Soft", "ΔJ Overlay-Hard", "ΔJ FROTE"],
+        &rows,
+    )
+}
+
+/// Renders Table 8 (`ΔMRA` and `ΔF-Score` split).
+pub fn render_mra_f(cells: &[OverlayCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.kind.name().to_string(),
+                c.model.name().to_string(),
+                c.delta_mra[0].display(),
+                c.delta_mra[1].display(),
+                c.delta_mra[2].display(),
+                c.delta_f[0].display(),
+                c.delta_f[1].display(),
+                c.delta_f[2].display(),
+            ]
+        })
+        .collect();
+    render::table(
+        "Table 8: ΔMRA / ΔF-Score — Overlay-Soft, Overlay-Hard, FROTE",
+        &[
+            "Dataset",
+            "Model",
+            "ΔMRA Soft",
+            "ΔMRA Hard",
+            "ΔMRA FROTE",
+            "ΔF Soft",
+            "ΔF Hard",
+            "ΔF FROTE",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_comparison_runs_on_a_binary_dataset() {
+        let cells = run_datasets(&[DatasetKind::Mushroom], Scale::Smoke);
+        assert_eq!(cells.len(), 3);
+        let t2 = render_delta_j("Table 2 (smoke)", &cells);
+        assert!(t2.contains("Overlay-Hard"));
+        let t8 = render_mra_f(&cells);
+        assert!(t8.contains("ΔMRA"));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary datasets")]
+    fn multiclass_datasets_rejected() {
+        run_datasets(&[DatasetKind::Car], Scale::Smoke);
+    }
+}

@@ -1,0 +1,164 @@
+//! Tables 3, 4, and 5: `random` vs `IP` base-instance selection.
+//!
+//! Table 3 reports `ΔJ` (final − initial) for both strategies over all
+//! datasets × models; Table 4 adds `Δ#Ins/|D|` (augmentation used); Table 5
+//! splits `ΔMRA` and `ΔF-Score`.
+
+use frote::SelectionStrategy;
+use frote_data::synth::DatasetKind;
+
+use crate::aggregate::Summary;
+use crate::models::ModelKind;
+use crate::render;
+use crate::runner::{run_many, RunSpec};
+use crate::scale::Scale;
+use crate::setup::prepare;
+
+/// Aggregates for one (dataset, model, strategy) cell.
+#[derive(Debug, Clone)]
+pub struct SelectionCell {
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Model family.
+    pub model: ModelKind,
+    /// Selection strategy.
+    pub strategy: SelectionStrategy,
+    /// `ΔJ` mean ± std.
+    pub delta_j: Summary,
+    /// `ΔMRA` mean ± std.
+    pub delta_mra: Summary,
+    /// `ΔF1` mean ± std.
+    pub delta_f1: Summary,
+    /// `Δ#Ins/|D|` mean ± std.
+    pub added_fraction: Summary,
+}
+
+/// Runs both strategies for the given datasets. The paper pools runs across
+/// its tcf/|F| grid; here each cell pools `scale.runs()` draws at the shared
+/// defaults (`tcf = 0.2`, `|F| = 3`) per strategy.
+pub fn run_datasets(kinds: &[DatasetKind], scale: Scale) -> Vec<SelectionCell> {
+    let mut cells = Vec::new();
+    for &kind in kinds {
+        let setup = prepare(kind, scale, 42);
+        for &model in &ModelKind::ALL {
+            for strategy in [SelectionStrategy::Random, SelectionStrategy::Ip] {
+                let spec = RunSpec { selection: strategy, ..RunSpec::new(model, scale) };
+                let results = run_many(&setup, &spec, scale.runs(), 30_000);
+                cells.push(SelectionCell {
+                    kind,
+                    model,
+                    strategy,
+                    delta_j: Summary::of(
+                        &results.iter().map(|r| r.delta_j()).collect::<Vec<_>>(),
+                    ),
+                    delta_mra: Summary::of(
+                        &results.iter().map(|r| r.delta_mra()).collect::<Vec<_>>(),
+                    ),
+                    delta_f1: Summary::of(
+                        &results.iter().map(|r| r.delta_f1()).collect::<Vec<_>>(),
+                    ),
+                    added_fraction: Summary::of(
+                        &results.iter().map(|r| r.added_fraction()).collect::<Vec<_>>(),
+                    ),
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn pair<'a>(
+    cells: &'a [SelectionCell],
+    kind: DatasetKind,
+    model: ModelKind,
+) -> (Option<&'a SelectionCell>, Option<&'a SelectionCell>) {
+    let find = |s: SelectionStrategy| {
+        cells.iter().find(|c| c.kind == kind && c.model == model && c.strategy == s)
+    };
+    (find(SelectionStrategy::Random), find(SelectionStrategy::Ip))
+}
+
+/// Renders Table 3 (`ΔJ` random vs IP).
+pub fn render_table3(kinds: &[DatasetKind], cells: &[SelectionCell]) -> String {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &model in &ModelKind::ALL {
+            let (r, i) = pair(cells, kind, model);
+            rows.push(vec![
+                kind.name().to_string(),
+                model.name().to_string(),
+                r.map(|c| c.delta_j.display()).unwrap_or_default(),
+                i.map(|c| c.delta_j.display()).unwrap_or_default(),
+            ]);
+        }
+    }
+    render::table(
+        "Table 3: ΔJ̄ of random vs IP base-instance selection",
+        &["Dataset", "Model", "ΔJ (random)", "ΔJ (IP)"],
+        &rows,
+    )
+}
+
+/// Renders Table 4 (adds the augmentation used).
+pub fn render_table4(kinds: &[DatasetKind], cells: &[SelectionCell]) -> String {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &model in &ModelKind::ALL {
+            let (r, i) = pair(cells, kind, model);
+            rows.push(vec![
+                kind.name().to_string(),
+                model.name().to_string(),
+                r.map(|c| c.delta_j.display()).unwrap_or_default(),
+                i.map(|c| c.delta_j.display()).unwrap_or_default(),
+                r.map(|c| c.added_fraction.display()).unwrap_or_default(),
+                i.map(|c| c.added_fraction.display()).unwrap_or_default(),
+            ]);
+        }
+    }
+    render::table(
+        "Table 4: ΔJ̄ and Δ#Ins/|D| for random and IP selection",
+        &["Dataset", "Model", "ΔJ (random)", "ΔJ (IP)", "Δ#Ins/|D| (random)", "Δ#Ins/|D| (IP)"],
+        &rows,
+    )
+}
+
+/// Renders Table 5 (`ΔMRA` / `ΔF1` split).
+pub fn render_table5(kinds: &[DatasetKind], cells: &[SelectionCell]) -> String {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &model in &ModelKind::ALL {
+            let (r, i) = pair(cells, kind, model);
+            rows.push(vec![
+                kind.name().to_string(),
+                model.name().to_string(),
+                i.map(|c| c.delta_mra.display()).unwrap_or_default(),
+                r.map(|c| c.delta_mra.display()).unwrap_or_default(),
+                i.map(|c| c.delta_f1.display()).unwrap_or_default(),
+                r.map(|c| c.delta_f1.display()).unwrap_or_default(),
+            ]);
+        }
+    }
+    render::table(
+        "Table 5: ΔMRA and ΔF-Score for IP and random selection",
+        &["Dataset", "Model", "ΔMRA (IP)", "ΔMRA (random)", "ΔF (IP)", "ΔF (random)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_comparison_produces_both_strategies() {
+        let kinds = [DatasetKind::Car];
+        let cells = run_datasets(&kinds, Scale::Smoke);
+        assert_eq!(cells.len(), 6); // 1 dataset x 3 models x 2 strategies
+        let t3 = render_table3(&kinds, &cells);
+        assert!(t3.contains("ΔJ (IP)"));
+        let t4 = render_table4(&kinds, &cells);
+        assert!(t4.contains("Δ#Ins/|D|"));
+        let t5 = render_table5(&kinds, &cells);
+        assert!(t5.contains("ΔMRA"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 1: properties of the (synthesized) benchmark datasets.
+
+use frote_data::synth::{DatasetKind, SynthConfig};
+
+use crate::render;
+use crate::scale::Scale;
+
+/// Renders Table 1 at the given scale (paper scale reproduces the paper's
+/// instance counts exactly; smoke scale shows the shrunken sizes actually
+/// used by CI runs).
+pub fn run(scale: Scale) -> String {
+    let rows: Vec<Vec<String>> = DatasetKind::ALL
+        .iter()
+        .map(|&kind| {
+            let ds = kind.generate(&SynthConfig {
+                n_rows: scale.n_rows(kind),
+                ..Default::default()
+            });
+            let s = ds.schema();
+            vec![
+                kind.name().to_string(),
+                ds.n_rows().to_string(),
+                format!("{}({}/{})", s.n_features(), s.n_numeric(), s.n_categorical()),
+                s.n_classes().to_string(),
+            ]
+        })
+        .collect();
+    render::table(
+        &format!("Table 1: dataset properties ({} scale)", scale.name()),
+        &["Dataset", "#Ins.", "#Feat.(num/nom)", "#Labels"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table_1() {
+        let t = run(Scale::Paper);
+        assert!(t.contains("Adult"));
+        assert!(t.contains("45222"));
+        assert!(t.contains("12(4/8)"));
+        assert!(t.contains("Splice"));
+        assert!(t.contains("60(0/60)"));
+    }
+
+    #[test]
+    fn smoke_scale_is_capped() {
+        let t = run(Scale::Smoke);
+        assert!(t.contains("600"));
+        assert!(!t.contains("45222"));
+    }
+}

@@ -1,0 +1,171 @@
+//! JSON export of experiment results, for external plotting.
+//!
+//! The bench binaries print the paper-style text tables; anything that wants
+//! the raw numbers (notebooks regenerating the figures graphically, CI trend
+//! tracking) can serialize the same records with this module instead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{BoxStats, Summary};
+
+/// A serializable summary (mirrors [`Summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRecord {
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl From<Summary> for SummaryRecord {
+    fn from(s: Summary) -> Self {
+        SummaryRecord { mean: s.mean, std: s.std, n: s.n }
+    }
+}
+
+/// A serializable box plot (mirrors [`BoxStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxRecord {
+    /// Lower whisker.
+    pub lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker.
+    pub hi: f64,
+}
+
+impl From<BoxStats> for BoxRecord {
+    fn from(b: BoxStats) -> Self {
+        BoxRecord { lo: b.lo, q1: b.q1, median: b.median, q3: b.q3, hi: b.hi }
+    }
+}
+
+/// One generic experiment cell: string-keyed dimensions (dataset, model,
+/// tcf, ...) plus named measurements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Dimension values, e.g. `{"dataset": "Car", "model": "RF"}`.
+    pub dims: std::collections::BTreeMap<String, String>,
+    /// Scalar measurements.
+    pub scalars: std::collections::BTreeMap<String, f64>,
+    /// Summary measurements.
+    pub summaries: std::collections::BTreeMap<String, SummaryRecord>,
+    /// Box-plot measurements.
+    pub boxes: std::collections::BTreeMap<String, BoxRecord>,
+}
+
+impl CellRecord {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a dimension value.
+    pub fn dim(mut self, key: &str, value: impl ToString) -> Self {
+        self.dims.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Adds a scalar measurement.
+    pub fn scalar(mut self, key: &str, value: f64) -> Self {
+        self.scalars.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds a summary measurement.
+    pub fn summary(mut self, key: &str, value: Summary) -> Self {
+        self.summaries.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Adds a box-plot measurement (skips `None`).
+    pub fn boxed(mut self, key: &str, value: Option<BoxStats>) -> Self {
+        if let Some(b) = value {
+            self.boxes.insert(key.to_string(), b.into());
+        }
+        self
+    }
+}
+
+/// A whole experiment: id (e.g. `"table3"`), scale, and its cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier matching the bench binary name.
+    pub experiment: String,
+    /// `"smoke"` or `"paper"`.
+    pub scale: String,
+    /// Cells.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ExperimentRecord {
+    /// Creates a record.
+    pub fn new(experiment: &str, scale: crate::Scale, cells: Vec<CellRecord>) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            scale: scale.name().to_string(),
+            cells,
+        }
+    }
+
+    /// Pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("records are always serializable")
+    }
+
+    /// Parses JSON produced by [`ExperimentRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn roundtrip() {
+        let cell = CellRecord::new()
+            .dim("dataset", "Car")
+            .dim("model", "RF")
+            .scalar("runs", 30.0)
+            .summary("delta_j", Summary { mean: 0.01, std: 0.002, n: 30 })
+            .boxed(
+                "initial",
+                Some(crate::aggregate::BoxStats {
+                    lo: 0.1,
+                    q1: 0.2,
+                    median: 0.3,
+                    q3: 0.4,
+                    hi: 0.5,
+                }),
+            );
+        let rec = ExperimentRecord::new("table3", Scale::Smoke, vec![cell]);
+        let json = rec.to_json();
+        assert!(json.contains("\"dataset\": \"Car\""));
+        let back = ExperimentRecord::from_json(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn boxed_none_is_skipped() {
+        let cell = CellRecord::new().boxed("missing", None);
+        assert!(cell.boxes.is_empty());
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(ExperimentRecord::from_json("{not json").is_err());
+    }
+}

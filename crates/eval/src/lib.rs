@@ -1,0 +1,37 @@
+//! # frote-eval
+//!
+//! Experiment harness reproducing every table and figure in the FROTE
+//! (MLSys 2022) evaluation. The §5.1 protocol is implemented end to end:
+//!
+//! 1. generate a benchmark dataset (`frote-data::synth`),
+//! 2. train an initial model, extract a rule-set explanation
+//!    (`frote-induct`), perturb it into a pool of feedback rules with
+//!    coverage in `[0.05, 0.25)` (`frote-rules::perturb`),
+//! 3. per run: draw a conflict-free FRS of the requested size, split
+//!    train/test by the training-coverage fraction `tcf`, apply the
+//!    modification strategy, run FROTE, and score `J̄`, MRA and F1 on the
+//!    held-out test set,
+//! 4. aggregate over runs (mean ± std, box-plot statistics) and render the
+//!    paper's tables/figures as text.
+//!
+//! Each experiment module maps to a table/figure; the `frote-bench` crate
+//! exposes one binary per experiment. Everything runs at two scales:
+//! [`Scale::Smoke`] for CI-sized checks and [`Scale::Paper`] for the paper's
+//! run counts.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod experiments;
+pub mod export;
+pub mod model_diff;
+pub mod models;
+pub mod protocol;
+pub mod render;
+pub mod runner;
+mod scale;
+pub mod setup;
+
+pub use models::ModelKind;
+pub use runner::{RunResult, RunSpec};
+pub use scale::Scale;

@@ -1,0 +1,195 @@
+//! Interpretable model comparison — "what changed?" between the original
+//! and the edited model.
+//!
+//! The paper's §6 governance discussion proposes auditing edits by
+//! comparing the pre- and post-edit models (citing Nair et al. 2021,
+//! "What changed? Interpretable model comparison"). This module implements
+//! that audit: it measures where two classifiers disagree on a reference
+//! dataset and *describes the disagreement region as rules*, by running the
+//! crate's rule inducer on the disagreement labels.
+
+use frote_data::Dataset;
+use frote_induct::{InductParams, RuleInducer};
+use frote_ml::Classifier;
+use frote_rules::FeedbackRule;
+
+/// Summary of how two models differ on a reference dataset.
+#[derive(Debug, Clone)]
+pub struct ModelDiff {
+    /// Fraction of reference rows where the models disagree.
+    pub disagreement_rate: f64,
+    /// `flips[(a, b)]`-style matrix: `flips[a][b]` counts rows predicted
+    /// `a` by the old model and `b` by the new one.
+    pub flips: Vec<Vec<usize>>,
+    /// Rules (over the reference schema) describing the *disagreement
+    /// region*: each rule's class 1 means "the models disagree here".
+    pub region_rules: Vec<FeedbackRule>,
+}
+
+impl ModelDiff {
+    /// Compares `old` and `new` on `reference`.
+    ///
+    /// The disagreement region is described by inducing rules on a binary
+    /// agree/disagree labelling; a low `min_coverage` keeps small edit
+    /// regions describable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models' class counts differ or `reference` is empty.
+    pub fn compute(
+        old: &dyn Classifier,
+        new: &dyn Classifier,
+        reference: &Dataset,
+    ) -> ModelDiff {
+        assert_eq!(old.n_classes(), new.n_classes(), "models must share a label space");
+        assert!(!reference.is_empty(), "reference dataset must be non-empty");
+        let k = old.n_classes();
+        let old_preds = old.predict_dataset(reference);
+        let new_preds = new.predict_dataset(reference);
+        let mut flips = vec![vec![0usize; k]; k];
+        let mut disagree_labels = Vec::with_capacity(reference.n_rows());
+        let mut disagreements = 0usize;
+        for (&a, &b) in old_preds.iter().zip(&new_preds) {
+            flips[a as usize][b as usize] += 1;
+            let d = u32::from(a != b);
+            disagreements += d as usize;
+            disagree_labels.push(d);
+        }
+        let disagreement_rate = disagreements as f64 / reference.n_rows() as f64;
+        let region_rules = if disagreements == 0 {
+            Vec::new()
+        } else {
+            let min_cov = (disagreements / 4).clamp(3, 50);
+            let inducer = RuleInducer::new(InductParams {
+                min_coverage: min_cov,
+                max_rules_per_class: 3,
+                ..Default::default()
+            });
+            // NOTE: the reference schema has its own classes; the inducer
+            // only needs labels, so we pass the binary agree/disagree vector
+            // and keep rules whose class is 1 ("disagree").
+            inducer
+                .induce(reference, &disagree_labels)
+                .into_iter()
+                .filter(|r| r.dist().mode() == 1)
+                .collect()
+        };
+        ModelDiff { disagreement_rate, flips, region_rules }
+    }
+
+    /// Count of rows flipped from class `a` to class `b`.
+    pub fn flips_from_to(&self, a: u32, b: u32) -> usize {
+        self.flips[a as usize][b as usize]
+    }
+
+    /// Renders a human-readable audit report.
+    pub fn render(&self, reference: &Dataset) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "model diff: {:.1}% of the reference set changed prediction",
+            100.0 * self.disagreement_rate
+        );
+        let schema = reference.schema();
+        for (a, row) in self.flips.iter().enumerate() {
+            for (b, &count) in row.iter().enumerate() {
+                if a != b && count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {}: {count} rows",
+                        schema.class_name(a as u32),
+                        schema.class_name(b as u32)
+                    );
+                }
+            }
+        }
+        if self.region_rules.is_empty() {
+            out.push_str("  no describable disagreement region\n");
+        } else {
+            out.push_str("  disagreement region:\n");
+            for r in &self.region_rules {
+                let _ = writeln!(out, "    WHERE {}", r.clause().display_with(schema));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+
+    struct Threshold(f64);
+    impl Classifier for Threshold {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+            if row[0].expect_num() >= self.0 {
+                vec![0.0, 1.0]
+            } else {
+                vec![1.0, 0.0]
+            }
+        }
+    }
+
+    fn reference() -> Dataset {
+        let schema = Schema::builder("y", vec!["no".into(), "yes".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..100 {
+            ds.push_row(&[Value::Num(i as f64)], 0).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn identical_models_have_no_diff() {
+        let ds = reference();
+        let d = ModelDiff::compute(&Threshold(50.0), &Threshold(50.0), &ds);
+        assert_eq!(d.disagreement_rate, 0.0);
+        assert!(d.region_rules.is_empty());
+        assert!(d.render(&ds).contains("no describable disagreement region"));
+    }
+
+    #[test]
+    fn shifted_threshold_is_localized() {
+        let ds = reference();
+        // Old: yes from 50; new: yes from 30 -> rows 30..50 flip no->yes.
+        let d = ModelDiff::compute(&Threshold(50.0), &Threshold(30.0), &ds);
+        assert!((d.disagreement_rate - 0.2).abs() < 1e-9);
+        assert_eq!(d.flips_from_to(0, 1), 20);
+        assert_eq!(d.flips_from_to(1, 0), 0);
+        // The induced disagreement region should cover mostly 30..50.
+        assert!(!d.region_rules.is_empty(), "expected a describable region");
+        let rule = &d.region_rules[0];
+        let cov = rule.coverage(&ds);
+        let inside = cov.iter().filter(|&&i| (30..50).contains(&i)).count();
+        assert!(
+            inside as f64 / cov.len() as f64 > 0.6,
+            "region rule imprecise: {} inside of {}",
+            inside,
+            cov.len()
+        );
+        let text = d.render(&ds);
+        assert!(text.contains("no -> yes: 20 rows"));
+        assert!(text.contains("WHERE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a label space")]
+    fn class_count_mismatch_panics() {
+        struct Three;
+        impl Classifier for Three {
+            fn n_classes(&self) -> usize {
+                3
+            }
+            fn predict_proba(&self, _row: &[Value]) -> Vec<f64> {
+                vec![1.0, 0.0, 0.0]
+            }
+        }
+        let ds = reference();
+        ModelDiff::compute(&Threshold(50.0), &Three, &ds);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's three model families (§5.1 "Classification models").
+
+use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_ml::gbdt::{GbdtParams, GbdtTrainer};
+use frote_ml::logreg::{LogRegParams, LogisticRegressionTrainer};
+use frote_ml::tree::TreeParams;
+use frote_ml::TrainAlgorithm;
+
+use crate::scale::Scale;
+
+/// Which classifier family a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Logistic regression (`max_iter = 500` in the paper).
+    Lr,
+    /// Random forest (`max_depth = 3` in the paper).
+    Rf,
+    /// Gradient-boosted trees (LightGBM in the paper).
+    Lgbm,
+}
+
+impl ModelKind {
+    /// All three families in the paper's table order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Lr, ModelKind::Rf, ModelKind::Lgbm];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Lr => "LR",
+            ModelKind::Rf => "RF",
+            ModelKind::Lgbm => "LGBM",
+        }
+    }
+
+    /// Parses `"lr"` / `"rf"` / `"lgbm"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "lr" => Some(ModelKind::Lr),
+            "rf" => Some(ModelKind::Rf),
+            "lgbm" => Some(ModelKind::Lgbm),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the trainer at the given scale. Paper scale uses the
+    /// paper's settings; smoke scale shrinks ensemble sizes/iterations so the
+    /// `τ`-retrain loop stays fast without changing model family behaviour.
+    pub fn trainer(self, scale: Scale) -> Box<dyn TrainAlgorithm> {
+        match (self, scale) {
+            (ModelKind::Lr, Scale::Paper | Scale::Medium) => {
+                Box::new(LogisticRegressionTrainer::new(LogRegParams {
+                    max_iter: 500,
+                    ..Default::default()
+                }))
+            }
+            (ModelKind::Lr, Scale::Smoke) => Box::new(LogisticRegressionTrainer::new(
+                LogRegParams { max_iter: 120, ..Default::default() },
+            )),
+            (ModelKind::Rf, Scale::Paper | Scale::Medium) => Box::new(RandomForestTrainer::new(
+                ForestParams {
+                    n_trees: 30,
+                    tree: TreeParams { max_depth: 3, ..Default::default() },
+                },
+                42,
+            )),
+            (ModelKind::Rf, Scale::Smoke) => Box::new(RandomForestTrainer::new(
+                ForestParams {
+                    n_trees: 8,
+                    tree: TreeParams { max_depth: 3, ..Default::default() },
+                },
+                42,
+            )),
+            (ModelKind::Lgbm, Scale::Paper | Scale::Medium) => Box::new(GbdtTrainer::new(GbdtParams {
+                n_rounds: 50,
+                ..Default::default()
+            })),
+            (ModelKind::Lgbm, Scale::Smoke) => Box::new(GbdtTrainer::new(GbdtParams {
+                n_rounds: 10,
+                ..Default::default()
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModelKind::Lr.name(), "LR");
+        assert_eq!(ModelKind::Rf.name(), "RF");
+        assert_eq!(ModelKind::Lgbm.name(), "LGBM");
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!(ModelKind::parse("LGBM"), Some(ModelKind::Lgbm));
+        assert_eq!(ModelKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_trainers_train() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 150, ..Default::default() });
+        for kind in ModelKind::ALL {
+            let model = kind.trainer(Scale::Smoke).train(&ds);
+            assert_eq!(model.n_classes(), 4, "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Benchmark setup: dataset + feedback-rule pool (§5.1).
+
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_data::Dataset;
+use frote_induct::{InductParams, RuleInducer};
+use frote_rules::perturb::{generate_pool_with_provenance, PerturbConfig};
+use frote_rules::{Clause, FeedbackRule, FeedbackRuleSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::models::ModelKind;
+use crate::scale::Scale;
+
+/// A prepared benchmark: the dataset and its pool of candidate feedback
+/// rules (the paper generates 100 per dataset with coverage in
+/// `[0.05, 0.25)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkSetup {
+    /// The synthesized dataset.
+    pub dataset: Dataset,
+    /// The perturbed-rule pool runs draw from.
+    pub pool: Vec<FeedbackRule>,
+    /// For each pool rule, the clause of the seed explanation rule it was
+    /// perturbed from (the Overlay baseline's trigger region).
+    pub pool_origins: Vec<Clause>,
+    /// Which dataset this is.
+    pub kind: DatasetKind,
+}
+
+/// Prepares the §5.1 pipeline for `kind` at `scale`: generate the dataset,
+/// train an initial model (RF, as a stand-in for the paper's unspecified
+/// initial model), extract a rule-set explanation, perturb into the pool.
+///
+/// Deterministic in `seed`.
+pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> BenchmarkSetup {
+    let dataset = kind.generate(&SynthConfig {
+        n_rows: scale.n_rows(kind),
+        seed,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+    let model = ModelKind::Rf.trainer(scale).train(&dataset);
+    let min_cov = (dataset.n_rows() / 40).max(5);
+    let inducer = RuleInducer::new(InductParams { min_coverage: min_cov, ..Default::default() });
+    let mut seeds = inducer.explain(&dataset, model.as_ref());
+    if seeds.is_empty() {
+        // Degenerate models (tiny smoke datasets) may admit no rules over
+        // predictions; fall back to explaining the ground-truth labels.
+        seeds = inducer.induce(&dataset, dataset.labels());
+    }
+    assert!(!seeds.is_empty(), "rule induction produced no seed rules for {}", kind.name());
+    let with_provenance = generate_pool_with_provenance(
+        &seeds,
+        &dataset,
+        &dataset.schema().clone(),
+        &PerturbConfig { pool_size: scale.pool_size(), ..Default::default() },
+        &mut rng,
+    );
+    let pool_origins =
+        with_provenance.iter().map(|&(_, s)| seeds[s].clause().clone()).collect();
+    let pool = with_provenance.into_iter().map(|(rule, _)| rule).collect();
+    BenchmarkSetup { dataset, pool, pool_origins, kind }
+}
+
+/// Draws a conflict-free FRS of (up to) `size` rules from the pool: the pool
+/// is shuffled and rules are added greedily when they do not conflict with
+/// the rules already chosen. The paper observes that for some datasets no
+/// conflict-free set of size 15–20 exists in a pool — the draw then returns
+/// fewer rules; callers decide whether that is acceptable.
+pub fn draw_conflict_free_frs(
+    setup: &BenchmarkSetup,
+    size: usize,
+    rng: &mut StdRng,
+) -> FeedbackRuleSet {
+    draw_conflict_free_frs_with_origins(setup, size, rng).0
+}
+
+/// Like [`draw_conflict_free_frs`] but also returns, per drawn rule, the
+/// clause of the original explanation rule it was perturbed from — the
+/// Overlay baseline's trigger regions.
+pub fn draw_conflict_free_frs_with_origins(
+    setup: &BenchmarkSetup,
+    size: usize,
+    rng: &mut StdRng,
+) -> (FeedbackRuleSet, Vec<Clause>) {
+    let schema = setup.dataset.schema();
+    let mut order: Vec<usize> = (0..setup.pool.len()).collect();
+    order.shuffle(rng);
+    let mut frs = FeedbackRuleSet::empty();
+    let mut origins = Vec::new();
+    for i in order {
+        if frs.len() >= size {
+            break;
+        }
+        let candidate = &setup.pool[i];
+        let mut trial = frs.clone();
+        trial.push(candidate.clone());
+        if trial.is_conflict_free(schema) {
+            frs = trial;
+            origins.push(setup.pool_origins[i].clone());
+        }
+    }
+    (frs, origins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_builds_valid_pool() {
+        let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
+        assert!(!setup.pool.is_empty());
+        let n = setup.dataset.n_rows() as f64;
+        for rule in &setup.pool {
+            rule.validate(setup.dataset.schema()).unwrap();
+            let cov = rule.coverage_count(&setup.dataset) as f64 / n;
+            assert!((0.05..0.25).contains(&cov), "coverage {cov}");
+        }
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let a = prepare(DatasetKind::Mushroom, Scale::Smoke, 7);
+        let b = prepare(DatasetKind::Mushroom, Scale::Smoke, 7);
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn frs_draws_are_conflict_free() {
+        let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
+        let mut rng = StdRng::seed_from_u64(3);
+        for size in [1, 3, 5] {
+            let frs = draw_conflict_free_frs(&setup, size, &mut rng);
+            assert!(frs.len() <= size);
+            assert!(!frs.is_empty());
+            assert!(frs.is_conflict_free(setup.dataset.schema()));
+        }
+    }
+
+    #[test]
+    fn oversized_draws_degrade_gracefully() {
+        let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
+        let mut rng = StdRng::seed_from_u64(4);
+        let frs = draw_conflict_free_frs(&setup, 500, &mut rng);
+        assert!(frs.len() <= setup.pool.len());
+        assert!(frs.is_conflict_free(setup.dataset.schema()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Candidate predicate pools for beam search.
+
+use frote_data::stats::NumericStats;
+use frote_data::{Column, Dataset, FeatureKind, Value};
+use frote_rules::{Op, Predicate};
+
+/// Number of quantile thresholds generated per numeric feature.
+const N_THRESHOLDS: usize = 8;
+
+/// The pool of primitive predicates beam search composes into conjunctions.
+///
+/// - categorical feature `f` with vocabulary `V`: `f = v` and `f != v` for
+///   every `v ∈ V` (the `!=` forms are kept only for small vocabularies
+///   where they are informative),
+/// - numeric feature `f`: `f <= q` and `f > q` at a fixed number of quantiles
+///   of the training column.
+#[derive(Debug, Clone)]
+pub struct CandidatePool {
+    predicates: Vec<Predicate>,
+}
+
+impl CandidatePool {
+    /// Builds the pool from a dataset.
+    pub fn build(ds: &Dataset) -> CandidatePool {
+        let mut predicates = Vec::new();
+        for j in 0..ds.n_features() {
+            match (ds.column(j), ds.schema().feature(j).kind()) {
+                (Column::Numeric(v), _) => {
+                    for t in quantile_thresholds(v) {
+                        predicates.push(Predicate::new(j, Op::Le, Value::Num(t)));
+                        predicates.push(Predicate::new(j, Op::Gt, Value::Num(t)));
+                    }
+                }
+                (Column::Categorical(_), FeatureKind::Categorical { categories }) => {
+                    for c in 0..categories.len() as u32 {
+                        predicates.push(Predicate::new(j, Op::Eq, Value::Cat(c)));
+                        if categories.len() <= 5 {
+                            predicates.push(Predicate::new(j, Op::Ne, Value::Cat(c)));
+                        }
+                    }
+                }
+                _ => unreachable!("column/schema kind mismatch"),
+            }
+        }
+        CandidatePool { predicates }
+    }
+
+    /// The candidate predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether the pool is empty (zero-feature datasets only).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
+
+/// Quantile cut points of a numeric column (deduplicated, excludes the
+/// extremes so every threshold actually splits).
+fn quantile_thresholds(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let stats = NumericStats::of(values);
+    if stats.range() == 0.0 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite feature values"));
+    let n = sorted.len();
+    let mut out = Vec::with_capacity(N_THRESHOLDS);
+    for k in 1..=N_THRESHOLDS {
+        let idx = (k * n) / (N_THRESHOLDS + 1);
+        let t = sorted[idx.min(n - 1)];
+        if t > sorted[0] && t < sorted[n - 1] && out.last() != Some(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+
+    fn ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into(), "r".into()])
+            .build();
+        let mut d = Dataset::new(schema);
+        for i in 0..100 {
+            d.push_row(&[Value::Num(i as f64), Value::Cat((i % 3) as u32)], 0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn pool_covers_both_kinds() {
+        let pool = CandidatePool::build(&ds());
+        assert!(!pool.is_empty());
+        let has_numeric = pool.predicates().iter().any(|p| p.feature() == 0);
+        let has_cat_eq =
+            pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Eq);
+        let has_cat_ne =
+            pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Ne);
+        assert!(has_numeric && has_cat_eq && has_cat_ne);
+    }
+
+    #[test]
+    fn all_candidates_validate() {
+        let d = ds();
+        let pool = CandidatePool::build(&d);
+        for p in pool.predicates() {
+            p.validate(d.schema()).unwrap();
+        }
+        assert_eq!(pool.len(), pool.predicates().len());
+    }
+
+    #[test]
+    fn constant_numeric_column_yields_no_thresholds() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for _ in 0..10 {
+            d.push_row(&[Value::Num(5.0)], 0).unwrap();
+        }
+        let pool = CandidatePool::build(&d);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn thresholds_strictly_inside_range() {
+        let ts = quantile_thresholds(&(0..50).map(f64::from).collect::<Vec<_>>());
+        assert!(!ts.is_empty());
+        for t in &ts {
+            assert!(*t > 0.0 && *t < 49.0);
+        }
+        // Sorted ascending and unique.
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

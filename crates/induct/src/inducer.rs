@@ -1,0 +1,325 @@
+//! Greedy sequential-covering rule induction with beam search.
+
+use frote_data::Dataset;
+use frote_ml::Classifier;
+use frote_rules::{Clause, FeedbackRule, Predicate};
+
+use crate::beam::CandidatePool;
+
+/// Induction hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InductParams {
+    /// Maximum rules extracted per class.
+    pub max_rules_per_class: usize,
+    /// Maximum conditions per rule (the paper notes feedback rules favour
+    /// "smaller numbers of conditions").
+    pub max_conditions: usize,
+    /// Beam width of the conjunction search.
+    pub beam_width: usize,
+    /// Minimum (absolute) coverage a rule must retain.
+    pub min_coverage: usize,
+    /// Stop refining once precision on the residual reaches this.
+    pub target_precision: f64,
+}
+
+impl Default for InductParams {
+    fn default() -> Self {
+        InductParams {
+            max_rules_per_class: 4,
+            max_conditions: 3,
+            beam_width: 5,
+            min_coverage: 10,
+            target_precision: 0.9,
+        }
+    }
+}
+
+/// Greedy rule-set learner; see the crate docs for the BRCG substitution
+/// rationale.
+#[derive(Debug, Clone, Default)]
+pub struct RuleInducer {
+    params: InductParams,
+}
+
+impl RuleInducer {
+    /// Creates an inducer.
+    pub fn new(params: InductParams) -> Self {
+        RuleInducer { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &InductParams {
+        &self.params
+    }
+
+    /// Extracts a rule-set explanation of `model` on `ds` (rules predict the
+    /// *model's* labels, which is what the §5.1 protocol perturbs).
+    pub fn explain(&self, ds: &Dataset, model: &dyn Classifier) -> Vec<FeedbackRule> {
+        let predicted = model.predict_dataset(ds);
+        self.induce(ds, &predicted)
+    }
+
+    /// Learns rules that describe the given `labels` over `ds` (sequential
+    /// covering per class, beam search per rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != ds.n_rows()`.
+    pub fn induce(&self, ds: &Dataset, labels: &[u32]) -> Vec<FeedbackRule> {
+        assert_eq!(labels.len(), ds.n_rows(), "one label per row");
+        let pool = CandidatePool::build(ds);
+        let mut rules = Vec::new();
+        for class in 0..ds.n_classes() as u32 {
+            let mut residual: Vec<bool> = labels.iter().map(|&l| l == class).collect();
+            for _ in 0..self.params.max_rules_per_class {
+                if residual.iter().filter(|&&r| r).count() < self.params.min_coverage {
+                    break;
+                }
+                match self.find_rule(ds, labels, class, &residual, &pool) {
+                    None => break,
+                    Some(clause) => {
+                        // Mark covered positives as explained.
+                        for i in clause.coverage(ds) {
+                            residual[i] = false;
+                        }
+                        rules.push(FeedbackRule::deterministic(clause, class));
+                    }
+                }
+            }
+        }
+        rules
+    }
+
+    /// Beam search for one conjunction maximizing precision for `class` with
+    /// coverage of residual positives.
+    fn find_rule(
+        &self,
+        ds: &Dataset,
+        labels: &[u32],
+        class: u32,
+        residual: &[bool],
+        pool: &CandidatePool,
+    ) -> Option<Clause> {
+        #[derive(Clone)]
+        struct Beam {
+            preds: Vec<Predicate>,
+            score: f64,
+            precision: f64,
+            coverage: usize,
+        }
+        let score_clause = |preds: &[Predicate]| -> Option<(f64, f64, usize)> {
+            let mut covered = 0usize;
+            let mut correct = 0usize;
+            let mut residual_hits = 0usize;
+            for i in 0..ds.n_rows() {
+                let hit = preds.iter().all(|p| p.eval(ds.value(i, p.feature())));
+                if hit {
+                    covered += 1;
+                    if labels[i] == class {
+                        correct += 1;
+                    }
+                    if residual[i] {
+                        residual_hits += 1;
+                    }
+                }
+            }
+            if covered < self.params.min_coverage || residual_hits == 0 {
+                return None;
+            }
+            // Laplace-smoothed precision, lightly rewarding residual
+            // coverage so successive rules explain new regions.
+            let precision = (correct as f64 + 1.0) / (covered as f64 + 2.0);
+            let score = precision + 0.05 * (residual_hits as f64 / ds.n_rows() as f64);
+            Some((score, correct as f64 / covered as f64, covered))
+        };
+
+        let mut beams: Vec<Beam> = vec![Beam {
+            preds: Vec::new(),
+            score: f64::NEG_INFINITY,
+            precision: 0.0,
+            coverage: ds.n_rows(),
+        }];
+        let mut best: Option<Beam> = None;
+        for _ in 0..self.params.max_conditions {
+            let mut next: Vec<Beam> = Vec::new();
+            for beam in &beams {
+                for p in pool.predicates() {
+                    // At most one condition per (feature, bound direction):
+                    // numeric features may carry one lower and one upper
+                    // bound (interval rules, as BRCG produces); categorical
+                    // features carry a single condition.
+                    if beam
+                        .preds
+                        .iter()
+                        .any(|q| q.feature() == p.feature() && same_direction(q.op(), p.op()))
+                    {
+                        continue;
+                    }
+                    let mut preds = beam.preds.clone();
+                    preds.push(*p);
+                    if let Some((score, precision, coverage)) = score_clause(&preds) {
+                        next.push(Beam { preds, score, precision, coverage });
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            next.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            next.truncate(self.params.beam_width);
+            if best.as_ref().is_none_or(|b| next[0].score > b.score) {
+                best = Some(next[0].clone());
+            }
+            if next[0].precision >= self.params.target_precision {
+                break;
+            }
+            beams = next;
+        }
+        best.filter(|b| !b.preds.is_empty() && b.coverage >= self.params.min_coverage)
+            .map(|b| Clause::new(b.preds))
+    }
+}
+
+/// Whether two operators on the same feature constrain the same direction
+/// (making the pair redundant rather than an interval).
+fn same_direction(a: frote_rules::Op, b: frote_rules::Op) -> bool {
+    use frote_rules::Op;
+    let dir = |op: Op| match op {
+        Op::Le | Op::Lt => 0u8, // upper bound
+        Op::Ge | Op::Gt => 1,   // lower bound
+        Op::Eq | Op::Ne => 2,   // categorical / pinning
+    };
+    dir(a) == dir(b) || dir(a) == 2 || dir(b) == 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+    use frote_data::{Schema, Value};
+    use frote_ml::forest::RandomForestTrainer;
+    use frote_ml::TrainAlgorithm;
+
+    /// Labels follow a crisp single-predicate concept.
+    fn crisp_ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["neg".into(), "pos".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut d = Dataset::new(schema);
+        for i in 0..200 {
+            let x = i as f64;
+            let label = u32::from(x < 50.0);
+            d.push_row(&[Value::Num(x), Value::Cat((i % 2) as u32)], label).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_a_crisp_threshold_concept() {
+        let ds = crisp_ds();
+        let rules = RuleInducer::default().induce(&ds, ds.labels());
+        // Some rule for class 1 must cover mostly the x < 50 region.
+        let pos_rules: Vec<_> =
+            rules.iter().filter(|r| r.dist().mode() == 1).collect();
+        assert!(!pos_rules.is_empty(), "no rules for the positive class: {rules:?}");
+        let r = pos_rules[0];
+        let cov = r.coverage(&ds);
+        let correct = cov.iter().filter(|&&i| ds.label(i) == 1).count();
+        let precision = correct as f64 / cov.len() as f64;
+        assert!(precision > 0.9, "precision {precision}");
+    }
+
+    #[test]
+    fn rules_validate_and_have_few_conditions() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 500, ..Default::default() });
+        let model = RandomForestTrainer::default().train(&ds);
+        let rules = RuleInducer::default().explain(&ds, model.as_ref());
+        assert!(!rules.is_empty());
+        for r in &rules {
+            r.validate(ds.schema()).unwrap();
+            assert!(r.clause().len() <= 3);
+            assert!(r.coverage_count(&ds) >= 10);
+        }
+    }
+
+    #[test]
+    fn rules_agree_with_model_predictions() {
+        let ds = DatasetKind::Mushroom.generate(&SynthConfig { n_rows: 600, ..Default::default() });
+        let model = RandomForestTrainer::default().train(&ds);
+        let predicted = model.predict_dataset(&ds);
+        let rules = RuleInducer::default().induce(&ds, &predicted);
+        for r in &rules {
+            let cov = r.coverage(&ds);
+            let agree =
+                cov.iter().filter(|&&i| predicted[i] == r.dist().mode()).count();
+            let precision = agree as f64 / cov.len().max(1) as f64;
+            assert!(precision >= 0.5, "rule {r} precision {precision}");
+        }
+    }
+
+    #[test]
+    fn sequential_covering_diversifies_rules() {
+        let ds = crisp_ds();
+        let params = InductParams { max_rules_per_class: 3, ..Default::default() };
+        let rules = RuleInducer::new(params).induce(&ds, ds.labels());
+        // No two rules for the same class should be identical.
+        for (i, a) in rules.iter().enumerate() {
+            for b in &rules[i + 1..] {
+                assert!(a.clause() != b.clause() || a.dist() != b.dist());
+            }
+        }
+    }
+
+    #[test]
+    fn min_coverage_respected() {
+        let ds = crisp_ds();
+        let params = InductParams { min_coverage: 40, ..Default::default() };
+        let rules = RuleInducer::new(params).induce(&ds, ds.labels());
+        for r in &rules {
+            assert!(r.coverage_count(&ds) >= 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_arity_checked() {
+        let ds = crisp_ds();
+        RuleInducer::default().induce(&ds, &[0, 1]);
+    }
+
+    #[test]
+    fn direction_logic() {
+        use frote_rules::Op;
+        assert!(same_direction(Op::Le, Op::Lt));
+        assert!(same_direction(Op::Ge, Op::Gt));
+        assert!(!same_direction(Op::Le, Op::Ge));
+        assert!(!same_direction(Op::Lt, Op::Gt));
+        assert!(same_direction(Op::Eq, Op::Le));
+        assert!(same_direction(Op::Ne, Op::Ne));
+    }
+
+    #[test]
+    fn learns_interval_concepts() {
+        // Label 1 iff x in [60, 140): requires a lower AND an upper bound on
+        // the same feature.
+        let schema = Schema::builder("y", vec!["out".into(), "in".into()])
+            .numeric("x")
+            .build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..200 {
+            let x = i as f64;
+            ds.push_row(&[Value::Num(x)], u32::from((60.0..140.0).contains(&x))).unwrap();
+        }
+        let rules = RuleInducer::default().induce(&ds, ds.labels());
+        let interval = rules.iter().find(|r| {
+            r.dist().mode() == 1 && r.clause().len() == 2
+        });
+        assert!(interval.is_some(), "no interval rule induced: {rules:?}");
+        let r = interval.unwrap();
+        let cov = r.coverage(&ds);
+        let precision =
+            cov.iter().filter(|&&i| ds.label(i) == 1).count() as f64 / cov.len() as f64;
+        assert!(precision > 0.85, "interval rule precision {precision}");
+    }
+}

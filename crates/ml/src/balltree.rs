@@ -1,0 +1,293 @@
+//! A ball tree for Euclidean k-NN over dense numeric vectors.
+//!
+//! The paper uses scikit-learn's `NearestNeighbors(algorithm="ball_tree")`;
+//! this is the corresponding substrate. It indexes encoded (`Vec<f64>`)
+//! points — mixed-type rows go through `frote_data::encode::Encoder` first —
+//! and answers k-nearest queries with branch-and-bound pruning on ball
+//! bounds.
+//!
+//! ```
+//! use frote_ml::balltree::BallTree;
+//! let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![5.0, 5.0]];
+//! let tree = BallTree::build(pts);
+//! let hits = tree.k_nearest(&[0.9, 0.1], 2);
+//! assert_eq!(hits[0].index, 1);
+//! assert_eq!(hits[1].index, 0);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::knn::Neighbor;
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf {
+        /// Range into `order`.
+        start: usize,
+        end: usize,
+    },
+    Internal {
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: Vec<f64>,
+    radius: f64,
+    kind: NodeKind,
+}
+
+/// An immutable ball tree over owned points.
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    points: Vec<Vec<f64>>,
+    order: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl BallTree {
+    /// Builds a tree over `points`. All points must share one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn build(points: Vec<Vec<f64>>) -> Self {
+        assert!(!points.is_empty(), "ball tree needs at least one point");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+        let mut tree = BallTree {
+            order: (0..points.len()).collect(),
+            points,
+            nodes: Vec::new(),
+            root: 0,
+        };
+        tree.root = tree.build_node(0, tree.order.len());
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty (never true post-build; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_node(&mut self, start: usize, end: usize) -> usize {
+        let center = self.centroid(start, end);
+        let radius = self.order[start..end]
+            .iter()
+            .map(|&i| euclid(&self.points[i], &center))
+            .fold(0.0, f64::max);
+        if end - start <= LEAF_SIZE {
+            self.nodes.push(Node { center, radius, kind: NodeKind::Leaf { start, end } });
+            return self.nodes.len() - 1;
+        }
+        // Split on the dimension with the largest spread, at the median.
+        let dim = self.widest_dimension(start, end);
+        let mid = start + (end - start) / 2;
+        self.order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            self.points[a][dim].partial_cmp(&self.points[b][dim]).unwrap_or(Ordering::Equal)
+        });
+        let left = self.build_node(start, mid);
+        let right = self.build_node(mid, end);
+        self.nodes.push(Node { center, radius, kind: NodeKind::Internal { left, right } });
+        self.nodes.len() - 1
+    }
+
+    fn centroid(&self, start: usize, end: usize) -> Vec<f64> {
+        let dim = self.points[0].len();
+        let mut c = vec![0.0; dim];
+        for &i in &self.order[start..end] {
+            for (acc, &x) in c.iter_mut().zip(&self.points[i]) {
+                *acc += x;
+            }
+        }
+        let n = (end - start) as f64;
+        for x in &mut c {
+            *x /= n;
+        }
+        c
+    }
+
+    fn widest_dimension(&self, start: usize, end: usize) -> usize {
+        let dim = self.points[0].len();
+        let mut best = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        for d in 0..dim {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in &self.order[start..end] {
+                lo = lo.min(self.points[i][d]);
+                hi = hi.max(self.points[i][d]);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// The `k` nearest points to `query`, ascending by distance (ties by
+    /// index). Returns fewer than `k` if the tree is smaller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query`'s dimension differs from the indexed points.
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.points[0].len(), "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut heap);
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();
+        out.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite")
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn search(&self, node: usize, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        let n = &self.nodes[node];
+        // Prune: the closest any point in this ball can be.
+        let lower_bound = (euclid(query, &n.center) - n.radius).max(0.0);
+        if heap.len() == k {
+            if let Some(worst) = heap.peek() {
+                if lower_bound >= worst.0.distance {
+                    return;
+                }
+            }
+        }
+        match n.kind {
+            NodeKind::Leaf { start, end } => {
+                for &i in &self.order[start..end] {
+                    let d = euclid(query, &self.points[i]);
+                    heap.push(HeapItem(Neighbor { index: i, distance: d }));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+            NodeKind::Internal { left, right } => {
+                // Visit the closer child first for better pruning.
+                let dl = euclid(query, &self.nodes[left].center);
+                let dr = euclid(query, &self.nodes[right].center);
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.search(first, query, k, heap);
+                self.search(second, query, k, heap);
+            }
+        }
+    }
+}
+
+struct HeapItem(Neighbor);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance && self.0.index == other.0.index
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .expect("finite distances")
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+        let mut d: Vec<(f64, usize)> =
+            points.iter().enumerate().map(|(i, p)| (euclid(query, p), i)).collect();
+        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let points: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect())
+            .collect();
+        let tree = BallTree::build(points.clone());
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..4).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let got: Vec<usize> = tree.k_nearest(&q, 7).iter().map(|h| h.index).collect();
+            assert_eq!(got, brute(&points, &q, 7));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree() {
+        let tree = BallTree::build(vec![vec![0.0], vec![1.0]]);
+        assert_eq!(tree.k_nearest(&[0.2], 10).len(), 2);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = BallTree::build(vec![vec![3.0, 4.0]]);
+        let hits = tree.k_nearest(&[0.0, 0.0], 1);
+        assert_eq!(hits[0].index, 0);
+        assert!((hits[0].distance - 5.0).abs() < 1e-12);
+        assert_eq!(tree.len(), 1);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let tree = BallTree::build(vec![vec![1.0]; 40]);
+        let hits = tree.k_nearest(&[1.0], 5);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_build_panics() {
+        BallTree::build(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_mismatch_panics() {
+        let tree = BallTree::build(vec![vec![0.0, 0.0]]);
+        tree.k_nearest(&[0.0], 1);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let tree = BallTree::build(vec![vec![0.0]]);
+        assert!(tree.k_nearest(&[0.0], 0).is_empty());
+    }
+}

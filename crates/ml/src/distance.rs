@@ -1,0 +1,209 @@
+//! Mixed-type distances for nearest-neighbour search.
+//!
+//! SMOTE-NC (Chawla et al. 2002, §6.1) measures distance on mixed data as
+//! Euclidean over numeric features with a constant penalty — the *median of
+//! the standard deviations of the numeric features* — for every differing
+//! nominal feature. [`MixedDistance`] implements exactly that, plus a
+//! HEOM-style variant that range-normalizes numeric differences, which is
+//! better behaved on all-nominal datasets (where the SMOTE-NC median-std
+//! penalty degenerates to 0).
+
+use frote_data::stats::DatasetStats;
+use frote_data::{Dataset, Value};
+
+/// Which mixed-distance formula to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixedMetric {
+    /// SMOTE-NC: raw numeric differences, median-numeric-std penalty per
+    /// nominal mismatch. Falls back to penalty `1.0` when the dataset has no
+    /// numeric features.
+    #[default]
+    SmoteNc,
+    /// HEOM: range-normalized numeric differences, penalty `1.0` per nominal
+    /// mismatch.
+    Heom,
+}
+
+/// A fitted mixed-type distance.
+#[derive(Debug, Clone)]
+pub struct MixedDistance {
+    metric: MixedMetric,
+    /// Per-feature scale: numeric features get `Some(scale)` (divisor for
+    /// differences under HEOM, 1.0 under SMOTE-NC), categorical get `None`.
+    numeric_scale: Vec<Option<f64>>,
+    nominal_penalty: f64,
+}
+
+impl MixedDistance {
+    /// Fits the distance to `ds` under `metric`.
+    pub fn fit(ds: &Dataset, metric: MixedMetric) -> Self {
+        let stats = DatasetStats::of(ds);
+        let mut numeric_scale = Vec::with_capacity(ds.n_features());
+        for j in 0..ds.n_features() {
+            numeric_scale.push(stats.numeric(j).map(|s| match metric {
+                MixedMetric::SmoteNc => 1.0,
+                MixedMetric::Heom => {
+                    if s.range() > 0.0 {
+                        s.range()
+                    } else {
+                        1.0
+                    }
+                }
+            }));
+        }
+        let nominal_penalty = match metric {
+            MixedMetric::SmoteNc => {
+                let m = stats.median_numeric_std();
+                if m > 0.0 {
+                    m
+                } else {
+                    1.0
+                }
+            }
+            MixedMetric::Heom => 1.0,
+        };
+        MixedDistance { metric, numeric_scale, nominal_penalty }
+    }
+
+    /// The metric this instance was fitted with.
+    pub fn metric(&self) -> MixedMetric {
+        self.metric
+    }
+
+    /// The per-nominal-mismatch penalty in use.
+    pub fn nominal_penalty(&self) -> f64 {
+        self.nominal_penalty
+    }
+
+    /// Distance between two rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows' arity or kinds do not match the fitted dataset.
+    pub fn distance(&self, a: &[Value], b: &[Value]) -> f64 {
+        assert_eq!(a.len(), self.numeric_scale.len(), "row arity mismatch");
+        assert_eq!(b.len(), self.numeric_scale.len(), "row arity mismatch");
+        let mut acc = 0.0;
+        for (j, scale) in self.numeric_scale.iter().enumerate() {
+            match (scale, a[j], b[j]) {
+                (Some(s), Value::Num(x), Value::Num(y)) => {
+                    let d = (x - y) / s;
+                    acc += d * d;
+                }
+                (None, Value::Cat(x), Value::Cat(y)) => {
+                    if x != y {
+                        acc += self.nominal_penalty * self.nominal_penalty;
+                    }
+                }
+                _ => panic!("row kind mismatch at feature {j}"),
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Distance between two rows of `ds` by index (avoids materializing
+    /// rows).
+    pub fn distance_between(&self, ds: &Dataset, i: usize, j: usize) -> f64 {
+        let mut acc = 0.0;
+        for (f, scale) in self.numeric_scale.iter().enumerate() {
+            match (scale, ds.value(i, f), ds.value(j, f)) {
+                (Some(s), Value::Num(x), Value::Num(y)) => {
+                    let d = (x - y) / s;
+                    acc += d * d;
+                }
+                (None, Value::Cat(x), Value::Cat(y)) => {
+                    if x != y {
+                        acc += self.nominal_penalty * self.nominal_penalty;
+                    }
+                }
+                _ => unreachable!("dataset columns are internally consistent"),
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+
+    fn mixed_ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(0.0), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(2.0), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(4.0), Value::Cat(1)], 1).unwrap();
+        ds
+    }
+
+    #[test]
+    fn smotenc_penalty_is_median_std() {
+        let ds = mixed_ds();
+        let d = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        // std of [0,2,4] is sqrt(8/3)
+        let expected = (8.0f64 / 3.0).sqrt();
+        assert!((d.nominal_penalty() - expected).abs() < 1e-12);
+        // distance rows 0 and 2: numeric diff 4, nominal mismatch
+        let got = d.distance_between(&ds, 0, 2);
+        assert!((got - (16.0 + expected * expected).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heom_normalizes_by_range() {
+        let ds = mixed_ds();
+        let d = MixedDistance::fit(&ds, MixedMetric::Heom);
+        assert_eq!(d.nominal_penalty(), 1.0);
+        // rows 0,2: numeric diff 4 / range 4 = 1; nominal mismatch 1.
+        assert!((d.distance_between(&ds, 0, 2) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let ds = mixed_ds();
+        for metric in [MixedMetric::SmoteNc, MixedMetric::Heom] {
+            let d = MixedDistance::fit(&ds, metric);
+            for i in 0..3 {
+                assert_eq!(d.distance_between(&ds, i, i), 0.0);
+                for j in 0..3 {
+                    let a = d.distance_between(&ds, i, j);
+                    let b = d.distance_between(&ds, j, i);
+                    assert!((a - b).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_nominal_falls_back_to_unit_penalty() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Cat(1)], 1).unwrap();
+        let d = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        assert_eq!(d.nominal_penalty(), 1.0);
+        assert_eq!(d.distance_between(&ds, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn distance_on_materialized_rows_matches_indexed() {
+        let ds = mixed_ds();
+        let d = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let a = ds.row(0);
+        let b = ds.row(2);
+        assert!((d.distance(&a, &b) - d.distance_between(&ds, 0, 2)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let ds = mixed_ds();
+        let d = MixedDistance::fit(&ds, MixedMetric::Heom);
+        d.distance(&[Value::Num(0.0)], &[Value::Num(1.0)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the ml crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by model training and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Training was attempted on an empty dataset.
+    EmptyTrainingSet,
+    /// A hyper-parameter was out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Prediction arity mismatch (row length vs. trained feature count).
+    ArityMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Row length received.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "cannot train on an empty dataset"),
+            MlError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter {name}: {detail}")
+            }
+            MlError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} features, model expects {expected}")
+            }
+        }
+    }
+}
+
+impl StdError for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(MlError::EmptyTrainingSet.to_string(), "cannot train on an empty dataset");
+        assert_eq!(
+            MlError::ArityMismatch { expected: 3, got: 1 }.to_string(),
+            "row has 1 features, model expects 3"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,420 @@
+//! Gradient-boosted decision trees — the LightGBM stand-in.
+//!
+//! Boosting runs multiclass softmax: each round fits one shallow regression
+//! tree per class to the softmax gradient residuals, with Newton leaf values
+//! (`sum(residual) / sum(p * (1 - p))`) and shrinkage, which is the same
+//! additive-model formulation LightGBM uses (minus the histogram/GOSS
+//! engineering, unnecessary at reproduction scale).
+
+use frote_data::{Column, Dataset, Value};
+
+use crate::traits::{argmax, Classifier, TrainAlgorithm};
+use crate::tree::SplitTest;
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtParams {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Depth of each regression tree.
+    pub max_depth: usize,
+    /// Minimum rows per leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams { n_rounds: 50, learning_rate: 0.2, max_depth: 3, min_samples_leaf: 5 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RegNode {
+    Leaf { value: f64 },
+    Split { test: SplitTest, left: usize, right: usize },
+}
+
+/// A regression tree fitted to gradient residuals.
+#[derive(Debug, Clone)]
+struct RegressionTree {
+    nodes: Vec<RegNode>,
+}
+
+impl RegressionTree {
+    /// Fits on rows `indices` of `ds` with per-row `targets` (residuals) and
+    /// `hessians` (for Newton leaf values), both indexed by *dataset row*.
+    fn fit(
+        ds: &Dataset,
+        indices: &mut [usize],
+        targets: &[f64],
+        hessians: &[f64],
+        params: &GbdtParams,
+    ) -> Self {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(ds, indices, targets, hessians, 0, params);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        ds: &Dataset,
+        indices: &mut [usize],
+        targets: &[f64],
+        hessians: &[f64],
+        depth: usize,
+        params: &GbdtParams,
+    ) -> usize {
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+            return self.nodes.len() - 1;
+        }
+        match best_regression_split(ds, indices, targets, params.min_samples_leaf) {
+            None => {
+                self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                self.nodes.len() - 1
+            }
+            Some(test) => {
+                let mut mid = 0;
+                for i in 0..indices.len() {
+                    let goes_left = match test {
+                        SplitTest::NumLe { feature, threshold } => {
+                            ds.value(indices[i], feature).expect_num() <= threshold
+                        }
+                        SplitTest::CatEq { feature, category } => {
+                            ds.value(indices[i], feature).expect_cat() == category
+                        }
+                    };
+                    if goes_left {
+                        indices.swap(i, mid);
+                        mid += 1;
+                    }
+                }
+                if mid == 0 || mid == indices.len() {
+                    self.nodes
+                        .push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                    return self.nodes.len() - 1;
+                }
+                let (li, ri) = indices.split_at_mut(mid);
+                let left = self.grow(ds, li, targets, hessians, depth + 1, params);
+                let right = self.grow(ds, ri, targets, hessians, depth + 1, params);
+                self.nodes.push(RegNode::Split { test, left, right });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn predict(&self, row: &[Value]) -> f64 {
+        let mut node = self.nodes.len() - 1;
+        loop {
+            match &self.nodes[node] {
+                RegNode::Leaf { value } => return *value,
+                RegNode::Split { test, left, right } => {
+                    node = if test.goes_left(row) { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn newton_value(indices: &[usize], targets: &[f64], hessians: &[f64]) -> f64 {
+    let g: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let h: f64 = indices.iter().map(|&i| hessians[i]).sum();
+    if h.abs() < 1e-12 {
+        0.0
+    } else {
+        (g / h).clamp(-4.0, 4.0)
+    }
+}
+
+/// Variance-reduction split search (numeric `<=` and categorical one-vs-rest,
+/// as in the classification tree).
+fn best_regression_split(
+    ds: &Dataset,
+    indices: &[usize],
+    targets: &[f64],
+    min_leaf: usize,
+) -> Option<SplitTest> {
+    let n = indices.len() as f64;
+    let total: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let mut best: Option<(f64, SplitTest)> = None;
+    for f in 0..ds.n_features() {
+        match ds.column(f) {
+            Column::Numeric(_) => {
+                let mut pairs: Vec<(f64, f64)> = indices
+                    .iter()
+                    .map(|&i| (ds.value(i, f).expect_num(), targets[i]))
+                    .collect();
+                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                let mut left_sum = 0.0;
+                for b in 1..pairs.len() {
+                    left_sum += pairs[b - 1].1;
+                    if pairs[b].0 <= pairs[b - 1].0 || b < min_leaf || pairs.len() - b < min_leaf {
+                        continue;
+                    }
+                    // Maximizing sum-of-squares gain == minimizing SSE.
+                    let right_sum = total - left_sum;
+                    let score = left_sum * left_sum / b as f64
+                        + right_sum * right_sum / (n - b as f64);
+                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                        let threshold = 0.5 * (pairs[b - 1].0 + pairs[b].0);
+                        best = Some((score, SplitTest::NumLe { feature: f, threshold }));
+                    }
+                }
+            }
+            Column::Categorical(_) => {
+                let card = ds
+                    .schema()
+                    .feature(f)
+                    .kind()
+                    .cardinality()
+                    .expect("categorical has cardinality");
+                let mut sums = vec![0.0; card];
+                let mut counts = vec![0usize; card];
+                for &i in indices {
+                    let c = ds.value(i, f).expect_cat() as usize;
+                    sums[c] += targets[i];
+                    counts[c] += 1;
+                }
+                for c in 0..card {
+                    if counts[c] < min_leaf || indices.len() - counts[c] < min_leaf {
+                        continue;
+                    }
+                    let right_sum = total - sums[c];
+                    let score = sums[c] * sums[c] / counts[c] as f64
+                        + right_sum * right_sum / (n - counts[c] as f64);
+                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                        best = Some((
+                            score,
+                            SplitTest::CatEq { feature: f, category: c as u32 },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Require real improvement over the no-split score.
+    let base = total * total / n;
+    best.filter(|(s, _)| *s > base + 1e-9).map(|(_, t)| t)
+}
+
+/// A trained gradient-boosted model.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    /// `rounds[r][class]` trees.
+    rounds: Vec<Vec<RegressionTree>>,
+    base_score: Vec<f64>,
+    learning_rate: f64,
+    n_classes: usize,
+}
+
+impl Gbdt {
+    /// Fits a boosted model to `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds` is empty.
+    pub fn fit(ds: &Dataset, params: &GbdtParams) -> Self {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let n = ds.n_rows();
+        let k = ds.n_classes();
+        // Base score: log prior per class.
+        let counts = ds.class_counts();
+        let base_score: Vec<f64> = counts
+            .iter()
+            .map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln())
+            .collect();
+        let mut scores = vec![base_score.clone(); n];
+        let mut rounds = Vec::with_capacity(params.n_rounds);
+        let mut probs = vec![0.0; k];
+        let mut residuals = vec![vec![0.0; n]; k];
+        let mut hessians = vec![vec![0.0; n]; k];
+        for _ in 0..params.n_rounds {
+            for (i, s) in scores.iter().enumerate() {
+                softmax_into(s, &mut probs);
+                let y = ds.label(i) as usize;
+                for c in 0..k {
+                    residuals[c][i] = f64::from(c == y) - probs[c];
+                    hessians[c][i] = (probs[c] * (1.0 - probs[c])).max(1e-6);
+                }
+            }
+            let mut round_trees = Vec::with_capacity(k);
+            for c in 0..k {
+                let mut idx: Vec<usize> = (0..n).collect();
+                let tree = RegressionTree::fit(ds, &mut idx, &residuals[c], &hessians[c], params);
+                for (i, s) in scores.iter_mut().enumerate() {
+                    s[c] += params.learning_rate * tree.predict_in(ds, i);
+                }
+                round_trees.push(tree);
+            }
+            rounds.push(round_trees);
+        }
+        Gbdt { rounds, base_score, learning_rate: params.learning_rate, n_classes: k }
+    }
+
+    /// Number of boosting rounds performed.
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    fn raw_scores(&self, row: &[Value]) -> Vec<f64> {
+        let mut s = self.base_score.clone();
+        for round in &self.rounds {
+            for (c, tree) in round.iter().enumerate() {
+                s[c] += self.learning_rate * tree.predict(row);
+            }
+        }
+        s
+    }
+}
+
+impl RegressionTree {
+    /// Prediction for a row already in `ds` (avoids materializing it).
+    fn predict_in(&self, ds: &Dataset, i: usize) -> f64 {
+        let mut node = self.nodes.len() - 1;
+        loop {
+            match &self.nodes[node] {
+                RegNode::Leaf { value } => return *value,
+                RegNode::Split { test, left, right } => {
+                    let goes_left = match *test {
+                        SplitTest::NumLe { feature, threshold } => {
+                            ds.value(i, feature).expect_num() <= threshold
+                        }
+                        SplitTest::CatEq { feature, category } => {
+                            ds.value(i, feature).expect_cat() == category
+                        }
+                    };
+                    node = if goes_left { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn softmax_into(scores: &[f64], out: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores) {
+        *o = (s - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+impl Classifier for Gbdt {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+        let s = self.raw_scores(row);
+        let mut p = vec![0.0; self.n_classes];
+        softmax_into(&s, &mut p);
+        p
+    }
+
+    fn predict(&self, row: &[Value]) -> u32 {
+        argmax(&self.raw_scores(row))
+    }
+}
+
+/// Trainer wrapper implementing [`TrainAlgorithm`]. The paper's "LGBM".
+#[derive(Debug, Clone, Default)]
+pub struct GbdtTrainer {
+    params: GbdtParams,
+}
+
+impl GbdtTrainer {
+    /// Creates a trainer with explicit parameters.
+    pub fn new(params: GbdtParams) -> Self {
+        GbdtTrainer { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &GbdtParams {
+        &self.params
+    }
+}
+
+impl TrainAlgorithm for GbdtTrainer {
+    fn train(&self, ds: &Dataset) -> Box<dyn Classifier> {
+        Box::new(Gbdt::fit(ds, &self.params))
+    }
+
+    fn name(&self) -> &str {
+        "LGBM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+    use frote_data::Schema;
+
+    #[test]
+    fn fits_nonlinear_planted_concepts() {
+        for kind in [DatasetKind::Car, DatasetKind::Mushroom] {
+            let ds = kind.generate(&SynthConfig { n_rows: 600, ..Default::default() });
+            let model = GbdtTrainer::default().train(&ds);
+            let acc = accuracy(&model.predict_dataset(&ds), ds.labels());
+            assert!(acc > 0.8, "{}: accuracy {acc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn fits_numeric_xor() {
+        let schema =
+            Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x1").numeric("x2").build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..400 {
+            let x = f64::from(i % 2 == 0) * 2.0 - 1.0;
+            let y = f64::from((i / 2) % 2 == 0) * 2.0 - 1.0;
+            let jitter = (i as f64) * 1e-5;
+            let label = u32::from((x > 0.0) != (y > 0.0));
+            ds.push_row(&[Value::Num(x + jitter), Value::Num(y - jitter)], label).unwrap();
+        }
+        let model = Gbdt::fit(&ds, &GbdtParams::default());
+        let acc = accuracy(&model.predict_dataset(&ds), ds.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let ds = DatasetKind::Nursery.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+        let model = GbdtTrainer::default().train(&ds);
+        for i in 0..10 {
+            let p = model.predict_proba(&ds.row(i));
+            assert_eq!(p.len(), 4);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&q| q >= 0.0));
+        }
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_train_accuracy() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+        let small = Gbdt::fit(&ds, &GbdtParams { n_rounds: 3, ..Default::default() });
+        let large = Gbdt::fit(&ds, &GbdtParams { n_rounds: 40, ..Default::default() });
+        let a_small = accuracy(&small.predict_dataset(&ds), ds.labels());
+        let a_large = accuracy(&large.predict_dataset(&ds), ds.labels());
+        assert!(a_large + 1e-9 >= a_small, "{a_small} -> {a_large}");
+        assert_eq!(large.n_rounds(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_train_panics() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        Gbdt::fit(&Dataset::new(schema), &GbdtParams::default());
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(GbdtTrainer::default().name(), "LGBM");
+    }
+}

@@ -1,0 +1,167 @@
+//! Brute-force k-nearest-neighbour search over mixed-type rows.
+//!
+//! FROTE's generator looks up neighbours *within a rule's base population*
+//! (not the whole dataset), so candidate sets are typically small and a
+//! linear scan with a bounded max-heap is both simple and fast. For large
+//! all-numeric candidate sets, [`crate::balltree::BallTree`] provides a
+//! sublinear alternative.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use frote_data::{Dataset, Value};
+
+use crate::distance::MixedDistance;
+
+/// One neighbour hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index (into the dataset the query ran over).
+    pub index: usize,
+    /// Distance to the query.
+    pub distance: f64,
+}
+
+/// Max-heap entry ordered by distance.
+struct HeapItem(Neighbor);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .expect("distances are finite")
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+/// Finds the `k` nearest rows to `query` among `candidates` (row indices of
+/// `ds`), excluding any candidate equal to `exclude` (pass `usize::MAX` to
+/// keep all).
+///
+/// Results are sorted by ascending distance, ties by ascending index.
+/// Returns fewer than `k` when there are fewer candidates.
+pub fn k_nearest(
+    ds: &Dataset,
+    query: &[Value],
+    candidates: &[usize],
+    k: usize,
+    exclude: usize,
+    dist: &MixedDistance,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    let mut row = Vec::with_capacity(ds.n_features());
+    for &c in candidates {
+        if c == exclude {
+            continue;
+        }
+        row.clear();
+        row.extend((0..ds.n_features()).map(|j| ds.value(c, j)));
+        let d = dist.distance(query, &row);
+        heap.push(HeapItem(Neighbor { index: c, distance: d }));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();
+    out.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite")
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    out
+}
+
+/// Convenience: neighbours of row `i` of `ds` among `candidates`, excluding
+/// itself.
+pub fn k_nearest_of_row(
+    ds: &Dataset,
+    i: usize,
+    candidates: &[usize],
+    k: usize,
+    dist: &MixedDistance,
+) -> Vec<Neighbor> {
+    let query = ds.row(i);
+    k_nearest(ds, &query, candidates, k, i, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::MixedMetric;
+    use frote_data::{Schema, Value};
+
+    fn line_ds(n: usize) -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..n {
+            ds.push_row(&[Value::Num(i as f64)], (i % 2) as u32).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_closest_on_a_line() {
+        let ds = line_ds(10);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let all: Vec<usize> = (0..10).collect();
+        let hits = k_nearest_of_row(&ds, 5, &all, 3, &dist);
+        let idx: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![4, 6, 3]); // dist 1,1,2 — tie 4/6 broken by index
+        assert!(hits[0].distance <= hits[1].distance);
+        assert!(hits[1].distance <= hits[2].distance);
+    }
+
+    #[test]
+    fn respects_candidate_subset() {
+        let ds = line_ds(10);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let cands = vec![0, 9];
+        let hits = k_nearest_of_row(&ds, 5, &cands, 5, &dist);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].index, 9); // |5-9|=4 < |5-0|=5
+    }
+
+    #[test]
+    fn excludes_self() {
+        let ds = line_ds(5);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let all: Vec<usize> = (0..5).collect();
+        let hits = k_nearest_of_row(&ds, 2, &all, 10, &dist);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|h| h.index != 2));
+    }
+
+    #[test]
+    fn k_zero_and_empty_candidates() {
+        let ds = line_ds(5);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        assert!(k_nearest_of_row(&ds, 0, &[1, 2], 0, &dist).is_empty());
+        assert!(k_nearest_of_row(&ds, 0, &[], 3, &dist).is_empty());
+    }
+
+    #[test]
+    fn query_row_not_in_dataset() {
+        let ds = line_ds(4);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let all: Vec<usize> = (0..4).collect();
+        let hits = k_nearest(&ds, &[Value::Num(1.4)], &all, 2, usize::MAX, &dist);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Classification metrics: accuracy, confusion matrices, F1 scores.
+//!
+//! The paper's objective combines model-rule agreement (MRA, a 0-1 loss
+//! complement computed in `frote`) with an F1 score on the outside-coverage
+//! population. Multiclass datasets use macro-F1; binary comparisons use the
+//! positive-class F1 where noted.
+
+/// Fraction of predictions equal to the labels.
+///
+/// Returns 1.0 for empty inputs (vacuous truth — callers treat an empty
+/// population's term as satisfied, matching the paper's weighting by coverage
+/// probability which is then zero).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if predictions.is_empty() {
+        return 1.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// A confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a label/prediction `>= n_classes`.
+    pub fn new(predictions: &[u32], labels: &[u32], n_classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            counts[l as usize][p as usize] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of rows with actual class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: u32, predicted: u32) -> usize {
+        self.counts[actual as usize][predicted as usize]
+    }
+
+    /// True positives for `class`.
+    pub fn true_positives(&self, class: u32) -> usize {
+        self.count(class, class)
+    }
+
+    /// False positives for `class` (predicted as `class`, actually other).
+    pub fn false_positives(&self, class: u32) -> usize {
+        (0..self.n_classes() as u32)
+            .filter(|&a| a != class)
+            .map(|a| self.count(a, class))
+            .sum()
+    }
+
+    /// False negatives for `class` (actually `class`, predicted other).
+    pub fn false_negatives(&self, class: u32) -> usize {
+        (0..self.n_classes() as u32)
+            .filter(|&p| p != class)
+            .map(|p| self.count(class, p))
+            .sum()
+    }
+
+    /// Precision for `class`; 0 when the class was never predicted.
+    pub fn precision(&self, class: u32) -> f64 {
+        let tp = self.true_positives(class);
+        let denom = tp + self.false_positives(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall for `class`; 0 when the class never occurs.
+    pub fn recall(&self, class: u32) -> f64 {
+        let tp = self.true_positives(class);
+        let denom = tp + self.false_negatives(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 for `class`: harmonic mean of precision and recall (0 when both
+    /// are 0).
+    pub fn f1(&self, class: u32) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occur in the labels (classes with
+    /// zero support are skipped, as scikit-learn does for its default
+    /// averaging of observed labels).
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for c in 0..self.n_classes() as u32 {
+            let support = self.true_positives(c) + self.false_negatives(c);
+            if support > 0 {
+                sum += self.f1(c);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Support-weighted F1.
+    pub fn weighted_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut total = 0usize;
+        for c in 0..self.n_classes() as u32 {
+            let support = self.true_positives(c) + self.false_negatives(c);
+            sum += self.f1(c) * support as f64;
+            total += support;
+        }
+        if total == 0 {
+            1.0
+        } else {
+            sum / total as f64
+        }
+    }
+}
+
+/// Macro-F1 convenience over raw slices. Empty inputs score 1.0 (vacuous).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn macro_f1(predictions: &[u32], labels: &[u32], n_classes: usize) -> f64 {
+    if predictions.is_empty() {
+        return 1.0;
+    }
+    ConfusionMatrix::new(predictions, labels, n_classes).macro_f1()
+}
+
+/// Binary F1 for the positive class `1`. Empty inputs score 1.0.
+///
+/// # Panics
+///
+/// Panics on length mismatch or non-binary labels.
+pub fn binary_f1(predictions: &[u32], labels: &[u32]) -> f64 {
+    if predictions.is_empty() {
+        return 1.0;
+    }
+    ConfusionMatrix::new(predictions, labels, 2).f1(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = ConfusionMatrix::new(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.true_positives(1), 1);
+        assert_eq!(m.false_positives(1), 1);
+        assert_eq!(m.false_negatives(1), 1);
+    }
+
+    #[test]
+    fn perfect_scores() {
+        let m = ConfusionMatrix::new(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.weighted_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(m.precision(c), 1.0);
+            assert_eq!(m.recall(c), 1.0);
+            assert_eq!(m.f1(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_support_class_skipped_in_macro() {
+        // Class 2 never occurs in labels; macro-F1 averages classes 0 and 1.
+        let m = ConfusionMatrix::new(&[0, 1], &[0, 1], 3);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn binary_f1_known_value() {
+        // tp=2, fp=1, fn=1 -> p=2/3, r=2/3, f1=2/3
+        let preds = [1, 1, 1, 0, 0];
+        let labels = [1, 1, 0, 1, 0];
+        let f = binary_f1(&preds, &labels);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_never_predicted_class() {
+        let m = ConfusionMatrix::new(&[0, 0], &[1, 1], 2);
+        assert_eq!(m.precision(1), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.f1(1), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_weights_by_support() {
+        // class 0: support 3 all correct (f1=1); class 1: support 1 wrong (f1=0).
+        let m = ConfusionMatrix::new(&[0, 0, 0, 0], &[0, 0, 0, 1], 2);
+        assert!((m.weighted_f1() - (3.0 * m.f1(0)) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_conveniences() {
+        assert_eq!(macro_f1(&[], &[], 3), 1.0);
+        assert_eq!(binary_f1(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The black-box training contract FROTE assumes.
+
+use frote_data::{Dataset, Value};
+
+/// A trained classifier over raw (mixed-type) rows.
+///
+/// Implementations must be `Send + Sync` so models can be evaluated from
+/// benchmark harnesses without ceremony.
+pub trait Classifier: Send + Sync {
+    /// Number of classes the model can emit.
+    fn n_classes(&self) -> usize;
+
+    /// Class probabilities for one row (sums to 1).
+    fn predict_proba(&self, row: &[Value]) -> Vec<f64>;
+
+    /// Hard prediction: the argmax of [`Classifier::predict_proba`] (ties to
+    /// the lowest class). Implementations may override with a faster path.
+    fn predict(&self, row: &[Value]) -> u32 {
+        let p = self.predict_proba(row);
+        argmax(&p)
+    }
+
+    /// Hard predictions for every row of a dataset.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        (0..ds.n_rows()).map(|i| self.predict(&ds.row(i))).collect()
+    }
+}
+
+/// A training algorithm: dataset in, classifier out (paper §3.2 treats it as
+/// a black box, possibly proprietary).
+pub trait TrainAlgorithm: Send + Sync {
+    /// Trains a model on `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on empty datasets — FROTE never trains on an
+    /// empty `D̂` by construction.
+    fn train(&self, ds: &Dataset) -> Box<dyn Classifier>;
+
+    /// Short display name ("LR", "RF", "LGBM" in the paper's tables).
+    fn name(&self) -> &str;
+}
+
+/// Argmax with ties to the lowest index.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub(crate) fn argmax(xs: &[f64]) -> u32 {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+
+    struct Constant(u32, usize);
+    impl Classifier for Constant {
+        fn n_classes(&self) -> usize {
+            self.1
+        }
+        fn predict_proba(&self, _row: &[Value]) -> Vec<f64> {
+            let mut p = vec![0.0; self.1];
+            p[self.0 as usize] = 1.0;
+            p
+        }
+    }
+
+    #[test]
+    fn default_predict_is_argmax_of_proba() {
+        let c = Constant(2, 4);
+        assert_eq!(c.predict(&[]), 2);
+    }
+
+    #[test]
+    fn predict_dataset_maps_rows() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(0.0)], 0).unwrap();
+        ds.push_row(&[Value::Num(1.0)], 1).unwrap();
+        let c = Constant(1, 2);
+        assert_eq!(c.predict_dataset(&ds), vec![1, 1]);
+    }
+
+    #[test]
+    fn argmax_ties_low() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn classifier_is_object_safe() {
+        fn _take(_: &dyn Classifier) {}
+        fn _take_alg(_: &dyn TrainAlgorithm) {}
+    }
+}

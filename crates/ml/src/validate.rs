@@ -1,0 +1,138 @@
+//! k-fold cross-validation utilities.
+//!
+//! The paper contrasts its randomized draw-per-run protocol with "fixing a
+//! rule set and performing cross-validation with it" (§5.1); this module
+//! provides the cross-validation half so downstream users can run either
+//! protocol, and it doubles as the model-selection tool for the hand-rolled
+//! learners in this crate.
+
+use frote_data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::metrics;
+use crate::traits::TrainAlgorithm;
+
+/// One fold's held-out scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldScore {
+    /// Fold index.
+    pub fold: usize,
+    /// Held-out accuracy.
+    pub accuracy: f64,
+    /// Held-out macro-F1.
+    pub macro_f1: f64,
+}
+
+/// Aggregated cross-validation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold scores.
+    pub folds: Vec<FoldScore>,
+}
+
+impl CvResult {
+    /// Mean held-out accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.folds.iter().map(|f| f.accuracy).sum::<f64>() / self.folds.len().max(1) as f64
+    }
+
+    /// Mean held-out macro-F1 across folds.
+    pub fn mean_macro_f1(&self) -> f64 {
+        self.folds.iter().map(|f| f.macro_f1).sum::<f64>() / self.folds.len().max(1) as f64
+    }
+}
+
+/// The fold index assignments for `n` rows into `k` folds, shuffled by
+/// `seed`. Fold sizes differ by at most one.
+pub fn fold_assignments(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut assignment = vec![0usize; n];
+    for (pos, &row) in order.iter().enumerate() {
+        assignment[row] = pos % k;
+    }
+    assignment
+}
+
+/// Runs `k`-fold cross-validation of `algorithm` on `ds`.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, `ds` has fewer rows than folds, or a training fold
+/// ends up lacking every class entirely (pathological tiny inputs).
+pub fn cross_validate(
+    algorithm: &dyn TrainAlgorithm,
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+) -> CvResult {
+    assert!(ds.n_rows() >= k, "need at least one row per fold");
+    let assignment = fold_assignments(ds.n_rows(), k, seed);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train_idx: Vec<usize> =
+            (0..ds.n_rows()).filter(|&i| assignment[i] != fold).collect();
+        let test_idx: Vec<usize> =
+            (0..ds.n_rows()).filter(|&i| assignment[i] == fold).collect();
+        let train = ds.gather(&train_idx);
+        let test = ds.gather(&test_idx);
+        let model = algorithm.train(&train);
+        let preds = model.predict_dataset(&test);
+        folds.push(FoldScore {
+            fold,
+            accuracy: metrics::accuracy(&preds, test.labels()),
+            macro_f1: metrics::macro_f1(&preds, test.labels(), ds.n_classes()),
+        });
+    }
+    CvResult { folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestTrainer;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+
+    #[test]
+    fn fold_assignments_are_balanced() {
+        let a = fold_assignments(103, 5, 42);
+        assert_eq!(a.len(), 103);
+        let mut counts = [0usize; 5];
+        for &f in &a {
+            counts[f] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20 || c == 21), "{counts:?}");
+    }
+
+    #[test]
+    fn fold_assignments_deterministic() {
+        assert_eq!(fold_assignments(50, 4, 7), fold_assignments(50, 4, 7));
+        assert_ne!(fold_assignments(50, 4, 7), fold_assignments(50, 4, 8));
+    }
+
+    #[test]
+    fn cv_scores_reasonable_model() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+        let result = cross_validate(&RandomForestTrainer::default(), &ds, 4, 42);
+        assert_eq!(result.folds.len(), 4);
+        assert!(result.mean_accuracy() > 0.5, "{}", result.mean_accuracy());
+        assert!((0.0..=1.0).contains(&result.mean_macro_f1()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_rejected() {
+        fold_assignments(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per fold")]
+    fn too_few_rows_rejected() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 3, ..Default::default() });
+        cross_validate(&RandomForestTrainer::default(), &ds, 5, 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The base-instance-selection integer program (paper Eq. 5).
+//!
+//! Given a base population `P` with per-instance weights `w_i` and a
+//! rule-coverage matrix `a_ji` (instance `i` covered by rule `j`), select a
+//! binary `z` maximizing `Σ w_i z_i` subject to per-rule bounds
+//! `L <= Σ_i a_ji z_i <= U`.
+//!
+//! The default path solves the LP relaxation with the crate's simplex,
+//! rounds, and greedily repairs feasibility (the paper observes relaxations
+//! are almost always integral, so repair rarely fires); an exact
+//! branch-and-bound handles small instances and validates the heuristic in
+//! tests.
+
+use crate::simplex::{LinearProgram, LpOutcome};
+
+/// A concrete Eq. 5 instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionProblem {
+    weights: Vec<f64>,
+    /// `coverage[j]` lists the instance indices covered by rule `j`.
+    coverage: Vec<Vec<usize>>,
+    lower: usize,
+    upper: usize,
+}
+
+/// Solution to a [`SelectionProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionSolution {
+    /// Selected instance indices (ascending).
+    pub selected: Vec<usize>,
+    /// Total weight of the selection.
+    pub weight: f64,
+    /// Whether every per-rule bound is satisfied exactly; `false` means the
+    /// repair heuristic returned a best-effort selection (e.g. the instance
+    /// was genuinely infeasible).
+    pub feasible: bool,
+}
+
+impl SelectionProblem {
+    /// Creates a problem.
+    ///
+    /// `lower`/`upper` are the per-rule selection bounds (`k+1` and `η/m` in
+    /// the paper). `upper` is clamped up to `lower` so the bounds are always
+    /// consistent, matching FROTE's behaviour when `η/m < k+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coverage index is out of range of `weights`.
+    pub fn new(
+        weights: Vec<f64>,
+        coverage: Vec<Vec<usize>>,
+        lower: usize,
+        upper: usize,
+    ) -> Self {
+        let p = weights.len();
+        for rule in &coverage {
+            for &i in rule {
+                assert!(i < p, "coverage index {i} out of range for {p} instances");
+            }
+        }
+        SelectionProblem { weights, coverage, lower, upper: upper.max(lower) }
+    }
+
+    /// Number of instances.
+    pub fn n_instances(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of rules.
+    pub fn n_rules(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Whether a 0/1 selection (as an index set) satisfies all bounds.
+    pub fn is_feasible(&self, selected: &[usize]) -> bool {
+        let mut z = vec![false; self.weights.len()];
+        for &i in selected {
+            z[i] = true;
+        }
+        self.coverage.iter().all(|rule| {
+            let c = rule.iter().filter(|&&i| z[i]).count();
+            c >= self.lower && c <= self.upper
+        })
+    }
+
+    /// LP-relaxation + rounding + greedy repair (the production path).
+    pub fn solve(&self) -> SelectionSolution {
+        let p = self.weights.len();
+        if p == 0 || self.coverage.is_empty() {
+            return SelectionSolution { selected: Vec::new(), weight: 0.0, feasible: true };
+        }
+        let fractional = self.solve_relaxation();
+        let mut z: Vec<bool> = match fractional {
+            Some(x) => x.iter().map(|&v| v >= 0.5).collect(),
+            None => vec![false; p],
+        };
+        self.repair(&mut z);
+        self.finish(z)
+    }
+
+    /// Pure greedy construction (no LP): per rule, select the top-weight
+    /// covered instances up to `lower`, then pad globally up to `upper` where
+    /// beneficial. Useful as a fast fallback and ablation point.
+    pub fn solve_greedy(&self) -> SelectionSolution {
+        let mut z = vec![false; self.weights.len()];
+        self.repair(&mut z);
+        self.finish(z)
+    }
+
+    /// Exact branch-and-bound over instances (exponential; intended for
+    /// `n_instances <= ~24`, primarily to validate the heuristic in tests).
+    ///
+    /// Returns `None` when the instance is infeasible.
+    pub fn solve_exact(&self) -> Option<SelectionSolution> {
+        let p = self.weights.len();
+        assert!(p <= 24, "exact solver is for small instances");
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        // Order instances by descending weight for better pruning.
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b].partial_cmp(&self.weights[a]).expect("finite weights")
+        });
+        let suffix_positive: Vec<f64> = {
+            let mut s = vec![0.0; p + 1];
+            for i in (0..p).rev() {
+                s[i] = s[i + 1] + self.weights[order[i]].max(0.0);
+            }
+            s
+        };
+        let mut chosen: Vec<usize> = Vec::new();
+        self.bb(&order, &suffix_positive, 0, 0.0, &mut chosen, &mut best);
+        best.map(|(weight, mut selected)| {
+            selected.sort_unstable();
+            SelectionSolution { selected, weight, feasible: true }
+        })
+    }
+
+    fn bb(
+        &self,
+        order: &[usize],
+        suffix: &[f64],
+        depth: usize,
+        acc: f64,
+        chosen: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+    ) {
+        if let Some((bw, _)) = best {
+            if acc + suffix[depth] <= *bw + 1e-12 {
+                return; // bound: cannot beat the incumbent
+            }
+        }
+        if depth == order.len() {
+            if self.is_feasible(chosen) && best.as_ref().is_none_or(|(bw, _)| acc > *bw) {
+                *best = Some((acc, chosen.clone()));
+            }
+            return;
+        }
+        // Prune on upper bounds: adding can only increase counts.
+        let i = order[depth];
+        chosen.push(i);
+        if self.upper_ok(chosen) {
+            self.bb(order, suffix, depth + 1, acc + self.weights[i], chosen, best);
+        }
+        chosen.pop();
+        self.bb(order, suffix, depth + 1, acc, chosen, best);
+    }
+
+    fn upper_ok(&self, selected: &[usize]) -> bool {
+        let mut z = vec![false; self.weights.len()];
+        for &i in selected {
+            z[i] = true;
+        }
+        self.coverage.iter().all(|rule| rule.iter().filter(|&&i| z[i]).count() <= self.upper)
+    }
+
+    fn solve_relaxation(&self) -> Option<Vec<f64>> {
+        let p = self.weights.len();
+        let mut lp = LinearProgram::new(self.weights.clone());
+        for rule in &self.coverage {
+            let mut row = vec![0.0; p];
+            for &i in rule {
+                row[i] = 1.0;
+            }
+            lp = lp.constraint(row.clone(), self.upper as f64);
+            lp = lp.constraint_ge(row, self.lower.min(rule.len()) as f64);
+        }
+        for i in 0..p {
+            let mut e = vec![0.0; p];
+            e[i] = 1.0;
+            lp = lp.constraint(e, 1.0);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Greedy feasibility repair: raise under-covered rules by adding the
+    /// heaviest uncovered instances, then lower over-covered rules by
+    /// dropping the lightest instances that no under-covered rule needs.
+    fn repair(&self, z: &mut [bool]) {
+        // Pass 1: satisfy lower bounds.
+        for rule in &self.coverage {
+            let mut count = rule.iter().filter(|&&i| z[i]).count();
+            if count >= self.lower {
+                continue;
+            }
+            let mut candidates: Vec<usize> =
+                rule.iter().copied().filter(|&i| !z[i]).collect();
+            candidates.sort_by(|&a, &b| {
+                self.weights[b].partial_cmp(&self.weights[a]).expect("finite weights")
+            });
+            for i in candidates {
+                if count >= self.lower {
+                    break;
+                }
+                z[i] = true;
+                count += 1;
+            }
+        }
+        // Pass 2: enforce upper bounds without breaking lower bounds.
+        for (j, rule) in self.coverage.iter().enumerate() {
+            let mut count = rule.iter().filter(|&&i| z[i]).count();
+            if count <= self.upper {
+                continue;
+            }
+            let mut members: Vec<usize> = rule.iter().copied().filter(|&i| z[i]).collect();
+            members.sort_by(|&a, &b| {
+                self.weights[a].partial_cmp(&self.weights[b]).expect("finite weights")
+            });
+            for i in members {
+                if count <= self.upper {
+                    break;
+                }
+                // Dropping i must not push another rule below its lower bound.
+                let safe = self.coverage.iter().enumerate().all(|(j2, rule2)| {
+                    if j2 == j || !rule2.contains(&i) {
+                        return true;
+                    }
+                    rule2.iter().filter(|&&x| z[x]).count() > self.lower
+                });
+                if safe {
+                    z[i] = false;
+                    count -= 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self, z: Vec<bool>) -> SelectionSolution {
+        let selected: Vec<usize> =
+            z.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect();
+        let weight = selected.iter().map(|&i| self.weights[i]).sum();
+        let feasible = self.is_feasible(&selected);
+        SelectionSolution { selected, weight, feasible }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 1 rule covering everything: pick the top-weight `upper` instances.
+    #[test]
+    fn single_rule_picks_top_weights() {
+        let p = SelectionProblem::new(
+            vec![1.0, 5.0, 3.0, 2.0, 4.0],
+            vec![vec![0, 1, 2, 3, 4]],
+            2,
+            3,
+        );
+        let sol = p.solve();
+        assert!(sol.feasible);
+        assert_eq!(sol.selected, vec![1, 2, 4]); // weights 5, 3, 4
+        assert!((sol.weight - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_rules_solved_independently() {
+        let p = SelectionProblem::new(
+            vec![3.0, 1.0, 9.0, 2.0],
+            vec![vec![0, 1], vec![2, 3]],
+            1,
+            1,
+        );
+        let sol = p.solve();
+        assert!(sol.feasible);
+        assert_eq!(sol.selected, vec![0, 2]);
+    }
+
+    #[test]
+    fn overlapping_rules_share_instances() {
+        // Instance 1 covers both rules; selecting it alone satisfies L=1 for
+        // both and maximizes weight headroom.
+        let p = SelectionProblem::new(
+            vec![1.0, 10.0, 1.0],
+            vec![vec![0, 1], vec![1, 2]],
+            1,
+            1,
+        );
+        let sol = p.solve();
+        assert!(sol.feasible);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn matches_exact_on_random_small_instances() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..30 {
+            let p = 10;
+            let n_rules = rng.random_range(1..4);
+            let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.5..5.0)).collect();
+            let coverage: Vec<Vec<usize>> = (0..n_rules)
+                .map(|_| (0..p).filter(|_| rng.random::<f64>() < 0.6).collect::<Vec<_>>())
+                .filter(|c: &Vec<usize>| c.len() >= 3)
+                .collect();
+            if coverage.is_empty() {
+                continue;
+            }
+            let prob = SelectionProblem::new(weights, coverage, 2, 4);
+            let exact = prob.solve_exact();
+            let heur = prob.solve();
+            match exact {
+                Some(ex) => {
+                    assert!(heur.feasible, "trial {trial}: heuristic infeasible");
+                    // Heuristic must be close to optimal; usually equal
+                    // because the LP relaxation is integral.
+                    assert!(
+                        heur.weight >= 0.9 * ex.weight - 1e-9,
+                        "trial {trial}: heuristic {} vs exact {}",
+                        heur.weight,
+                        ex.weight
+                    );
+                }
+                None => assert!(!heur.feasible, "trial {trial}: exact says infeasible"),
+            }
+        }
+    }
+
+    #[test]
+    fn upper_clamped_to_lower() {
+        let p = SelectionProblem::new(vec![1.0, 1.0, 1.0], vec![vec![0, 1, 2]], 2, 1);
+        let sol = p.solve();
+        assert!(sol.feasible);
+        assert_eq!(sol.selected.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_rule_reported() {
+        // Rule covers 1 instance but lower bound is 2.
+        let p = SelectionProblem::new(vec![1.0, 1.0], vec![vec![0]], 2, 5);
+        let sol = p.solve();
+        assert!(!sol.feasible);
+        // Best effort still selects the rule's only covered instance.
+        assert!(sol.selected.contains(&0));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = SelectionProblem::new(vec![], vec![], 1, 2);
+        let sol = p.solve();
+        assert!(sol.feasible);
+        assert!(sol.selected.is_empty());
+    }
+
+    #[test]
+    fn greedy_matches_feasibility() {
+        let p = SelectionProblem::new(
+            vec![2.0, 7.0, 4.0, 1.0, 6.0, 3.0],
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+            2,
+            3,
+        );
+        let sol = p.solve_greedy();
+        assert!(sol.feasible);
+        assert!(p.is_feasible(&sol.selected));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_coverage_index_panics() {
+        SelectionProblem::new(vec![1.0], vec![vec![3]], 1, 1);
+    }
+}

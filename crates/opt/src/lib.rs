@@ -1,0 +1,40 @@
+//! # frote-opt
+//!
+//! Optimization substrate for the FROTE (MLSys 2022) reproduction: a dense
+//! two-phase simplex LP solver and the base-instance-selection integer
+//! program of the paper's Eq. (5):
+//!
+//! ```text
+//! max  Σ w_i z_i
+//! s.t. k+1 <= Σ_i a_ji z_i <= η/m   for every rule j
+//!      z_i ∈ {0, 1}
+//! ```
+//!
+//! The paper notes "in practice it can be solved quickly as linear
+//! relaxations directly provide integral optimal solutions in most cases";
+//! [`ip::SelectionProblem::solve`] accordingly solves the LP relaxation with
+//! [`simplex`], rounds, and greedily repairs feasibility, with an exact
+//! branch-and-bound ([`ip::SelectionProblem::solve_exact`]) available for
+//! small instances and used by the test suite to validate the heuristic
+//! path.
+//!
+//! ```
+//! use frote_opt::simplex::{LinearProgram, LpOutcome};
+//!
+//! // max x + y  s.t.  x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! let lp = LinearProgram::new(vec![1.0, 1.0])
+//!     .constraint(vec![1.0, 2.0], 4.0)
+//!     .constraint(vec![3.0, 1.0], 6.0);
+//! match lp.solve() {
+//!     LpOutcome::Optimal { value, .. } => assert!((value - 2.8).abs() < 1e-9),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ip;
+pub mod simplex;
+
+pub use ip::{SelectionProblem, SelectionSolution};
+pub use simplex::{LinearProgram, LpOutcome};

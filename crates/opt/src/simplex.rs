@@ -1,0 +1,408 @@
+//! Dense two-phase tableau simplex.
+//!
+//! Solves `max c·x` subject to `A x <= b`, `x >= 0` (entries of `b` may be
+//! negative — phase 1 introduces artificial variables and drives them out).
+//! Pivoting uses Bland's rule, which guarantees termination at a modest
+//! constant-factor cost; problem sizes here (FROTE's Eq. 5 relaxations) are
+//! tiny by LP standards.
+
+/// A linear program in `max c·x, A x <= b, x >= 0` form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+/// Result of [`LinearProgram::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal {
+        /// Optimal primal solution.
+        x: Vec<f64>,
+        /// Objective value `c·x`.
+        value: f64,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS: usize = 100_000;
+
+impl LinearProgram {
+    /// Starts a program maximizing `objective · x`.
+    pub fn new(objective: Vec<f64>) -> Self {
+        LinearProgram { objective, rows: Vec::new(), rhs: Vec::new() }
+    }
+
+    /// Adds the constraint `coeffs · x <= bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the objective's arity.
+    pub fn constraint(mut self, coeffs: Vec<f64>, bound: f64) -> Self {
+        assert_eq!(coeffs.len(), self.objective.len(), "constraint arity mismatch");
+        self.rows.push(coeffs);
+        self.rhs.push(bound);
+        self
+    }
+
+    /// Adds `coeffs · x >= bound` (stored as the negated `<=` row).
+    pub fn constraint_ge(self, coeffs: Vec<f64>, bound: f64) -> Self {
+        let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+        self.constraint(neg, -bound)
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `n` structural vars, `m` slacks, up to `m` artificials,
+/// then the RHS column. Row `m` holds the (phase-dependent) objective.
+struct Tableau {
+    /// `(m + 1) x (width + 1)` matrix.
+    t: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    n: usize,
+    m: usize,
+    n_artificial: usize,
+    /// Original objective, padded with zeros on slack/artificial columns.
+    obj_cache: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.n_vars();
+        let m = lp.n_constraints();
+        // Artificials are needed for rows whose (possibly negated) RHS was
+        // negative.
+        let needs_artificial: Vec<bool> = lp.rhs.iter().map(|&b| b < 0.0).collect();
+        let n_artificial = needs_artificial.iter().filter(|&&x| x).count();
+        let width = n + m + n_artificial;
+        let mut t = vec![vec![0.0; width + 1]; m + 1];
+        let mut basis = vec![0usize; m];
+        let mut art_col = n + m;
+        for i in 0..m {
+            let flip = needs_artificial[i];
+            let sign = if flip { -1.0 } else { 1.0 };
+            for j in 0..n {
+                t[i][j] = sign * lp.rows[i][j];
+            }
+            t[i][n + i] = sign; // slack (negated when the row was flipped)
+            t[i][width] = sign * lp.rhs[i];
+            if flip {
+                t[i][art_col] = 1.0;
+                basis[i] = art_col;
+                art_col += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+        let mut obj_cache = vec![0.0; width];
+        obj_cache[..n].copy_from_slice(&lp.objective);
+        Tableau { t, basis, n, m, n_artificial, obj_cache }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        let width = self.width();
+        if self.n_artificial > 0 {
+            // Phase 1: minimize the sum of artificials == maximize their
+            // negation. Objective row: +1 for each artificial, then reduce
+            // by the basic artificial rows to price out the initial basis.
+            for j in 0..=width {
+                self.t[self.m][j] = 0.0;
+            }
+            for a in (self.n + self.m)..width {
+                self.t[self.m][a] = 1.0;
+            }
+            for i in 0..self.m {
+                if self.basis[i] >= self.n + self.m {
+                    let row = self.t[i].clone();
+                    for j in 0..=width {
+                        self.t[self.m][j] -= row[j];
+                    }
+                }
+            }
+            if !self.run_pivots() {
+                return LpOutcome::Unbounded; // cannot happen in phase 1
+            }
+            let phase1 = -self.t[self.m][width];
+            if phase1 > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any residual basic artificials out of the basis.
+            for i in 0..self.m {
+                if self.basis[i] >= self.n + self.m {
+                    if let Some(j) =
+                        (0..self.n + self.m).find(|&j| self.t[i][j].abs() > EPS)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // A fully-zero row is redundant; its artificial stays
+                    // basic at value 0, which is harmless.
+                }
+            }
+        }
+        // Phase 2: install the real objective (as its negation in the cost
+        // row so positive reduced costs mean "improvable") and price out the
+        // current basis.
+        let obj: Vec<f64> = (0..width)
+            .map(|j| if j < self.n { -self.objectives(j) } else { 0.0 })
+            .collect();
+        for j in 0..width {
+            self.t[self.m][j] = obj[j];
+        }
+        self.t[self.m][width] = 0.0;
+        // Forbid artificials from re-entering: give them strongly positive
+        // cost.
+        for a in (self.n + self.m)..width {
+            self.t[self.m][a] = 1e30;
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let coeff = self.t[self.m][b];
+            if coeff.abs() > EPS {
+                let row = self.t[i].clone();
+                for j in 0..=width {
+                    self.t[self.m][j] -= coeff * row[j];
+                }
+            }
+        }
+        if !self.run_pivots() {
+            return LpOutcome::Unbounded;
+        }
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.m {
+            if self.basis[i] < self.n {
+                x[self.basis[i]] = self.t[i][width];
+            }
+        }
+        let value = x
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.objectives(j) * v)
+            .sum();
+        LpOutcome::Optimal { x, value }
+    }
+
+    fn objectives(&self, j: usize) -> f64 {
+        self.obj_cache[j]
+    }
+
+    fn run_pivots(&mut self) -> bool {
+        let width = self.width();
+        for _ in 0..MAX_PIVOTS {
+            // Bland: entering = lowest-index column with negative reduced
+            // cost (we store the cost row so that negative means improving
+            // for maximization).
+            let Some(enter) = (0..width).find(|&j| self.t[self.m][j] < -EPS) else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on leaving variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let a = self.t[i][enter];
+                if a > EPS {
+                    let ratio = self.t[i][width] / a;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || ((ratio - lr).abs() <= EPS
+                                    && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            match leave {
+                None => return false, // unbounded direction
+                Some((row, _)) => self.pivot(row, enter),
+            }
+        }
+        true // pivot cap: return the current (feasible) vertex
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.width();
+        let p = self.t[row][col];
+        for j in 0..=width {
+            self.t[row][j] /= p;
+        }
+        for i in 0..=self.m {
+            if i != row {
+                let f = self.t[i][col];
+                if f.abs() > EPS {
+                    for j in 0..=width {
+                        self.t[i][j] -= f * self.t[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn width(&self) -> usize {
+        self.n + self.m + self.n_artificial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
+        match lp.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, v=36
+        let lp = LinearProgram::new(vec![3.0, 5.0])
+            .constraint(vec![1.0, 0.0], 4.0)
+            .constraint(vec![0.0, 2.0], 12.0)
+            .constraint(vec![3.0, 2.0], 18.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 36.0).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase_one() {
+        // max -x s.t. x >= 3, x <= 10 -> x=3, v=-3
+        let lp = LinearProgram::new(vec![-1.0])
+            .constraint_ge(vec![1.0], 3.0)
+            .constraint(vec![1.0], 10.0);
+        let (x, v) = optimal(&lp);
+        assert!((x[0] - 3.0).abs() < 1e-7);
+        assert!((v + 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let lp = LinearProgram::new(vec![1.0])
+            .constraint(vec![1.0], 1.0)
+            .constraint_ge(vec![1.0], 2.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no upper bound
+        let lp = LinearProgram::new(vec![1.0]).constraint_ge(vec![1.0], 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective_vertex() {
+        // max -x - y with x,y >= 0 -> origin, v=0
+        let lp = LinearProgram::new(vec![-1.0, -1.0]);
+        let (x, v) = optimal(&lp);
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn box_constrained_selection_shape() {
+        // The Eq. 5 relaxation shape: max w·z, L <= sum z <= U, z in [0,1].
+        let w = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let n = w.len();
+        let mut lp = LinearProgram::new(w.to_vec())
+            .constraint(vec![1.0; n], 3.0) // sum <= 3
+            .constraint_ge(vec![1.0; n], 2.0); // sum >= 2
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            lp = lp.constraint(e, 1.0); // z_i <= 1
+        }
+        let (x, v) = optimal(&lp);
+        assert!((v - 12.0).abs() < 1e-7, "value {v}");
+        // Integral vertex: the top three weights selected.
+        for (i, &xi) in x.iter().enumerate() {
+            let expected = if i < 3 { 1.0 } else { 0.0 };
+            assert!((xi - expected).abs() < 1e-7, "x[{i}] = {xi}");
+        }
+    }
+
+    #[test]
+    fn equality_via_pair_of_inequalities() {
+        // max x + y s.t. x + y == 5 (as <= and >=), x <= 3.
+        let lp = LinearProgram::new(vec![1.0, 1.0])
+            .constraint(vec![1.0, 1.0], 5.0)
+            .constraint_ge(vec![1.0, 1.0], 5.0)
+            .constraint(vec![1.0, 0.0], 3.0);
+        let (_, v) = optimal(&lp);
+        assert!((v - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        let lp = LinearProgram::new(vec![1.0])
+            .constraint(vec![1.0], 2.0)
+            .constraint(vec![1.0], 2.0)
+            .constraint(vec![2.0], 4.0);
+        let (x, v) = optimal(&lp);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let _ = LinearProgram::new(vec![1.0]).constraint(vec![1.0, 2.0], 1.0);
+    }
+
+    #[test]
+    fn stress_many_variables() {
+        // max sum(x) s.t. x_i <= i+1 for 60 vars plus a coupling budget.
+        let n = 60;
+        let mut lp = LinearProgram::new(vec![1.0; n]);
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            lp = lp.constraint(e, (i + 1) as f64);
+        }
+        // sum(x) <= 100 binds before the individual caps do.
+        lp = lp.constraint(vec![1.0; n], 100.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 100.0).abs() < 1e-6, "value {v}");
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+        for (i, &xi) in x.iter().enumerate() {
+            assert!(xi <= (i + 1) as f64 + 1e-7);
+            assert!(xi >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let lp = LinearProgram::new(vec![1.0, 2.0]).constraint(vec![1.0, 0.0], 3.0);
+        assert_eq!(lp.n_vars(), 2);
+        assert_eq!(lp.n_constraints(), 1);
+    }
+}

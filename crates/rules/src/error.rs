@@ -1,0 +1,106 @@
+//! Error type for the rules crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::predicate::Op;
+
+/// Errors produced by rule construction, validation, and parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuleError {
+    /// A predicate referenced a feature index outside the schema.
+    UnknownFeature {
+        /// The offending feature index.
+        index: usize,
+    },
+    /// A predicate referenced a feature name not in the schema.
+    UnknownFeatureName {
+        /// The offending name.
+        name: String,
+    },
+    /// An operator was used on a feature kind that does not allow it.
+    OperatorNotAllowed {
+        /// The operator.
+        op: Op,
+        /// The feature name.
+        feature: String,
+    },
+    /// A predicate value's kind did not match its feature.
+    ValueKindMismatch {
+        /// The feature name.
+        feature: String,
+    },
+    /// A rule referenced a class outside the schema's label vocabulary.
+    UnknownClass {
+        /// The offending class index.
+        class: u32,
+    },
+    /// A probabilistic label distribution was malformed.
+    InvalidDistribution {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Rule text could not be parsed.
+    Parse {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A rule set contained conflicting rules where a conflict-free set was
+    /// required.
+    ConflictingRules {
+        /// Indices of the first conflicting pair found.
+        first: usize,
+        /// Second member of the pair.
+        second: usize,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnknownFeature { index } => write!(f, "unknown feature index {index}"),
+            RuleError::UnknownFeatureName { name } => write!(f, "unknown feature name {name:?}"),
+            RuleError::OperatorNotAllowed { op, feature } => {
+                write!(f, "operator {op} is not allowed on feature {feature:?}")
+            }
+            RuleError::ValueKindMismatch { feature } => {
+                write!(f, "value kind does not match feature {feature:?}")
+            }
+            RuleError::UnknownClass { class } => write!(f, "unknown class index {class}"),
+            RuleError::InvalidDistribution { detail } => {
+                write!(f, "invalid label distribution: {detail}")
+            }
+            RuleError::Parse { detail } => write!(f, "rule parse error: {detail}"),
+            RuleError::ConflictingRules { first, second } => {
+                write!(f, "rules {first} and {second} conflict")
+            }
+        }
+    }
+}
+
+impl StdError for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(RuleError::UnknownFeature { index: 3 }.to_string(), "unknown feature index 3");
+        assert_eq!(
+            RuleError::OperatorNotAllowed { op: Op::Ne, feature: "age".into() }.to_string(),
+            "operator != is not allowed on feature \"age\""
+        );
+        assert_eq!(
+            RuleError::ConflictingRules { first: 0, second: 2 }.to_string(),
+            "rules 0 and 2 conflict"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<RuleError>();
+    }
+}

@@ -1,0 +1,157 @@
+//! Rule quality metrics against a labelled dataset.
+//!
+//! Induction, perturbation diagnostics and the examples all need to answer
+//! "how good is this rule on this data?" — this module centralizes the
+//! standard measures (support, confidence/precision, recall, lift) for
+//! deterministic rules and expected-agreement variants for probabilistic
+//! ones.
+
+use frote_data::Dataset;
+
+use crate::rule::FeedbackRule;
+
+/// Quality measures of one rule over one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleQuality {
+    /// Covered rows.
+    pub support: usize,
+    /// Covered fraction of the dataset.
+    pub coverage: f64,
+    /// Expected agreement of covered rows' labels with the rule's
+    /// distribution (precision/confidence for deterministic rules).
+    pub confidence: f64,
+    /// Fraction of rows agreeing with the rule that the rule covers
+    /// (recall; for probabilistic rules, "agreeing" means the row's label is
+    /// the rule's mode).
+    pub recall: f64,
+    /// Confidence relative to the base rate of the rule's mode class;
+    /// `> 1` means the rule is informative.
+    pub lift: f64,
+}
+
+/// Computes [`RuleQuality`] for `rule` over `ds`.
+///
+/// Empty datasets and zero-coverage rules yield zeroed metrics rather than
+/// NaNs.
+pub fn assess(rule: &FeedbackRule, ds: &Dataset) -> RuleQuality {
+    let n = ds.n_rows();
+    if n == 0 {
+        return RuleQuality { support: 0, coverage: 0.0, confidence: 0.0, recall: 0.0, lift: 0.0 };
+    }
+    let covered = rule.coverage(ds);
+    let support = covered.len();
+    let coverage = support as f64 / n as f64;
+    let confidence = if support == 0 {
+        0.0
+    } else {
+        covered.iter().map(|&i| rule.dist().prob(ds.label(i))).sum::<f64>() / support as f64
+    };
+    let mode = rule.dist().mode();
+    let positives = ds.labels().iter().filter(|&&l| l == mode).count();
+    let covered_positives = covered.iter().filter(|&&i| ds.label(i) == mode).count();
+    let recall = if positives == 0 { 0.0 } else { covered_positives as f64 / positives as f64 };
+    let base_rate = positives as f64 / n as f64;
+    let mode_precision =
+        if support == 0 { 0.0 } else { covered_positives as f64 / support as f64 };
+    let lift = if base_rate > 0.0 { mode_precision / base_rate } else { 0.0 };
+    RuleQuality { support, coverage, confidence, recall, lift }
+}
+
+/// Assesses every rule of a set, in order.
+pub fn assess_all(rules: &[FeedbackRule], ds: &Dataset) -> Vec<RuleQuality> {
+    rules.iter().map(|r| assess(r, ds)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::Clause;
+    use crate::dist::LabelDist;
+    use crate::predicate::{Op, Predicate};
+    use frote_data::{Schema, Value};
+
+    /// 10 rows: x = 0..10; label 1 iff x < 4 (4 positives).
+    fn ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push_row(&[Value::Num(i as f64)], u32::from(i < 4)).unwrap();
+        }
+        d
+    }
+
+    fn rule(threshold: f64, class: u32) -> FeedbackRule {
+        FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(threshold))]),
+            LabelDist::Deterministic(class),
+        )
+    }
+
+    #[test]
+    fn perfect_rule() {
+        let q = assess(&rule(4.0, 1), &ds());
+        assert_eq!(q.support, 4);
+        assert!((q.coverage - 0.4).abs() < 1e-12);
+        assert_eq!(q.confidence, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert!((q.lift - (1.0 / 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partially_correct_rule() {
+        // Covers x < 6: 4 positives, 2 negatives.
+        let q = assess(&rule(6.0, 1), &ds());
+        assert_eq!(q.support, 6);
+        assert!((q.confidence - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn anti_rule_has_low_lift() {
+        // Predicts 1 where labels are 0.
+        let q = assess(&rule(10.0, 1), &ds());
+        assert!((q.confidence - 0.4).abs() < 1e-12);
+        assert!((q.lift - 1.0).abs() < 1e-12); // covers everything -> base rate
+        let q = assess(
+            &FeedbackRule::new(
+                Clause::new(vec![Predicate::new(0, Op::Ge, Value::Num(6.0))]),
+                LabelDist::Deterministic(1),
+            ),
+            &ds(),
+        );
+        assert_eq!(q.confidence, 0.0);
+        assert_eq!(q.lift, 0.0);
+    }
+
+    #[test]
+    fn zero_coverage_and_empty_dataset() {
+        let q = assess(&rule(-5.0, 1), &ds());
+        assert_eq!(q.support, 0);
+        assert_eq!(q.confidence, 0.0);
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let empty = Dataset::new(schema);
+        let q = assess(&rule(4.0, 1), &empty);
+        assert_eq!(q.support, 0);
+        assert_eq!(q.lift, 0.0);
+    }
+
+    #[test]
+    fn probabilistic_confidence_is_expected_agreement() {
+        let r = FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(4.0))]),
+            LabelDist::probabilistic(vec![0.25, 0.75]).unwrap(),
+        );
+        // Covered labels are all 1 -> expected agreement 0.75.
+        let q = assess(&r, &ds());
+        assert!((q.confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assess_all_orders_match() {
+        let rules = vec![rule(4.0, 1), rule(6.0, 1)];
+        let qs = assess_all(&rules, &ds());
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].support, 4);
+        assert_eq!(qs[1].support, 6);
+    }
+}

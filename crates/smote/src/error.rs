@@ -1,0 +1,61 @@
+//! Error type for the smote crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by oversampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmoteError {
+    /// The target class has too few instances for the requested `k`.
+    NotEnoughInstances {
+        /// Instances available in the class.
+        available: usize,
+        /// Minimum required (`k + 1`).
+        required: usize,
+    },
+    /// The requested class does not exist in the dataset's schema.
+    UnknownClass {
+        /// The offending class.
+        class: u32,
+    },
+    /// Classic SMOTE was asked to run on a dataset with categorical
+    /// features; use SMOTE-NC instead.
+    CategoricalFeatures,
+}
+
+impl fmt::Display for SmoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmoteError::NotEnoughInstances { available, required } => {
+                write!(f, "class has {available} instances, oversampling needs {required}")
+            }
+            SmoteError::UnknownClass { class } => write!(f, "unknown class {class}"),
+            SmoteError::CategoricalFeatures => {
+                write!(f, "classic smote requires all-numeric features; use smote-nc")
+            }
+        }
+    }
+}
+
+impl StdError for SmoteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SmoteError::NotEnoughInstances { available: 2, required: 6 }.to_string(),
+            "class has 2 instances, oversampling needs 6"
+        );
+        assert_eq!(SmoteError::UnknownClass { class: 9 }.to_string(), "unknown class 9");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SmoteError>();
+    }
+}

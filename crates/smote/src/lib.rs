@@ -1,0 +1,40 @@
+//! # frote-smote
+//!
+//! The oversampling substrates FROTE builds on: classic SMOTE (Chawla et
+//! al. 2002), SMOTE-NC for mixed numeric/nominal data, and the
+//! Borderline-SMOTE instance triage (Han et al. 2005) that FROTE's IP
+//! selection strategy reuses for instance weighting.
+//!
+//! FROTE's own generator (in the `frote` crate) extends these: neighbours are
+//! constrained by feedback-rule coverage instead of class, and generated
+//! instances must satisfy the rule's clause. The classic algorithms here are
+//! the baselines those extensions are measured against and are exercised by
+//! the benchmark suite.
+//!
+//! ```
+//! use frote_data::synth::{DatasetKind, SynthConfig};
+//! use frote_smote::{SmoteNc, SmoteParams};
+//! use rand::SeedableRng;
+//!
+//! let ds = DatasetKind::Contraceptive
+//!     .generate(&SynthConfig { n_rows: 300, ..Default::default() });
+//! let minority = 1; // oversample class 1
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let synthetic = SmoteNc::new(SmoteParams::default())
+//!     .generate(&ds, minority, 50, &mut rng)
+//!     .unwrap();
+//! assert_eq!(synthetic.n_rows(), 50);
+//! assert!(synthetic.labels().iter().all(|&l| l == minority));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod borderline;
+mod error;
+mod smote;
+
+pub use borderline::{borderline_weights, classify_instances, BorderlineSmote, InstanceKind};
+pub use error::SmoteError;
+pub use smote::{Smote, SmoteNc, SmoteParams};
+
+pub(crate) use smote::interpolate_row as smote_interpolate;

@@ -1,0 +1,74 @@
+//! Conflicting feedback from multiple experts (paper §3.1 "Rule conflicts").
+//!
+//! ```sh
+//! cargo run --release --example multi_expert_conflict
+//! ```
+//!
+//! Two experts give overlapping rules with contradictory labels. FROTE
+//! refuses the conflicting set; the example shows both resolution options
+//! the library provides — dropping the later rule, and carving out the
+//! intersection with a 50/50 probabilistic mixture (the paper's option 2) —
+//! then runs FROTE with the resolved set.
+
+use frote::{Frote, FroteConfig, FroteError};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_ml::logreg::LogisticRegressionTrainer;
+use frote_rules::parse::parse_rule;
+use frote_rules::{ConflictResolution, FeedbackRuleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = DatasetKind::Contraceptive
+        .generate(&SynthConfig { n_rows: 800, ..Default::default() });
+    let schema = ds.schema().clone();
+
+    // Expert A: young couples with children use short-term methods.
+    let expert_a = parse_rule("wife-age < 30 AND n-children >= 1 => short-term", &schema)?;
+    // Expert B: families with several children use long-term methods —
+    // overlapping coverage, different class: a conflict.
+    let expert_b = parse_rule("n-children >= 3 => long-term", &schema)?;
+    let frs = FeedbackRuleSet::new(vec![expert_a, expert_b]);
+
+    let conflicts = frs.conflicts(&schema);
+    println!("detected conflicts: {conflicts:?}");
+    assert!(!conflicts.is_empty());
+
+    // FROTE rejects the conflicting set outright.
+    let trainer = LogisticRegressionTrainer::default();
+    let config = FroteConfig {
+        iteration_limit: 8,
+        instances_per_iteration: Some(30),
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    match Frote::new(config).run(&ds, &trainer, &frs, &mut rng) {
+        Err(FroteError::Rules(e)) => println!("FROTE rejected the set: {e}"),
+        other => panic!("expected a rules error, got {:?}", other.is_ok()),
+    }
+
+    // Option 1: drop the later expert's rule.
+    let dropped = frs.resolve_conflicts(&schema, ConflictResolution::DropLater);
+    println!("\nafter DropLater ({} rules):", dropped.len());
+    for r in dropped.rules() {
+        println!("  {}", r.display_with(&schema));
+    }
+
+    // Option 2 (the paper's): a mixture rule for the intersection, taking
+    // precedence over both originals.
+    let mixed = frs.resolve_conflicts(&schema, ConflictResolution::IntersectionMixture);
+    println!("\nafter IntersectionMixture ({} rules):", mixed.len());
+    for r in mixed.rules() {
+        println!("  {}", r.display_with(&schema));
+    }
+
+    // The resolved set runs fine.
+    let out = Frote::new(config).run(&ds, &trainer, &mixed, &mut rng)?;
+    println!(
+        "\nFROTE on the resolved set: J̄ {:.3} -> {:.3} ({} instances added)",
+        out.report.initial.j,
+        out.report.final_objective.j,
+        out.report.instances_added,
+    );
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! Cross-crate integration tests: the full §5.1 pipeline from synthetic
+//! dataset through rule induction, perturbation, splitting, FROTE, and
+//! held-out evaluation.
+
+use frote::objective::paper_j;
+use frote::{Frote, FroteConfig, ModStrategy, SelectionStrategy};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_eval::runner::{run_once, RunSpec};
+use frote_eval::setup::{draw_conflict_free_frs, prepare};
+use frote_eval::{ModelKind, Scale};
+use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_rules::parse::parse_rule;
+use frote_rules::FeedbackRuleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_rf() -> RandomForestTrainer {
+    RandomForestTrainer::new(ForestParams { n_trees: 8, ..Default::default() }, 42)
+}
+
+/// The headline behaviour: editing raises MRA on a held-out set without
+/// collapsing outside-coverage F1, in the empty-coverage (tcf = 0) regime.
+#[test]
+fn frote_raises_mra_in_empty_coverage_regime() {
+    let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
+    let spec = RunSpec {
+        tcf: 0.0,
+        frs_size: 3,
+        ..RunSpec::new(ModelKind::Rf, Scale::Smoke)
+    };
+    let mut improvements = Vec::new();
+    let mut f1_drops = Vec::new();
+    for seed in 0..6 {
+        if let Some(r) = run_once(&setup, &spec, 1000 + seed) {
+            improvements.push(r.final_.mra - r.initial.mra);
+            f1_drops.push(r.initial.f1 - r.final_.f1);
+        }
+    }
+    assert!(improvements.len() >= 3, "too many degenerate runs");
+    let mean_improvement: f64 =
+        improvements.iter().sum::<f64>() / improvements.len() as f64;
+    assert!(
+        mean_improvement > 0.05,
+        "expected a clear MRA gain at tcf=0, got {mean_improvement} ({improvements:?})"
+    );
+    let mean_drop: f64 = f1_drops.iter().sum::<f64>() / f1_drops.len() as f64;
+    assert!(mean_drop < 0.25, "outside-coverage F1 collapsed: {f1_drops:?}");
+}
+
+/// The relabel midpoint always sits between initial and final in intent:
+/// final must not be worse than the modified baseline on average.
+#[test]
+fn augmentation_beats_relabel_alone_on_average() {
+    let setup = prepare(DatasetKind::Mushroom, Scale::Smoke, 42);
+    let spec = RunSpec {
+        tcf: 0.05,
+        frs_size: 3,
+        ..RunSpec::new(ModelKind::Lgbm, Scale::Smoke)
+    };
+    let mut deltas = Vec::new();
+    for seed in 0..6 {
+        if let Some(r) = run_once(&setup, &spec, 2000 + seed) {
+            deltas.push(r.final_.j - r.modified.j);
+        }
+    }
+    assert!(!deltas.is_empty());
+    let mean: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    assert!(mean > -0.05, "augmentation badly hurt the relabel baseline: {deltas:?}");
+}
+
+/// All three selection strategies produce valid runs end to end.
+#[test]
+fn all_selection_strategies_run_end_to_end() {
+    let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
+    for strategy in [
+        SelectionStrategy::Random,
+        SelectionStrategy::Ip,
+        SelectionStrategy::OnlineProxy,
+        SelectionStrategy::JointNeighbors,
+    ] {
+        let spec = RunSpec {
+            selection: strategy,
+            ..RunSpec::new(ModelKind::Rf, Scale::Smoke)
+        };
+        let r = run_once(&setup, &spec, 7).unwrap_or_else(|| {
+            panic!("{} run degenerated", strategy.name());
+        });
+        assert!((0.0..=1.0).contains(&r.final_.j), "{}", strategy.name());
+    }
+}
+
+/// All three mod strategies run end to end on all three model families.
+#[test]
+fn mod_strategy_times_model_matrix() {
+    let setup = prepare(DatasetKind::Contraceptive, Scale::Smoke, 42);
+    for mod_strategy in [ModStrategy::None, ModStrategy::Relabel, ModStrategy::Drop] {
+        for model in ModelKind::ALL {
+            let spec = RunSpec { mod_strategy, ..RunSpec::new(model, Scale::Smoke) };
+            let r = run_once(&setup, &spec, 99);
+            assert!(
+                r.is_some(),
+                "degenerate run for {} + {}",
+                mod_strategy.name(),
+                model.name()
+            );
+        }
+    }
+}
+
+/// Full determinism across the whole pipeline: same seeds, same bytes.
+#[test]
+fn pipeline_is_bit_deterministic() {
+    let setup_a = prepare(DatasetKind::Car, Scale::Smoke, 42);
+    let setup_b = prepare(DatasetKind::Car, Scale::Smoke, 42);
+    assert_eq!(setup_a.dataset, setup_b.dataset);
+    assert_eq!(setup_a.pool, setup_b.pool);
+    let spec = RunSpec::new(ModelKind::Lgbm, Scale::Smoke);
+    assert_eq!(run_once(&setup_a, &spec, 5), run_once(&setup_b, &spec, 5));
+}
+
+/// FROTE's output dataset always retrains to the model it returns (the
+/// advertised contract: `D̂` is the artifact, the model is a convenience).
+#[test]
+fn output_dataset_reproduces_output_model() {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+    let rule = parse_rule("safety = low => acc", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let trainer = fast_rf();
+    let config = FroteConfig {
+        iteration_limit: 5,
+        instances_per_iteration: Some(20),
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
+    use frote_ml::TrainAlgorithm;
+    let retrained = trainer.train(&out.dataset);
+    // Same training data + deterministic trainer => identical predictions.
+    for i in (0..ds.n_rows()).step_by(17) {
+        assert_eq!(retrained.predict(&ds.row(i)), out.model.predict(&ds.row(i)));
+    }
+}
+
+/// The quota accounting in the report matches the dataset growth.
+#[test]
+fn report_accounting_matches_dataset() {
+    let ds = DatasetKind::Mushroom.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+    let rule = parse_rule("odor = odor-2 => poisonous", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let config = FroteConfig {
+        iteration_limit: 6,
+        instances_per_iteration: Some(25),
+        mod_strategy: ModStrategy::None,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(8);
+    let out = Frote::new(config).run(&ds, &fast_rf(), &frs, &mut rng).unwrap();
+    assert_eq!(out.dataset.n_rows(), ds.n_rows() + out.report.instances_added);
+    let accepted_total: usize = out
+        .report
+        .iterations
+        .iter()
+        .filter(|r| r.accepted)
+        .map(|r| r.proposed)
+        .sum();
+    assert_eq!(accepted_total, out.report.instances_added);
+}
+
+/// Drawn rule sets stay conflict-free across every dataset at smoke scale.
+#[test]
+fn conflict_free_draws_across_all_datasets() {
+    for kind in DatasetKind::ALL {
+        let setup = prepare(kind, Scale::Smoke, 42);
+        let mut rng = StdRng::seed_from_u64(11);
+        let frs = draw_conflict_free_frs(&setup, 5, &mut rng);
+        assert!(!frs.is_empty(), "{}: empty draw", kind.name());
+        assert!(
+            frs.is_conflict_free(setup.dataset.schema()),
+            "{}: conflicting draw",
+            kind.name()
+        );
+    }
+}
+
+/// Probabilistic rules flow through the whole stack: a 60/40 rule yields
+/// both labels among the synthetics and a valid run.
+#[test]
+fn probabilistic_rules_end_to_end() {
+    use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
+    use frote_data::Value;
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+    let rule = FeedbackRule::new(
+        Clause::new(vec![Predicate::new(5, Op::Eq, Value::Cat(2))]),
+        LabelDist::probabilistic(vec![0.0, 0.6, 0.4, 0.0]).unwrap(),
+    );
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let config = FroteConfig {
+        iteration_limit: 6,
+        instances_per_iteration: Some(30),
+        mod_strategy: ModStrategy::None,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let out = Frote::new(config).run(&ds, &fast_rf(), &frs, &mut rng).unwrap();
+    if out.report.instances_added >= 30 {
+        let new_labels: Vec<u32> =
+            (ds.n_rows()..out.dataset.n_rows()).map(|i| out.dataset.label(i)).collect();
+        assert!(new_labels.iter().all(|&l| l == 1 || l == 2), "{new_labels:?}");
+        assert!(new_labels.iter().any(|&l| l == 1));
+    }
+}
+
+/// Evaluating the final model on the test split gives finite, bounded
+/// metrics on every dataset/model combination (smoke matrix sweep).
+#[test]
+fn metric_bounds_across_matrix() {
+    for kind in [DatasetKind::Car, DatasetKind::Splice] {
+        let setup = prepare(kind, Scale::Smoke, 42);
+        for model in ModelKind::ALL {
+            let spec = RunSpec::new(model, Scale::Smoke);
+            if let Some(r) = run_once(&setup, &spec, 1) {
+                for v in [r.initial, r.modified, r.final_] {
+                    assert!(v.j.is_finite() && (0.0..=1.0).contains(&v.j));
+                    assert!((0.0..=1.0).contains(&v.mra));
+                    assert!((0.0..=1.0).contains(&v.f1));
+                }
+            }
+        }
+    }
+}
+
+/// paper_j degrades gracefully when the FRS covers the entire test set.
+#[test]
+fn full_coverage_objective() {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 100, ..Default::default() });
+    let rule = parse_rule("TRUE => unacc", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    use frote_ml::TrainAlgorithm;
+    let model = fast_rf().train(&ds);
+    let v = paper_j(model.as_ref(), &ds, &frs);
+    // Outside coverage is empty -> F1 vacuous 1.0 but weighted by 0 mass.
+    assert!((0.0..=1.0).contains(&v.j));
+    assert_eq!(v.f1, 1.0);
+}
