@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(42);
-                black_box(
-                    Frote::new(config).run(&ds, trainer.as_ref(), &frs, &mut rng).unwrap(),
-                )
+                black_box(Frote::new(config).run(&ds, trainer.as_ref(), &frs, &mut rng).unwrap())
             })
         });
     }

@@ -10,9 +10,8 @@ use rand::{Rng, SeedableRng};
 fn problem(p: usize, rules: usize, seed: u64) -> SelectionProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     let weights: Vec<f64> = (0..p).map(|_| rng.random_range(1.0..4.0)).collect();
-    let coverage: Vec<Vec<usize>> = (0..rules)
-        .map(|_| (0..p).filter(|_| rng.random::<f64>() < 0.4).collect())
-        .collect();
+    let coverage: Vec<Vec<usize>> =
+        (0..rules).map(|_| (0..p).filter(|_| rng.random::<f64>() < 0.4).collect()).collect();
     SelectionProblem::new(weights, coverage, 6, 20)
 }
 

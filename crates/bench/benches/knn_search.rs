@@ -10,8 +10,7 @@ use frote_ml::distance::{MixedDistance, MixedMetric};
 use frote_ml::knn::k_nearest_of_row;
 
 fn bench(c: &mut Criterion) {
-    let ds =
-        DatasetKind::BreastCancer.generate(&SynthConfig { n_rows: 569, ..Default::default() });
+    let ds = DatasetKind::BreastCancer.generate(&SynthConfig { n_rows: 569, ..Default::default() });
     let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
     let all: Vec<usize> = (0..ds.n_rows()).collect();
     c.bench_function("brute_force_knn_k5", |b| {
@@ -21,13 +20,9 @@ fn bench(c: &mut Criterion) {
     let encoder = Encoder::fit(&ds);
     let points = encoder.encode_dataset(&ds);
     let query = points[0].clone();
-    c.bench_function("ball_tree_build", |b| {
-        b.iter(|| black_box(BallTree::build(points.clone())))
-    });
+    c.bench_function("ball_tree_build", |b| b.iter(|| black_box(BallTree::build(points.clone()))));
     let tree = BallTree::build(points);
-    c.bench_function("ball_tree_knn_k5", |b| {
-        b.iter(|| black_box(tree.k_nearest(&query, 5)))
-    });
+    c.bench_function("ball_tree_knn_k5", |b| b.iter(|| black_box(tree.k_nearest(&query, 5))));
 }
 
 criterion_group!(benches, bench);

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use frote::preselect::BasePopulation;
 use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_data::Value;
-use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
 use frote_rules::FeedbackRuleSet;
+use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
 
 fn bench(c: &mut Criterion) {
     let ds = DatasetKind::Adult.generate(&SynthConfig { n_rows: 2000, ..Default::default() });

@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     let setup = prepare(DatasetKind::Mushroom, Scale::Smoke, 42);
     let mut rng = StdRng::seed_from_u64(1);
     let frs = draw_conflict_free_frs(&setup, 5, &mut rng);
-    c.bench_function("frs_union_coverage", |b| {
-        b.iter(|| black_box(frs.coverage(&setup.dataset)))
-    });
+    c.bench_function("frs_union_coverage", |b| b.iter(|| black_box(frs.coverage(&setup.dataset))));
     c.bench_function("frs_attributed_coverage", |b| {
         b.iter(|| black_box(frs.attributed_coverage(&setup.dataset)))
     });

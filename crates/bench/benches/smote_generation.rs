@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
-    let ds = DatasetKind::Contraceptive
-        .generate(&SynthConfig { n_rows: 1000, ..Default::default() });
+    let ds =
+        DatasetKind::Contraceptive.generate(&SynthConfig { n_rows: 1000, ..Default::default() });
 
     c.bench_function("smote_nc_generate_100", |b| {
         let smote = SmoteNc::new(SmoteParams::default());

@@ -42,8 +42,7 @@ fn main() {
                 mod_strategy: ModStrategy::None,
                 ..Default::default()
             };
-            let Ok(out) =
-                Frote::new(config).run(&modified, trainer.as_ref(), &p.frs, &mut p.rng)
+            let Ok(out) = Frote::new(config).run(&modified, trainer.as_ref(), &p.frs, &mut p.rng)
             else {
                 continue;
             };

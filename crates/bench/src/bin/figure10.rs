@@ -7,12 +7,9 @@ use frote_eval::experiments::rule_count;
 
 fn main() {
     let opts = CliOptions::from_env();
-    for kind in [
-        DatasetKind::Car,
-        DatasetKind::Contraceptive,
-        DatasetKind::Nursery,
-        DatasetKind::Splice,
-    ] {
+    for kind in
+        [DatasetKind::Car, DatasetKind::Contraceptive, DatasetKind::Nursery, DatasetKind::Splice]
+    {
         let cells = rule_count::run_dataset(kind, opts.scale, &rule_count::SIZE_GRID);
         println!("{}", rule_count::render_cells(kind, &cells));
     }

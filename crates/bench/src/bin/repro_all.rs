@@ -1,13 +1,13 @@
 //! Runs every table/figure reproduction in sequence (smoke scale by
 //! default). `EXPERIMENTS.md` archives a full transcript.
 
+use frote::ModStrategy;
 use frote_bench::CliOptions;
 use frote_data::synth::DatasetKind;
 use frote_eval::experiments::{
     benefit, overlay_cmp, probabilistic, progress, rule_count, selection_cmp, table1,
 };
 use frote_eval::Scale;
-use frote::ModStrategy;
 
 fn main() {
     let opts = CliOptions::from_env();

@@ -7,8 +7,7 @@ use frote_eval::experiments::probabilistic;
 
 fn main() {
     let opts = CliOptions::from_env();
-    let kinds =
-        [DatasetKind::Mushroom, DatasetKind::WineQuality, DatasetKind::BreastCancer];
+    let kinds = [DatasetKind::Mushroom, DatasetKind::WineQuality, DatasetKind::BreastCancer];
     let cells = probabilistic::run_datasets(&kinds, opts.scale);
     println!("{}", probabilistic::render_cells(&cells));
 }

@@ -8,10 +8,7 @@ use frote_eval::experiments::overlay_cmp;
 fn main() {
     let opts = CliOptions::from_env();
     let adult = overlay_cmp::run_datasets(&[DatasetKind::Adult], opts.scale);
-    println!(
-        "{}",
-        overlay_cmp::render_delta_j("Table 7: ΔJ̄ vs Overlay on Adult", &adult)
-    );
+    println!("{}", overlay_cmp::render_delta_j("Table 7: ΔJ̄ vs Overlay on Adult", &adult));
     let kinds = [DatasetKind::BreastCancer, DatasetKind::Mushroom, DatasetKind::Adult];
     let cells = overlay_cmp::run_datasets(&kinds, opts.scale);
     println!("{}", overlay_cmp::render_mra_f(&cells));

@@ -139,7 +139,9 @@ impl Frote {
         frs.validate(input.schema())?;
         frs.require_effectively_conflict_free(input.schema())?;
         if cfg.iteration_limit == 0 {
-            return Err(FroteError::InvalidConfig { detail: "iteration limit must be >= 1".into() });
+            return Err(FroteError::InvalidConfig {
+                detail: "iteration limit must be >= 1".into(),
+            });
         }
         if cfg.k == 0 {
             return Err(FroteError::InvalidConfig { detail: "k must be >= 1".into() });
@@ -151,20 +153,15 @@ impl Frote {
         }
 
         // Line 1: η ← q|D|/τ (unless overridden), D̂ ← D (after modification).
-        let quota =
-            (cfg.oversampling_fraction * input.n_rows() as f64).round() as usize;
-        let eta = cfg
-            .instances_per_iteration
-            .unwrap_or_else(|| (quota / cfg.iteration_limit).max(1));
+        let quota = (cfg.oversampling_fraction * input.n_rows() as f64).round() as usize;
+        let eta =
+            cfg.instances_per_iteration.unwrap_or_else(|| (quota / cfg.iteration_limit).max(1));
         let mut active = cfg.mod_strategy.apply(input, frs);
         if active.is_empty() {
             return Err(FroteError::EmptyDataset);
         }
         if active.n_rows() < cfg.k + 1 {
-            return Err(FroteError::DatasetTooSmall {
-                rows: active.n_rows(),
-                required: cfg.k + 1,
-            });
+            return Err(FroteError::DatasetTooSmall { rows: active.n_rows(), required: cfg.k + 1 });
         }
 
         // Lines 2-4: initial model, objective, base population.
@@ -178,21 +175,12 @@ impl Frote {
         let mut total_added = 0usize;
         let mut i = 0usize;
         while i < cfg.iteration_limit && total_added <= quota {
-            let base = cfg.selection.select(
-                &active,
-                frs,
-                &bp,
-                eta,
-                cfg.k,
-                model.as_ref(),
-                rng,
-            );
+            let base = cfg.selection.select(&active, frs, &bp, eta, cfg.k, model.as_ref(), rng);
             if base.is_empty() {
                 break; // no viable rule populations — nothing can be generated
             }
             let synthetic = {
-                let generator =
-                    Generator::new(&active, frs, &bp, cfg.k, cfg.label_policy);
+                let generator = Generator::new(&active, frs, &bp, cfg.k, cfg.label_policy);
                 generator.generate(&base, rng)
             };
             if synthetic.is_empty() {
@@ -206,8 +194,7 @@ impl Frote {
             // rule-covered instances in existence are the synthetic ones in
             // D', so evaluating over the pre-augmentation D̂ would leave the
             // MRA term empty forever and no candidate could be accepted.
-            let candidate_j =
-                empirical_j(candidate_model.as_ref(), &candidate, frs, &cfg.weights);
+            let candidate_j = empirical_j(candidate_model.as_ref(), &candidate, frs, &cfg.weights);
             let accepted = candidate_j.j > best.j;
             let record = IterationRecord {
                 iteration: i,
@@ -317,11 +304,7 @@ mod tests {
     }
 
     fn quick_config() -> FroteConfig {
-        FroteConfig {
-            iteration_limit: 6,
-            instances_per_iteration: Some(20),
-            ..Default::default()
-        }
+        FroteConfig { iteration_limit: 6, instances_per_iteration: Some(20), ..Default::default() }
     }
 
     #[test]
@@ -331,16 +314,11 @@ mod tests {
         let rule = parse_rule("safety = low AND buying = low => acc", ds.schema()).unwrap();
         let frs = FeedbackRuleSet::new(vec![rule]);
         let mut rng = StdRng::seed_from_u64(42);
-        let out =
-            Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
+        let out = Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
         // Relabel + augmentation: final objective must not be worse than the
         // initial one (Algorithm 1 never accepts a worse dataset).
         assert!(out.report.final_objective.j + 1e-9 >= out.report.initial.j);
-        assert_eq!(
-            out.dataset.n_rows(),
-            400 + out.report.instances_added,
-            "row accounting"
-        );
+        assert_eq!(out.dataset.n_rows(), 400 + out.report.instances_added, "row accounting");
     }
 
     #[test]
@@ -349,8 +327,7 @@ mod tests {
         let rule = parse_rule("safety = med => good", ds.schema()).unwrap();
         let frs = FeedbackRuleSet::new(vec![rule]);
         let mut rng = StdRng::seed_from_u64(7);
-        let out =
-            Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
+        let out = Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
         let mut floor = out.report.initial.j;
         for r in &out.report.iterations {
             if r.accepted {
@@ -483,8 +460,7 @@ mod tests {
         let rule = parse_rule("safety = low => vgood", ds.schema()).unwrap();
         let frs = FeedbackRuleSet::new(vec![rule.clone()]);
         let mut rng = StdRng::seed_from_u64(11);
-        let out =
-            Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
+        let out = Frote::new(quick_config()).run(&ds, &fast_trainer(), &frs, &mut rng).unwrap();
         // All appended rows (beyond the original 300) satisfy the rule's
         // clause and carry its class.
         let class = rule.dist().mode();

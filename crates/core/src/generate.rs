@@ -18,18 +18,19 @@ use frote_data::{Dataset, FeatureKind, Value};
 use frote_ml::distance::{MixedDistance, MixedMetric};
 use frote_ml::knn::k_nearest_of_row;
 use frote_rules::{Clause, FeedbackRuleSet, Op};
-use rand::seq::IndexedRandom;
 use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
 use rand::Rng;
 
 use crate::preselect::BasePopulation;
 use crate::select::BaseInstance;
 
 /// How generated instances are labelled.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LabelPolicy {
     /// Sample from the rule's distribution `π` (the paper's default; exact
     /// assignment for deterministic rules).
+    #[default]
     FromRule,
     /// The supplement's probabilistic-rule experiment (Table 6): with
     /// probability `p` the label is the rule's class `c`; otherwise it is the
@@ -39,12 +40,6 @@ pub enum LabelPolicy {
         /// Confidence in the expert rule.
         p: f64,
     },
-}
-
-impl Default for LabelPolicy {
-    fn default() -> Self {
-        LabelPolicy::FromRule
-    }
 }
 
 /// The FROTE synthetic instance generator bound to one active dataset.
@@ -103,11 +98,7 @@ impl<'a> Generator<'a> {
 
     /// Generates a single instance for `base`, honouring a pinned neighbour
     /// when present.
-    pub fn generate_for(
-        &self,
-        base: &BaseInstance,
-        rng: &mut StdRng,
-    ) -> Option<(Vec<Value>, u32)> {
+    pub fn generate_for(&self, base: &BaseInstance, rng: &mut StdRng) -> Option<(Vec<Value>, u32)> {
         let (rule, row) = (base.rule, base.row);
         let members = &self.bp.population(rule).members;
         let neighbors = k_nearest_of_row(self.ds, row, members, self.k, &self.dist);
@@ -209,8 +200,7 @@ impl<'a> Generator<'a> {
         clause: &Clause,
         cardinality: usize,
     ) -> u32 {
-        let conds: Vec<_> =
-            clause.predicates().iter().filter(|p| p.feature() == feature).collect();
+        let conds: Vec<_> = clause.predicates().iter().filter(|p| p.feature() == feature).collect();
         let ok = |c: u32| conds.iter().all(|p| p.eval(Value::Cat(c)));
         // Equality condition pins the value outright.
         if let Some(p) = conds.iter().find(|p| p.op() == Op::Eq) {
@@ -384,19 +374,13 @@ mod tests {
         )])
     }
 
-    fn generate_many(
-        d: &Dataset,
-        frs: &FeedbackRuleSet,
-        n: usize,
-        policy: LabelPolicy,
-    ) -> Dataset {
+    fn generate_many(d: &Dataset, frs: &FeedbackRuleSet, n: usize, policy: LabelPolicy) -> Dataset {
         let bp = BasePopulation::pre_select(d, frs, 5);
         let gen = Generator::new(d, frs, &bp, 5, policy);
         let mut rng = StdRng::seed_from_u64(42);
         let members = &bp.population(0).members;
-        let base: Vec<BaseInstance> = (0..n)
-            .map(|t| BaseInstance::new(0, members[t % members.len()]))
-            .collect();
+        let base: Vec<BaseInstance> =
+            (0..n).map(|t| BaseInstance::new(0, members[t % members.len()])).collect();
         gen.generate(&base, &mut rng)
     }
 

@@ -119,7 +119,7 @@ mod tests {
         let d = ds();
         let out = ModStrategy::Drop.apply(&d, &frs());
         assert_eq!(out.n_rows(), 5); // row 1 dropped
-        // Remaining covered rows agree with the rule.
+                                     // Remaining covered rows agree with the rule.
         for i in 0..out.n_rows() {
             if out.value(i, 0).expect_num() < 3.0 {
                 assert_eq!(out.label(i), 1);

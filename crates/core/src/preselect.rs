@@ -83,10 +83,7 @@ impl BasePopulation {
 
     /// Rules with at least `k + 1` members (generation is possible).
     pub fn viable(&self, k: usize) -> Vec<usize> {
-        self.populations
-            .iter()
-            .filter_map(|p| (p.members.len() >= k + 1).then_some(p.rule))
-            .collect()
+        self.populations.iter().filter_map(|p| (p.members.len() > k).then_some(p.rule)).collect()
     }
 
     /// Union of all members (sorted, deduplicated) — the paper's `P`.

@@ -92,14 +92,24 @@ mod tests {
     }
 
     fn record(i: usize, accepted: bool, j: f64, total: usize) -> IterationRecord {
-        IterationRecord { iteration: i, accepted, proposed: 10, candidate: obj(j), total_added: total }
+        IterationRecord {
+            iteration: i,
+            accepted,
+            proposed: 10,
+            candidate: obj(j),
+            total_added: total,
+        }
     }
 
     #[test]
     fn counts_and_improvement() {
         let report = FroteReport {
             initial: obj(0.5),
-            iterations: vec![record(0, true, 0.6, 10), record(1, false, 0.55, 10), record(2, true, 0.7, 20)],
+            iterations: vec![
+                record(0, true, 0.6, 10),
+                record(1, false, 0.55, 10),
+                record(2, true, 0.7, 20),
+            ],
             final_objective: obj(0.7),
             instances_added: 20,
         };

@@ -18,9 +18,9 @@
 use frote_data::Dataset;
 use frote_ml::logreg::{LogRegParams, LogisticRegression};
 use frote_ml::Classifier;
+use frote_opt::SelectionProblem;
 use frote_rules::FeedbackRuleSet;
 use frote_smote::borderline::borderline_weights;
-use frote_opt::SelectionProblem;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 
@@ -87,6 +87,7 @@ impl SelectionStrategy {
     ///
     /// `model` is the current model `M_D̂` — used by `Ip` (borderline
     /// weights) and `OnlineProxy` (proxy labels); `Random` ignores it.
+    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
     pub fn select(
         self,
         ds: &Dataset,
@@ -104,9 +105,7 @@ impl SelectionStrategy {
         match self {
             SelectionStrategy::Random => random_select(bp, &viable, eta, rng),
             SelectionStrategy::Ip => ip_select(ds, bp, &viable, eta, k, model),
-            SelectionStrategy::OnlineProxy => {
-                online_proxy_select(ds, frs, bp, &viable, eta, model)
-            }
+            SelectionStrategy::OnlineProxy => online_proxy_select(ds, frs, bp, &viable, eta, model),
             SelectionStrategy::JointNeighbors => {
                 joint_neighbor_select(ds, frs, bp, &viable, eta, k)
             }
@@ -200,8 +199,7 @@ fn joint_neighbor_select(
     use frote_ml::distance::{MixedDistance, MixedMetric};
     use frote_ml::knn::k_nearest_of_row;
 
-    let proxy =
-        LogisticRegression::fit(ds, &LogRegParams { max_iter: 50, ..Default::default() });
+    let proxy = LogisticRegression::fit(ds, &LogRegParams { max_iter: 50, ..Default::default() });
     let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
     let quota = (eta / viable.len()).max(1);
     /// Cap on candidate bases scored per rule, keeping the pass `O(P·k)`.
@@ -248,10 +246,7 @@ fn online_proxy_select(
     eta: usize,
     _model: &dyn Classifier,
 ) -> Vec<BaseInstance> {
-    let proxy = LogisticRegression::fit(
-        ds,
-        &LogRegParams { max_iter: 50, ..Default::default() },
-    );
+    let proxy = LogisticRegression::fit(ds, &LogRegParams { max_iter: 50, ..Default::default() });
     let quota = (eta / viable.len()).max(1);
     let mut out = Vec::new();
     for &r in viable {
@@ -326,8 +321,7 @@ mod tests {
     fn random_respects_populations_and_quota() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel =
-            SelectionStrategy::Random.select(&d, &f, &bp, 8, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::Random.select(&d, &f, &bp, 8, 5, &Stub, &mut rng);
         assert_eq!(sel.len(), 8);
         for b in &sel {
             assert!(bp.population(b.rule).members.contains(&b.row));
@@ -357,8 +351,7 @@ mod tests {
     fn online_proxy_prefers_hard_candidates() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel =
-            SelectionStrategy::OnlineProxy.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::OnlineProxy.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
         assert!(!sel.is_empty());
         for b in &sel {
             assert!(bp.population(b.rule).members.contains(&b.row));
@@ -389,8 +382,7 @@ mod tests {
     fn joint_neighbors_pins_valid_pairs() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel =
-            SelectionStrategy::JointNeighbors.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::JointNeighbors.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
         assert!(!sel.is_empty());
         for b in &sel {
             let members = &bp.population(b.rule).members;
@@ -404,10 +396,24 @@ mod tests {
     #[test]
     fn selection_is_deterministic_per_seed() {
         let (d, f, bp) = setup();
-        let a = SelectionStrategy::Random
-            .select(&d, &f, &bp, 8, 5, &Stub, &mut StdRng::seed_from_u64(3));
-        let b = SelectionStrategy::Random
-            .select(&d, &f, &bp, 8, 5, &Stub, &mut StdRng::seed_from_u64(3));
+        let a = SelectionStrategy::Random.select(
+            &d,
+            &f,
+            &bp,
+            8,
+            5,
+            &Stub,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = SelectionStrategy::Random.select(
+            &d,
+            &f,
+            &bp,
+            8,
+            5,
+            &Stub,
+            &mut StdRng::seed_from_u64(3),
+        );
         assert_eq!(a, b);
     }
 }

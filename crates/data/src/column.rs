@@ -86,9 +86,7 @@ impl Column {
     pub fn gather(&self, indices: &[usize]) -> Column {
         match self {
             Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
-            Column::Categorical(v) => {
-                Column::Categorical(indices.iter().map(|&i| v[i]).collect())
-            }
+            Column::Categorical(v) => Column::Categorical(indices.iter().map(|&i| v[i]).collect()),
         }
     }
 

@@ -73,10 +73,8 @@ pub fn to_string(ds: &Dataset) -> String {
 /// crate keeps a single error type; I/O is only reachable through these two
 /// convenience functions).
 pub fn write_path(ds: &Dataset, path: impl AsRef<std::path::Path>) -> Result<(), DataError> {
-    std::fs::write(path, to_string(ds)).map_err(|e| DataError::Parse {
-        line: 0,
-        detail: format!("io error: {e}"),
-    })
+    std::fs::write(path, to_string(ds))
+        .map_err(|e| DataError::Parse { line: 0, detail: format!("io error: {e}") })
 }
 
 /// Reads a dataset from a CSV file written by [`write_path`].
@@ -86,10 +84,8 @@ pub fn write_path(ds: &Dataset, path: impl AsRef<std::path::Path>) -> Result<(),
 /// As [`from_str`], plus an I/O error surfaced as [`DataError::Parse`] with
 /// line 0.
 pub fn read_path(path: impl AsRef<std::path::Path>) -> Result<Dataset, DataError> {
-    let text = std::fs::read_to_string(path).map_err(|e| DataError::Parse {
-        line: 0,
-        detail: format!("io error: {e}"),
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DataError::Parse { line: 0, detail: format!("io error: {e}") })?;
     from_str(&text)
 }
 
@@ -102,9 +98,8 @@ pub fn read_path(path: impl AsRef<std::path::Path>) -> Result<Dataset, DataError
 /// unparsable numeric cells.
 pub fn from_str(text: &str) -> Result<Dataset, DataError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or(DataError::Parse { line: 1, detail: "missing header".into() })?;
+    let (_, header) =
+        lines.next().ok_or(DataError::Parse { line: 1, detail: "missing header".into() })?;
 
     #[derive(Clone)]
     enum ColSpec {

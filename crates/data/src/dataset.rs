@@ -181,7 +181,9 @@ impl Dataset {
     /// Returns [`DataError::SchemaMismatch`] if the schemas differ.
     pub fn extend_from(&mut self, other: &Dataset) -> Result<(), DataError> {
         if self.schema != other.schema {
-            return Err(DataError::SchemaMismatch { detail: "schemas differ in extend_from".into() });
+            return Err(DataError::SchemaMismatch {
+                detail: "schemas differ in extend_from".into(),
+            });
         }
         for (a, b) in self.columns.iter_mut().zip(&other.columns) {
             a.extend_from(b);
@@ -369,9 +371,8 @@ mod tests {
     #[test]
     fn extend_schema_mismatch() {
         let mut ds = demo();
-        let other = Dataset::new(
-            Schema::builder("z", vec!["a".into(), "b".into()]).numeric("w").build(),
-        );
+        let other =
+            Dataset::new(Schema::builder("z", vec!["a".into(), "b".into()]).numeric("w").build());
         assert!(ds.extend_from(&other).is_err());
     }
 

@@ -55,11 +55,7 @@ impl Schema {
     /// assert_eq!(schema.n_classes(), 2);
     /// ```
     pub fn builder(label_name: impl Into<String>, classes: Vec<String>) -> SchemaBuilder {
-        SchemaBuilder {
-            features: Vec::new(),
-            label_name: label_name.into(),
-            classes,
-        }
+        SchemaBuilder { features: Vec::new(), label_name: label_name.into(), classes }
     }
 
     /// Number of feature columns.
@@ -143,8 +139,7 @@ impl SchemaBuilder {
 
     /// Appends a categorical feature column with the given vocabulary.
     pub fn categorical(mut self, name: impl Into<String>, categories: Vec<String>) -> Self {
-        self.features
-            .push(FeatureMeta::new(name, FeatureKind::Categorical { categories }));
+        self.features.push(FeatureMeta::new(name, FeatureKind::Categorical { categories }));
         self
     }
 
@@ -167,11 +162,7 @@ impl SchemaBuilder {
                 assert!(f.name != g.name, "duplicate feature name {:?}", f.name);
             }
         }
-        Schema {
-            features: self.features,
-            label_name: self.label_name,
-            classes: self.classes,
-        }
+        Schema { features: self.features, label_name: self.label_name, classes: self.classes }
     }
 }
 
@@ -211,10 +202,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate feature name")]
     fn duplicate_names_rejected() {
-        let _ = Schema::builder("y", vec!["a".into(), "b".into()])
-            .numeric("x")
-            .numeric("x")
-            .build();
+        let _ =
+            Schema::builder("y", vec!["a".into(), "b".into()]).numeric("x").numeric("x").build();
     }
 
     #[test]

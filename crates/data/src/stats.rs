@@ -33,7 +33,8 @@ impl NumericStats {
             sum += x;
         }
         let mean = sum / values.len() as f64;
-        let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
         NumericStats { min, max, mean, std: var.sqrt() }
     }
 
@@ -105,8 +106,7 @@ impl DatasetStats {
     /// Median of the standard deviations of all numeric columns (the
     /// SMOTE-NC nominal-mismatch penalty), or 0 when there are none.
     pub fn median_numeric_std(&self) -> f64 {
-        let mut stds: Vec<f64> =
-            self.numeric.iter().flatten().map(|s| s.std).collect();
+        let mut stds: Vec<f64> = self.numeric.iter().flatten().map(|s| s.std).collect();
         if stds.is_empty() {
             return 0.0;
         }

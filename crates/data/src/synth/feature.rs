@@ -57,9 +57,7 @@ impl FeatureGen {
                 Value::Num(means[k] + stds[k] * gaussian_unit(rng))
             }
             FeatureGen::Uniform { lo, hi } => Value::Num(rng.random_range(*lo..*hi)),
-            FeatureGen::Categorical { weights } => {
-                Value::Cat(pick_weighted(weights, rng) as u32)
-            }
+            FeatureGen::Categorical { weights } => Value::Cat(pick_weighted(weights, rng) as u32),
         }
     }
 

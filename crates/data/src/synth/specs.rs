@@ -66,12 +66,7 @@ pub(super) fn adult() -> SynthSpec {
     ];
     let concept = PlantedConcept::new(
         vec![
-            ConceptRule::new(
-                vec![
-                    ConceptCond::NumGe { feature: 2, threshold: 6_000.0 },
-                ],
-                1,
-            ),
+            ConceptRule::new(vec![ConceptCond::NumGe { feature: 2, threshold: 6_000.0 }], 1),
             ConceptRule::new(
                 vec![
                     ConceptCond::NumGe { feature: 1, threshold: 12.5 },
@@ -96,8 +91,18 @@ pub(super) fn adult() -> SynthSpec {
 
 /// Breast Cancer (diagnostic): 30 numeric features, 2 classes, 569 rows.
 pub(super) fn breast_cancer() -> SynthSpec {
-    let stems = ["radius", "texture", "perimeter", "area", "smoothness", "compactness",
-        "concavity", "concave-points", "symmetry", "fractal-dim"];
+    let stems = [
+        "radius",
+        "texture",
+        "perimeter",
+        "area",
+        "smoothness",
+        "compactness",
+        "concavity",
+        "concave-points",
+        "symmetry",
+        "fractal-dim",
+    ];
     let suffixes = ["mean", "se", "worst"];
     let mut builder = Schema::builder("diagnosis", vec!["benign".into(), "malignant".into()]);
     for suffix in suffixes {
@@ -191,10 +196,20 @@ pub(super) fn nursery() -> SynthSpec {
 
 /// Wine Quality (white): 11 numeric features, 7 classes, 4898 rows.
 pub(super) fn wine_quality() -> SynthSpec {
-    let names = ["fixed-acidity", "volatile-acidity", "citric-acid", "residual-sugar",
-        "chlorides", "free-so2", "total-so2", "density", "ph", "sulphates", "alcohol"];
-    let mut builder =
-        Schema::builder("quality", (3..=9).map(|q| q.to_string()).collect());
+    let names = [
+        "fixed-acidity",
+        "volatile-acidity",
+        "citric-acid",
+        "residual-sugar",
+        "chlorides",
+        "free-so2",
+        "total-so2",
+        "density",
+        "ph",
+        "sulphates",
+        "alcohol",
+    ];
+    let mut builder = Schema::builder("quality", (3..=9).map(|q| q.to_string()).collect());
     for n in names {
         builder = builder.numeric(n);
     }
@@ -256,10 +271,29 @@ pub(super) fn wine_quality() -> SynthSpec {
 /// Mushroom: 21 nominal features, 2 classes, 8124 rows.
 pub(super) fn mushroom() -> SynthSpec {
     let cards = [6usize, 4, 10, 2, 9, 2, 2, 2, 12, 2, 5, 4, 4, 9, 9, 4, 3, 5, 9, 6, 7];
-    let names = ["cap-shape", "cap-surface", "cap-color", "bruises", "odor", "gill-attachment",
-        "gill-spacing", "gill-size", "gill-color", "stalk-shape", "stalk-root",
-        "stalk-surface-above", "stalk-surface-below", "stalk-color-above", "stalk-color-below",
-        "veil-color", "ring-number", "ring-type", "spore-print-color", "population", "habitat"];
+    let names = [
+        "cap-shape",
+        "cap-surface",
+        "cap-color",
+        "bruises",
+        "odor",
+        "gill-attachment",
+        "gill-spacing",
+        "gill-size",
+        "gill-color",
+        "stalk-shape",
+        "stalk-root",
+        "stalk-surface-above",
+        "stalk-surface-below",
+        "stalk-color-above",
+        "stalk-color-below",
+        "veil-color",
+        "ring-number",
+        "ring-type",
+        "spore-print-color",
+        "population",
+        "habitat",
+    ];
     let mut builder = Schema::builder("class", vec!["edible".into(), "poisonous".into()]);
     for (name, &k) in names.iter().zip(&cards) {
         builder = builder.categorical(*name, vocab(&format!("{name}-"), k));
@@ -296,20 +330,18 @@ pub(super) fn mushroom() -> SynthSpec {
 
 /// Contraceptive method choice: 2 numeric + 7 nominal, 3 classes, 1473 rows.
 pub(super) fn contraceptive() -> SynthSpec {
-    let schema = Schema::builder(
-        "method",
-        vec!["none".into(), "long-term".into(), "short-term".into()],
-    )
-    .numeric("wife-age")
-    .numeric("n-children")
-    .categorical("wife-education", vocab("wedu", 4))
-    .categorical("husband-education", vocab("hedu", 4))
-    .categorical("wife-religion", vec!["non-islam".into(), "islam".into()])
-    .categorical("wife-working", vec!["yes".into(), "no".into()])
-    .categorical("husband-occupation", vocab("hocc", 4))
-    .categorical("living-standard", vocab("std", 4))
-    .categorical("media-exposure", vec!["good".into(), "not-good".into()])
-    .build();
+    let schema =
+        Schema::builder("method", vec!["none".into(), "long-term".into(), "short-term".into()])
+            .numeric("wife-age")
+            .numeric("n-children")
+            .categorical("wife-education", vocab("wedu", 4))
+            .categorical("husband-education", vocab("hedu", 4))
+            .categorical("wife-religion", vec!["non-islam".into(), "islam".into()])
+            .categorical("wife-working", vec!["yes".into(), "no".into()])
+            .categorical("husband-occupation", vocab("hocc", 4))
+            .categorical("living-standard", vocab("std", 4))
+            .categorical("media-exposure", vec!["good".into(), "not-good".into()])
+            .build();
     let gens = vec![
         FeatureGen::gaussian(32.5, 8.2),
         FeatureGen::GaussianMixture {
@@ -327,12 +359,7 @@ pub(super) fn contraceptive() -> SynthSpec {
     ];
     let concept = PlantedConcept::new(
         vec![
-            ConceptRule::new(
-                vec![
-                    ConceptCond::NumLt { feature: 1, threshold: 0.5 },
-                ],
-                0,
-            ),
+            ConceptRule::new(vec![ConceptCond::NumLt { feature: 1, threshold: 0.5 }], 0),
             ConceptRule::new(
                 vec![
                     ConceptCond::NumGe { feature: 0, threshold: 38.0 },
@@ -404,10 +431,9 @@ pub(super) fn car() -> SynthSpec {
 /// Splice-junction sequences: 60 nominal (A/C/G/T) features, 3 classes, 3190 rows.
 pub(super) fn splice() -> SynthSpec {
     let bases = vec!["A".to_string(), "C".to_string(), "G".to_string(), "T".to_string()];
-    let mut builder =
-        Schema::builder("junction", vec!["EI".into(), "IE".into(), "N".into()]);
+    let mut builder = Schema::builder("junction", vec!["EI".into(), "IE".into(), "N".into()]);
     for pos in 0..60 {
-        builder = builder.categorical(format!("p{}", pos as i32 - 30), bases.clone());
+        builder = builder.categorical(format!("p{}", pos - 30), bases.clone());
     }
     let schema = builder.build();
     let gens = (0..60).map(|_| FeatureGen::uniform_categorical(4)).collect();

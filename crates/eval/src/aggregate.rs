@@ -22,8 +22,7 @@ impl Summary {
         let std = if n < 2 {
             0.0
         } else {
-            let var =
-                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
         Summary { mean, std, n }
@@ -84,10 +83,7 @@ impl BoxStats {
 
     /// Compact rendering `lo/q1/med/q3/hi` with 3 decimals.
     pub fn display(&self) -> String {
-        format!(
-            "{:.3}/{:.3}/{:.3}/{:.3}/{:.3}",
-            self.lo, self.q1, self.median, self.q3, self.hi
-        )
+        format!("{:.3}/{:.3}/{:.3}/{:.3}/{:.3}", self.lo, self.q1, self.median, self.q3, self.hi)
     }
 }
 

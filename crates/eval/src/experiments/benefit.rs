@@ -59,16 +59,9 @@ pub fn run_dataset(
             let mut mod_improvement = Vec::new();
             let mut final_improvement = Vec::new();
             for (fi, &frs_size) in [1usize, 3, 5].iter().enumerate() {
-                let spec = RunSpec {
-                    frs_size,
-                    tcf,
-                    mod_strategy,
-                    ..RunSpec::new(model, scale)
-                };
-                let seed = 10_000
-                    + fi as u64 * 97
-                    + (tcf * 1000.0) as u64 * 13
-                    + model_tag(model) * 7;
+                let spec = RunSpec { frs_size, tcf, mod_strategy, ..RunSpec::new(model, scale) };
+                let seed =
+                    10_000 + fi as u64 * 97 + (tcf * 1000.0) as u64 * 13 + model_tag(model) * 7;
                 for r in run_many(&setup, &spec, scale.runs(), seed) {
                     initial.push(r.initial.j);
                     modified.push(r.modified.j);
@@ -142,8 +135,7 @@ mod tests {
 
     #[test]
     fn smoke_cells_have_expected_shape() {
-        let cells =
-            run_dataset(DatasetKind::Car, Scale::Smoke, ModStrategy::Relabel, &[0.0, 0.2]);
+        let cells = run_dataset(DatasetKind::Car, Scale::Smoke, ModStrategy::Relabel, &[0.0, 0.2]);
         // 3 models x 2 tcf values.
         assert_eq!(cells.len(), 6);
         for c in &cells {

@@ -52,8 +52,7 @@ fn overlay_objective(ov: &Overlay<'_>, test: &Dataset, frs: &FeedbackRuleSet) ->
             continue;
         }
         let rule = frs.rule(r);
-        let agree: f64 =
-            rows.iter().map(|&i| rule.dist().prob(ov.predict(&test.row(i)))).sum();
+        let agree: f64 = rows.iter().map(|&i| rule.dist().prob(ov.predict(&test.row(i)))).sum();
         agree_total += agree;
         covered += rows.len();
         j += (rows.len() as f64 / n as f64) * (agree / rows.len() as f64);

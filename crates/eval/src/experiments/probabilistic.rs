@@ -9,8 +9,8 @@
 
 use frote::generate::LabelPolicy;
 use frote::{Frote, FroteConfig, ModStrategy};
-use frote_data::Dataset;
 use frote_data::synth::DatasetKind;
+use frote_data::Dataset;
 use frote_ml::{metrics, Classifier};
 use frote_rules::FeedbackRuleSet;
 use rand::rngs::StdRng;
@@ -41,11 +41,7 @@ pub struct ProbabilisticCell {
 
 /// "Wrong-expert" objective: accuracy against *original* labels inside the
 /// coverage, macro-F1 outside, coverage-weighted.
-fn truth_objective(
-    model: &dyn Classifier,
-    test: &Dataset,
-    frs: &FeedbackRuleSet,
-) -> (f64, f64) {
+fn truth_objective(model: &dyn Classifier, test: &Dataset, frs: &FeedbackRuleSet) -> (f64, f64) {
     let coverage = frs.coverage(test);
     let outside = frs.outside_coverage(test);
     let cov_preds: Vec<u32> = coverage.iter().map(|&i| model.predict(&test.row(i))).collect();

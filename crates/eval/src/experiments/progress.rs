@@ -79,8 +79,7 @@ fn average_traces(traces: &[Vec<(usize, f64)>]) -> Vec<(usize, f64)> {
     let max_len = traces.iter().map(Vec::len).max().unwrap_or(0);
     let mut out = Vec::with_capacity(max_len);
     for i in 0..max_len {
-        let pts: Vec<(usize, f64)> =
-            traces.iter().filter_map(|t| t.get(i).copied()).collect();
+        let pts: Vec<(usize, f64)> = traces.iter().filter_map(|t| t.get(i).copied()).collect();
         if pts.is_empty() {
             break;
         }
@@ -95,12 +94,8 @@ fn average_traces(traces: &[Vec<(usize, f64)>]) -> Vec<(usize, f64)> {
 pub fn render_curves(kind: DatasetKind, curves: &[ProgressCurve]) -> String {
     let mut out = format!("Figure 9 data: augmentation progress on {}\n", kind.name());
     for c in curves {
-        let pts: Vec<(f64, f64)> =
-            c.points.iter().map(|&(a, j)| (a as f64, j)).collect();
-        out.push_str(&render::series(
-            &format!("{} tcf={:.2}", c.model.name(), c.tcf),
-            &pts,
-        ));
+        let pts: Vec<(f64, f64)> = c.points.iter().map(|&(a, j)| (a as f64, j)).collect();
+        out.push_str(&render::series(&format!("{} tcf={:.2}", c.model.name(), c.tcf), &pts));
     }
     out
 }

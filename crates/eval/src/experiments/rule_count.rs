@@ -40,8 +40,7 @@ pub fn run_dataset(kind: DatasetKind, scale: Scale, sizes: &[usize]) -> Vec<Rule
     for &model in &ModelKind::ALL {
         for &frs_size in sizes {
             let spec = RunSpec { frs_size, tcf: 0.2, ..RunSpec::new(model, scale) };
-            let results =
-                run_many(&setup, &spec, scale.runs(), 20_000 + frs_size as u64 * 31);
+            let results = run_many(&setup, &spec, scale.runs(), 20_000 + frs_size as u64 * 31);
             let initial: Vec<f64> = results.iter().map(|r| r.initial.j).collect();
             let modified: Vec<f64> = results.iter().map(|r| r.modified.j).collect();
             let final_: Vec<f64> = results.iter().map(|r| r.final_.j).collect();

@@ -48,9 +48,7 @@ pub fn run_datasets(kinds: &[DatasetKind], scale: Scale) -> Vec<SelectionCell> {
                     kind,
                     model,
                     strategy,
-                    delta_j: Summary::of(
-                        &results.iter().map(|r| r.delta_j()).collect::<Vec<_>>(),
-                    ),
+                    delta_j: Summary::of(&results.iter().map(|r| r.delta_j()).collect::<Vec<_>>()),
                     delta_mra: Summary::of(
                         &results.iter().map(|r| r.delta_mra()).collect::<Vec<_>>(),
                     ),
@@ -67,11 +65,11 @@ pub fn run_datasets(kinds: &[DatasetKind], scale: Scale) -> Vec<SelectionCell> {
     cells
 }
 
-fn pair<'a>(
-    cells: &'a [SelectionCell],
+fn pair(
+    cells: &[SelectionCell],
     kind: DatasetKind,
     model: ModelKind,
-) -> (Option<&'a SelectionCell>, Option<&'a SelectionCell>) {
+) -> (Option<&SelectionCell>, Option<&SelectionCell>) {
     let find = |s: SelectionStrategy| {
         cells.iter().find(|c| c.kind == kind && c.model == model && c.strategy == s)
     };

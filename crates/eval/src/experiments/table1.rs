@@ -12,10 +12,8 @@ pub fn run(scale: Scale) -> String {
     let rows: Vec<Vec<String>> = DatasetKind::ALL
         .iter()
         .map(|&kind| {
-            let ds = kind.generate(&SynthConfig {
-                n_rows: scale.n_rows(kind),
-                ..Default::default()
-            });
+            let ds =
+                kind.generate(&SynthConfig { n_rows: scale.n_rows(kind), ..Default::default() });
             let s = ds.schema();
             vec![
                 kind.name().to_string(),

@@ -36,11 +36,7 @@ impl ModelDiff {
     /// # Panics
     ///
     /// Panics if the models' class counts differ or `reference` is empty.
-    pub fn compute(
-        old: &dyn Classifier,
-        new: &dyn Classifier,
-        reference: &Dataset,
-    ) -> ModelDiff {
+    pub fn compute(old: &dyn Classifier, new: &dyn Classifier, reference: &Dataset) -> ModelDiff {
         assert_eq!(old.n_classes(), new.n_classes(), "models must share a label space");
         assert!(!reference.is_empty(), "reference dataset must be non-empty");
         let k = old.n_classes();

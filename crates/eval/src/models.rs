@@ -53,9 +53,12 @@ impl ModelKind {
                     ..Default::default()
                 }))
             }
-            (ModelKind::Lr, Scale::Smoke) => Box::new(LogisticRegressionTrainer::new(
-                LogRegParams { max_iter: 120, ..Default::default() },
-            )),
+            (ModelKind::Lr, Scale::Smoke) => {
+                Box::new(LogisticRegressionTrainer::new(LogRegParams {
+                    max_iter: 120,
+                    ..Default::default()
+                }))
+            }
             (ModelKind::Rf, Scale::Paper | Scale::Medium) => Box::new(RandomForestTrainer::new(
                 ForestParams {
                     n_trees: 30,
@@ -70,14 +73,12 @@ impl ModelKind {
                 },
                 42,
             )),
-            (ModelKind::Lgbm, Scale::Paper | Scale::Medium) => Box::new(GbdtTrainer::new(GbdtParams {
-                n_rounds: 50,
-                ..Default::default()
-            })),
-            (ModelKind::Lgbm, Scale::Smoke) => Box::new(GbdtTrainer::new(GbdtParams {
-                n_rounds: 10,
-                ..Default::default()
-            })),
+            (ModelKind::Lgbm, Scale::Paper | Scale::Medium) => {
+                Box::new(GbdtTrainer::new(GbdtParams { n_rounds: 50, ..Default::default() }))
+            }
+            (ModelKind::Lgbm, Scale::Smoke) => {
+                Box::new(GbdtTrainer::new(GbdtParams { n_rounds: 10, ..Default::default() }))
+            }
         }
     }
 }

@@ -20,11 +20,7 @@ pub fn tcf_split(
 }
 
 /// The Overlay-comparison protocol: both populations split 50/50.
-pub fn overlay_split(
-    ds: &Dataset,
-    frs: &FeedbackRuleSet,
-    rng: &mut StdRng,
-) -> (Dataset, Dataset) {
+pub fn overlay_split(ds: &Dataset, frs: &FeedbackRuleSet, rng: &mut StdRng) -> (Dataset, Dataset) {
     split_with_fractions(ds, frs, 0.5, 0.5, rng)
 }
 

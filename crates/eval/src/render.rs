@@ -61,10 +61,7 @@ mod tests {
         let t = table(
             "Demo",
             &["Dataset", "Value"],
-            &[
-                vec!["Car".into(), "0.1".into()],
-                vec!["Breast Cancer".into(), "0.25".into()],
-            ],
+            &[vec!["Car".into(), "0.1".into()], vec!["Breast Cancer".into(), "0.25".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "Demo");

@@ -164,7 +164,12 @@ pub fn run_once(setup: &BenchmarkSetup, spec: &RunSpec, run_seed: u64) -> Option
 }
 
 /// Convenience: collects the non-degenerate results of `runs` seeded runs.
-pub fn run_many(setup: &BenchmarkSetup, spec: &RunSpec, runs: usize, base_seed: u64) -> Vec<RunResult> {
+pub fn run_many(
+    setup: &BenchmarkSetup,
+    spec: &RunSpec,
+    runs: usize,
+    base_seed: u64,
+) -> Vec<RunResult> {
     (0..runs)
         .filter_map(|r| run_once(setup, spec, base_seed.wrapping_add(r as u64 * 1001)))
         .collect()

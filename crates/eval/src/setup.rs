@@ -34,11 +34,8 @@ pub struct BenchmarkSetup {
 ///
 /// Deterministic in `seed`.
 pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> BenchmarkSetup {
-    let dataset = kind.generate(&SynthConfig {
-        n_rows: scale.n_rows(kind),
-        seed,
-        ..Default::default()
-    });
+    let dataset =
+        kind.generate(&SynthConfig { n_rows: scale.n_rows(kind), seed, ..Default::default() });
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
     let model = ModelKind::Rf.trainer(scale).train(&dataset);
     let min_cov = (dataset.n_rows() / 40).max(5);
@@ -57,8 +54,7 @@ pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> BenchmarkSetup {
         &PerturbConfig { pool_size: scale.pool_size(), ..Default::default() },
         &mut rng,
     );
-    let pool_origins =
-        with_provenance.iter().map(|&(_, s)| seeds[s].clause().clone()).collect();
+    let pool_origins = with_provenance.iter().map(|&(_, s)| seeds[s].clause().clone()).collect();
     let pool = with_provenance.into_iter().map(|(rule, _)| rule).collect();
     BenchmarkSetup { dataset, pool, pool_origins, kind }
 }

@@ -107,10 +107,8 @@ mod tests {
         let pool = CandidatePool::build(&ds());
         assert!(!pool.is_empty());
         let has_numeric = pool.predicates().iter().any(|p| p.feature() == 0);
-        let has_cat_eq =
-            pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Eq);
-        let has_cat_ne =
-            pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Ne);
+        let has_cat_eq = pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Eq);
+        let has_cat_ne = pool.predicates().iter().any(|p| p.feature() == 1 && p.op() == Op::Ne);
         assert!(has_numeric && has_cat_eq && has_cat_ne);
     }
 

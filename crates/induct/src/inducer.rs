@@ -220,8 +220,7 @@ mod tests {
         let ds = crisp_ds();
         let rules = RuleInducer::default().induce(&ds, ds.labels());
         // Some rule for class 1 must cover mostly the x < 50 region.
-        let pos_rules: Vec<_> =
-            rules.iter().filter(|r| r.dist().mode() == 1).collect();
+        let pos_rules: Vec<_> = rules.iter().filter(|r| r.dist().mode() == 1).collect();
         assert!(!pos_rules.is_empty(), "no rules for the positive class: {rules:?}");
         let r = pos_rules[0];
         let cov = r.coverage(&ds);
@@ -251,8 +250,7 @@ mod tests {
         let rules = RuleInducer::default().induce(&ds, &predicted);
         for r in &rules {
             let cov = r.coverage(&ds);
-            let agree =
-                cov.iter().filter(|&&i| predicted[i] == r.dist().mode()).count();
+            let agree = cov.iter().filter(|&&i| predicted[i] == r.dist().mode()).count();
             let precision = agree as f64 / cov.len().max(1) as f64;
             assert!(precision >= 0.5, "rule {r} precision {precision}");
         }
@@ -303,23 +301,18 @@ mod tests {
     fn learns_interval_concepts() {
         // Label 1 iff x in [60, 140): requires a lower AND an upper bound on
         // the same feature.
-        let schema = Schema::builder("y", vec!["out".into(), "in".into()])
-            .numeric("x")
-            .build();
+        let schema = Schema::builder("y", vec!["out".into(), "in".into()]).numeric("x").build();
         let mut ds = Dataset::new(schema);
         for i in 0..200 {
             let x = i as f64;
             ds.push_row(&[Value::Num(x)], u32::from((60.0..140.0).contains(&x))).unwrap();
         }
         let rules = RuleInducer::default().induce(&ds, ds.labels());
-        let interval = rules.iter().find(|r| {
-            r.dist().mode() == 1 && r.clause().len() == 2
-        });
+        let interval = rules.iter().find(|r| r.dist().mode() == 1 && r.clause().len() == 2);
         assert!(interval.is_some(), "no interval rule induced: {rules:?}");
         let r = interval.unwrap();
         let cov = r.coverage(&ds);
-        let precision =
-            cov.iter().filter(|&&i| ds.label(i) == 1).count() as f64 / cov.len() as f64;
+        let precision = cov.iter().filter(|&&i| ds.label(i) == 1).count() as f64 / cov.len() as f64;
         assert!(precision > 0.85, "interval rule precision {precision}");
     }
 }

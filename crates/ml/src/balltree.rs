@@ -61,12 +61,8 @@ impl BallTree {
         assert!(!points.is_empty(), "ball tree needs at least one point");
         let dim = points[0].len();
         assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
-        let mut tree = BallTree {
-            order: (0..points.len()).collect(),
-            points,
-            nodes: Vec::new(),
-            root: 0,
-        };
+        let mut tree =
+            BallTree { order: (0..points.len()).collect(), points, nodes: Vec::new(), root: 0 };
         tree.root = tree.build_node(0, tree.order.len());
         tree
     }
@@ -153,10 +149,7 @@ impl BallTree {
         self.search(self.root, query, k, &mut heap);
         let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();
         out.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite")
-                .then_with(|| a.index.cmp(&b.index))
+            a.distance.partial_cmp(&b.distance).expect("finite").then_with(|| a.index.cmp(&b.index))
         });
         out
     }
@@ -237,9 +230,8 @@ mod tests {
     #[test]
     fn matches_brute_force_on_random_points() {
         let mut rng = StdRng::seed_from_u64(11);
-        let points: Vec<Vec<f64>> = (0..500)
-            .map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..500).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
         let tree = BallTree::build(points.clone());
         for _ in 0..50 {
             let q: Vec<f64> = (0..4).map(|_| rng.random_range(-10.0..10.0)).collect();

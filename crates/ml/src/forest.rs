@@ -23,10 +23,7 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        ForestParams {
-            n_trees: 100,
-            tree: TreeParams { max_depth: 3, ..Default::default() },
-        }
+        ForestParams { n_trees: 100, tree: TreeParams { max_depth: 3, ..Default::default() } }
     }
 }
 
@@ -131,10 +128,7 @@ impl Default for RandomForestTrainer {
         // retraining loop tractable at reproduction scale while preserving
         // the ensemble behaviour; the paper's headline setting (max_depth=3)
         // is kept.
-        RandomForestTrainer {
-            params: ForestParams { n_trees: 30, ..Default::default() },
-            seed: 42,
-        }
+        RandomForestTrainer { params: ForestParams { n_trees: 30, ..Default::default() }, seed: 42 }
     }
 }
 
@@ -169,11 +163,7 @@ mod tests {
     #[test]
     fn proba_is_normalized_average() {
         let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 200, ..Default::default() });
-        let forest = RandomForest::fit(
-            &ds,
-            &ForestParams { n_trees: 5, ..Default::default() },
-            7,
-        );
+        let forest = RandomForest::fit(&ds, &ForestParams { n_trees: 5, ..Default::default() }, 7);
         assert_eq!(forest.n_trees(), 5);
         for i in 0..10 {
             let p = forest.predict_proba(&ds.row(i));
@@ -236,10 +226,7 @@ mod tests {
         let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 100, ..Default::default() });
         let forest = RandomForest::fit(
             &ds,
-            &ForestParams {
-                n_trees: 3,
-                tree: TreeParams { max_depth: 0, ..Default::default() },
-            },
+            &ForestParams { n_trees: 3, tree: TreeParams { max_depth: 0, ..Default::default() } },
             0,
         );
         assert_eq!(forest.feature_importances(6), vec![0.0; 6]);

@@ -142,10 +142,8 @@ fn best_regression_split(
     for f in 0..ds.n_features() {
         match ds.column(f) {
             Column::Numeric(_) => {
-                let mut pairs: Vec<(f64, f64)> = indices
-                    .iter()
-                    .map(|&i| (ds.value(i, f).expect_num(), targets[i]))
-                    .collect();
+                let mut pairs: Vec<(f64, f64)> =
+                    indices.iter().map(|&i| (ds.value(i, f).expect_num(), targets[i])).collect();
                 pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
                 let mut left_sum = 0.0;
                 for b in 1..pairs.len() {
@@ -155,8 +153,8 @@ fn best_regression_split(
                     }
                     // Maximizing sum-of-squares gain == minimizing SSE.
                     let right_sum = total - left_sum;
-                    let score = left_sum * left_sum / b as f64
-                        + right_sum * right_sum / (n - b as f64);
+                    let score =
+                        left_sum * left_sum / b as f64 + right_sum * right_sum / (n - b as f64);
                     if best.as_ref().is_none_or(|(s, _)| score > *s) {
                         let threshold = 0.5 * (pairs[b - 1].0 + pairs[b].0);
                         best = Some((score, SplitTest::NumLe { feature: f, threshold }));
@@ -185,10 +183,7 @@ fn best_regression_split(
                     let score = sums[c] * sums[c] / counts[c] as f64
                         + right_sum * right_sum / (n - counts[c] as f64);
                     if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                        best = Some((
-                            score,
-                            SplitTest::CatEq { feature: f, category: c as u32 },
-                        ));
+                        best = Some((score, SplitTest::CatEq { feature: f, category: c as u32 }));
                     }
                 }
             }
@@ -221,10 +216,8 @@ impl Gbdt {
         let k = ds.n_classes();
         // Base score: log prior per class.
         let counts = ds.class_counts();
-        let base_score: Vec<f64> = counts
-            .iter()
-            .map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln())
-            .collect();
+        let base_score: Vec<f64> =
+            counts.iter().map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln()).collect();
         let mut scores = vec![base_score.clone(); n];
         let mut rounds = Vec::with_capacity(params.n_rounds);
         let mut probs = vec![0.0; k];

@@ -79,10 +79,7 @@ pub fn k_nearest(
     }
     let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();
     out.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .expect("finite")
-            .then_with(|| a.index.cmp(&b.index))
+        a.distance.partial_cmp(&b.distance).expect("finite").then_with(|| a.index.cmp(&b.index))
     });
     out
 }

@@ -42,8 +42,8 @@ pub mod logreg;
 pub mod metrics;
 pub mod naive_bayes;
 mod traits;
-pub mod validate;
 pub mod tree;
+pub mod validate;
 
 pub use error::MlError;
 pub use traits::{Classifier, TrainAlgorithm};

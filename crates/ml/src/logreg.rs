@@ -165,8 +165,10 @@ mod tests {
     use frote_data::{Schema, Value};
 
     fn separable() -> Dataset {
-        let schema =
-            Schema::builder("y", vec!["neg".into(), "pos".into()]).numeric("x1").numeric("x2").build();
+        let schema = Schema::builder("y", vec!["neg".into(), "pos".into()])
+            .numeric("x1")
+            .numeric("x2")
+            .build();
         let mut ds = Dataset::new(schema);
         for i in 0..100 {
             let t = i as f64 / 10.0;
@@ -186,8 +188,8 @@ mod tests {
 
     #[test]
     fn multiclass_on_planted_concept() {
-        let ds = DatasetKind::Contraceptive
-            .generate(&SynthConfig { n_rows: 800, ..Default::default() });
+        let ds =
+            DatasetKind::Contraceptive.generate(&SynthConfig { n_rows: 800, ..Default::default() });
         let model = LogisticRegressionTrainer::default().train(&ds);
         let acc = accuracy(&model.predict_dataset(&ds), ds.labels());
         // Concept is partly non-linear; LR should still clearly beat chance (1/3).

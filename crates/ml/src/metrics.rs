@@ -61,18 +61,12 @@ impl ConfusionMatrix {
 
     /// False positives for `class` (predicted as `class`, actually other).
     pub fn false_positives(&self, class: u32) -> usize {
-        (0..self.n_classes() as u32)
-            .filter(|&a| a != class)
-            .map(|a| self.count(a, class))
-            .sum()
+        (0..self.n_classes() as u32).filter(|&a| a != class).map(|a| self.count(a, class)).sum()
     }
 
     /// False negatives for `class` (actually `class`, predicted other).
     pub fn false_negatives(&self, class: u32) -> usize {
-        (0..self.n_classes() as u32)
-            .filter(|&p| p != class)
-            .map(|p| self.count(class, p))
-            .sum()
+        (0..self.n_classes() as u32).filter(|&p| p != class).map(|p| self.count(class, p)).sum()
     }
 
     /// Precision for `class`; 0 when the class was never predicted.

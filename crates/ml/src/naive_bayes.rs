@@ -71,10 +71,7 @@ impl NaiveBayes {
                                 return (0.0, 1.0); // unit Gaussian for absent classes
                             }
                             let m = rows.iter().map(|&i| v[i]).sum::<f64>() / rows.len() as f64;
-                            let var = rows
-                                .iter()
-                                .map(|&i| (v[i] - m) * (v[i] - m))
-                                .sum::<f64>()
+                            let var = rows.iter().map(|&i| (v[i] - m) * (v[i] - m)).sum::<f64>()
                                 / rows.len() as f64;
                             (m, var.max(params.var_floor))
                         })
@@ -114,8 +111,7 @@ impl NaiveBayes {
                 (FeatureModel::Gaussian(stats), Value::Num(x)) => {
                     for (s, &(m, var)) in scores.iter_mut().zip(stats) {
                         let d = x - m;
-                        *s += -0.5 * (d * d / var)
-                            - 0.5 * (2.0 * std::f64::consts::PI * var).ln();
+                        *s += -0.5 * (d * d / var) - 0.5 * (2.0 * std::f64::consts::PI * var).ln();
                     }
                 }
                 (FeatureModel::Multinomial(lp), Value::Cat(c)) => {

@@ -328,10 +328,8 @@ fn best_numeric_split(
     n_classes: usize,
     min_leaf: usize,
 ) -> Option<(f64, SplitTest)> {
-    let mut pairs: Vec<(f64, u32)> = indices
-        .iter()
-        .map(|&i| (ds.value(i, feature).expect_num(), ds.label(i)))
-        .collect();
+    let mut pairs: Vec<(f64, u32)> =
+        indices.iter().map(|&i| (ds.value(i, feature).expect_num(), ds.label(i))).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
     let n = pairs.len();
     // Candidate cut positions: boundaries between distinct values, thinned to
@@ -342,9 +340,7 @@ fn best_numeric_split(
     }
     if boundaries.len() > MAX_THRESHOLDS {
         let step = boundaries.len() as f64 / MAX_THRESHOLDS as f64;
-        boundaries = (0..MAX_THRESHOLDS)
-            .map(|k| boundaries[(k as f64 * step) as usize])
-            .collect();
+        boundaries = (0..MAX_THRESHOLDS).map(|k| boundaries[(k as f64 * step) as usize]).collect();
         boundaries.dedup();
     }
     let mut left_counts = vec![0.0; n_classes];

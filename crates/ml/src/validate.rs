@@ -74,10 +74,8 @@ pub fn cross_validate(
     let assignment = fold_assignments(ds.n_rows(), k, seed);
     let mut folds = Vec::with_capacity(k);
     for fold in 0..k {
-        let train_idx: Vec<usize> =
-            (0..ds.n_rows()).filter(|&i| assignment[i] != fold).collect();
-        let test_idx: Vec<usize> =
-            (0..ds.n_rows()).filter(|&i| assignment[i] == fold).collect();
+        let train_idx: Vec<usize> = (0..ds.n_rows()).filter(|&i| assignment[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..ds.n_rows()).filter(|&i| assignment[i] == fold).collect();
         let train = ds.gather(&train_idx);
         let test = ds.gather(&test_idx);
         let model = algorithm.train(&train);

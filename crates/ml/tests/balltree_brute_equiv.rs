@@ -1,0 +1,107 @@
+//! Public-API equivalence: [`frote_ml::balltree::BallTree::k_nearest`] must
+//! agree with a brute-force scan for every query, k, and point cloud —
+//! including ties, duplicates, and degenerate dimensions. The in-module unit
+//! tests cover small hand-built cases; this suite sweeps seeded random
+//! configurations through the public API only.
+
+use frote_ml::balltree::BallTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(rng: &mut StdRng, n: usize, dim: usize, spread: f64) -> Vec<Vec<f64>> {
+    (0..n).map(|_| (0..dim).map(|_| rng.random_range(-spread..spread)).collect()).collect()
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Brute-force distances of the k nearest points, ascending.
+fn brute_distances(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = points.iter().map(|p| euclid(p, query)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d
+}
+
+/// The tree must return exactly k hits (or n when k > n) whose distance
+/// multiset matches brute force. Ties make index comparison ambiguous, so
+/// equivalence is asserted on sorted distances, which is what kNN consumers
+/// (SMOTE neighbourhoods, borderline detection) actually depend on.
+fn assert_equivalent(points: &[Vec<f64>], query: &[f64], k: usize) {
+    let tree = BallTree::build(points.to_vec());
+    let mut got: Vec<f64> = tree.k_nearest(query, k).iter().map(|n| n.distance).collect();
+    got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let want = brute_distances(points, query, k);
+    assert_eq!(got.len(), want.len(), "hit count for k={k}, n={}", points.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!((g - w).abs() < 1e-9, "hit {i}: tree={g}, brute={w} (k={k})");
+    }
+}
+
+#[test]
+fn random_clouds_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xBA11);
+    for &(n, dim) in &[(1usize, 1usize), (7, 2), (64, 3), (257, 5), (500, 8)] {
+        let points = random_points(&mut rng, n, dim, 10.0);
+        for _ in 0..20 {
+            let query: Vec<f64> = (0..dim).map(|_| rng.random_range(-12.0..12.0)).collect();
+            for &k in &[1usize, 3, 17, n, n + 5] {
+                assert_equivalent(&points, &query, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_indices_agree_with_brute_force_when_distances_are_unique() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    // Spread points far apart so no two distances tie within tolerance.
+    let points = random_points(&mut rng, 120, 4, 1000.0);
+    for _ in 0..50 {
+        let query: Vec<f64> = (0..4).map(|_| rng.random_range(-900.0..900.0)).collect();
+        let tree = BallTree::build(points.clone());
+        let mut got: Vec<usize> = tree.k_nearest(&query, 9).iter().map(|n| n.index).collect();
+        got.sort_unstable();
+        let mut by_dist: Vec<(f64, usize)> =
+            points.iter().enumerate().map(|(i, p)| (euclid(p, &query), i)).collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut want: Vec<usize> = by_dist[..9].iter().map(|&(_, i)| i).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn clustered_duplicates_and_collinear_points() {
+    let mut rng = StdRng::seed_from_u64(0xD0D0);
+    // Two tight clusters plus exact duplicates: stresses the splitting
+    // heuristic where many points share a centroid projection.
+    let mut points = Vec::new();
+    for _ in 0..40 {
+        points.push(vec![rng.random_range(-0.01..0.01), 5.0]);
+        points.push(vec![rng.random_range(-0.01..0.01), -5.0]);
+    }
+    points.extend(std::iter::repeat_n(vec![0.0, 5.0], 8));
+    // Collinear tail along x.
+    for i in 0..30 {
+        points.push(vec![i as f64, 0.0]);
+    }
+    for query in [vec![0.0, 4.9], vec![0.0, 0.0], vec![29.0, 0.1], vec![100.0, 100.0]] {
+        for k in [1, 8, 25, points.len()] {
+            assert_equivalent(&points, &query, k);
+        }
+    }
+}
+
+#[test]
+fn query_at_every_training_point_finds_itself_first() {
+    let mut rng = StdRng::seed_from_u64(0xF1DE);
+    let points = random_points(&mut rng, 80, 3, 50.0);
+    let tree = BallTree::build(points.clone());
+    for (i, p) in points.iter().enumerate() {
+        let hits = tree.k_nearest(p, 1);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].distance < 1e-12, "self-distance for point {i}");
+    }
+}

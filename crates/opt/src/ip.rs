@@ -46,12 +46,7 @@ impl SelectionProblem {
     /// # Panics
     ///
     /// Panics if a coverage index is out of range of `weights`.
-    pub fn new(
-        weights: Vec<f64>,
-        coverage: Vec<Vec<usize>>,
-        lower: usize,
-        upper: usize,
-    ) -> Self {
+    pub fn new(weights: Vec<f64>, coverage: Vec<Vec<usize>>, lower: usize, upper: usize) -> Self {
         let p = weights.len();
         for rule in &coverage {
             for &i in rule {
@@ -201,21 +196,16 @@ impl SelectionProblem {
     fn repair(&self, z: &mut [bool]) {
         // Pass 1: satisfy lower bounds.
         for rule in &self.coverage {
-            let mut count = rule.iter().filter(|&&i| z[i]).count();
+            let count = rule.iter().filter(|&&i| z[i]).count();
             if count >= self.lower {
                 continue;
             }
-            let mut candidates: Vec<usize> =
-                rule.iter().copied().filter(|&i| !z[i]).collect();
+            let mut candidates: Vec<usize> = rule.iter().copied().filter(|&i| !z[i]).collect();
             candidates.sort_by(|&a, &b| {
                 self.weights[b].partial_cmp(&self.weights[a]).expect("finite weights")
             });
-            for i in candidates {
-                if count >= self.lower {
-                    break;
-                }
+            for &i in candidates.iter().take(self.lower - count) {
                 z[i] = true;
-                count += 1;
             }
         }
         // Pass 2: enforce upper bounds without breaking lower bounds.
@@ -265,12 +255,8 @@ mod tests {
     /// 1 rule covering everything: pick the top-weight `upper` instances.
     #[test]
     fn single_rule_picks_top_weights() {
-        let p = SelectionProblem::new(
-            vec![1.0, 5.0, 3.0, 2.0, 4.0],
-            vec![vec![0, 1, 2, 3, 4]],
-            2,
-            3,
-        );
+        let p =
+            SelectionProblem::new(vec![1.0, 5.0, 3.0, 2.0, 4.0], vec![vec![0, 1, 2, 3, 4]], 2, 3);
         let sol = p.solve();
         assert!(sol.feasible);
         assert_eq!(sol.selected, vec![1, 2, 4]); // weights 5, 3, 4
@@ -279,12 +265,7 @@ mod tests {
 
     #[test]
     fn disjoint_rules_solved_independently() {
-        let p = SelectionProblem::new(
-            vec![3.0, 1.0, 9.0, 2.0],
-            vec![vec![0, 1], vec![2, 3]],
-            1,
-            1,
-        );
+        let p = SelectionProblem::new(vec![3.0, 1.0, 9.0, 2.0], vec![vec![0, 1], vec![2, 3]], 1, 1);
         let sol = p.solve();
         assert!(sol.feasible);
         assert_eq!(sol.selected, vec![0, 2]);
@@ -294,12 +275,7 @@ mod tests {
     fn overlapping_rules_share_instances() {
         // Instance 1 covers both rules; selecting it alone satisfies L=1 for
         // both and maximizes weight headroom.
-        let p = SelectionProblem::new(
-            vec![1.0, 10.0, 1.0],
-            vec![vec![0, 1], vec![1, 2]],
-            1,
-            1,
-        );
+        let p = SelectionProblem::new(vec![1.0, 10.0, 1.0], vec![vec![0, 1], vec![1, 2]], 1, 1);
         let sol = p.solve();
         assert!(sol.feasible);
         assert_eq!(sol.selected, vec![1]);

@@ -103,8 +103,8 @@ impl Tableau {
         for i in 0..m {
             let flip = needs_artificial[i];
             let sign = if flip { -1.0 } else { 1.0 };
-            for j in 0..n {
-                t[i][j] = sign * lp.rows[i][j];
+            for (dst, &src) in t[i][..n].iter_mut().zip(&lp.rows[i]) {
+                *dst = sign * src;
             }
             t[i][n + i] = sign; // slack (negated when the row was flipped)
             t[i][width] = sign * lp.rhs[i];
@@ -136,8 +136,8 @@ impl Tableau {
             for i in 0..self.m {
                 if self.basis[i] >= self.n + self.m {
                     let row = self.t[i].clone();
-                    for j in 0..=width {
-                        self.t[self.m][j] -= row[j];
+                    for (dst, &src) in self.t[self.m].iter_mut().zip(&row) {
+                        *dst -= src;
                     }
                 }
             }
@@ -151,9 +151,7 @@ impl Tableau {
             // Drive any residual basic artificials out of the basis.
             for i in 0..self.m {
                 if self.basis[i] >= self.n + self.m {
-                    if let Some(j) =
-                        (0..self.n + self.m).find(|&j| self.t[i][j].abs() > EPS)
-                    {
+                    if let Some(j) = (0..self.n + self.m).find(|&j| self.t[i][j].abs() > EPS) {
                         self.pivot(i, j);
                     }
                     // A fully-zero row is redundant; its artificial stays
@@ -164,12 +162,9 @@ impl Tableau {
         // Phase 2: install the real objective (as its negation in the cost
         // row so positive reduced costs mean "improvable") and price out the
         // current basis.
-        let obj: Vec<f64> = (0..width)
-            .map(|j| if j < self.n { -self.objectives(j) } else { 0.0 })
-            .collect();
-        for j in 0..width {
-            self.t[self.m][j] = obj[j];
-        }
+        let obj: Vec<f64> =
+            (0..width).map(|j| if j < self.n { -self.objectives(j) } else { 0.0 }).collect();
+        self.t[self.m][..width].copy_from_slice(&obj);
         self.t[self.m][width] = 0.0;
         // Forbid artificials from re-entering: give them strongly positive
         // cost.
@@ -181,8 +176,8 @@ impl Tableau {
             let coeff = self.t[self.m][b];
             if coeff.abs() > EPS {
                 let row = self.t[i].clone();
-                for j in 0..=width {
-                    self.t[self.m][j] -= coeff * row[j];
+                for (dst, &src) in self.t[self.m].iter_mut().zip(&row) {
+                    *dst -= coeff * src;
                 }
             }
         }
@@ -195,11 +190,7 @@ impl Tableau {
                 x[self.basis[i]] = self.t[i][width];
             }
         }
-        let value = x
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| self.objectives(j) * v)
-            .sum();
+        let value = x.iter().enumerate().map(|(j, &v)| self.objectives(j) * v).sum();
         LpOutcome::Optimal { x, value }
     }
 
@@ -226,8 +217,7 @@ impl Tableau {
                         None => leave = Some((i, ratio)),
                         Some((li, lr)) => {
                             if ratio < lr - EPS
-                                || ((ratio - lr).abs() <= EPS
-                                    && self.basis[i] < self.basis[li])
+                                || ((ratio - lr).abs() <= EPS && self.basis[i] < self.basis[li])
                             {
                                 leave = Some((i, ratio));
                             }
@@ -305,9 +295,8 @@ mod tests {
     #[test]
     fn infeasible_detected() {
         // x <= 1 and x >= 2
-        let lp = LinearProgram::new(vec![1.0])
-            .constraint(vec![1.0], 1.0)
-            .constraint_ge(vec![1.0], 2.0);
+        let lp =
+            LinearProgram::new(vec![1.0]).constraint(vec![1.0], 1.0).constraint_ge(vec![1.0], 2.0);
         assert_eq!(lp.solve(), LpOutcome::Infeasible);
     }
 

@@ -1,0 +1,112 @@
+//! The simplex solver against linear programs with textbook-known optima.
+//! The in-module unit tests cover solver mechanics (phase 1, unbounded,
+//! infeasible); this suite pins exact optimal vertices and values from
+//! standard references so a future pivoting change cannot silently drift.
+
+use frote_opt::simplex::{LinearProgram, LpOutcome};
+
+fn assert_optimal(lp: &LinearProgram, want_x: &[f64], want_value: f64) {
+    match lp.solve() {
+        LpOutcome::Optimal { x, value } => {
+            assert!((value - want_value).abs() < 1e-7, "value {value}, want {want_value}");
+            assert_eq!(x.len(), want_x.len());
+            for (i, (got, want)) in x.iter().zip(want_x).enumerate() {
+                assert!((got - want).abs() < 1e-7, "x[{i}] = {got}, want {want}");
+            }
+        }
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+/// Dantzig's classic: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+/// Optimum at (2, 6) with value 36.
+#[test]
+fn dantzig_example() {
+    let lp = LinearProgram::new(vec![3.0, 5.0])
+        .constraint(vec![1.0, 0.0], 4.0)
+        .constraint(vec![0.0, 2.0], 12.0)
+        .constraint(vec![3.0, 2.0], 18.0);
+    assert_optimal(&lp, &[2.0, 6.0], 36.0);
+}
+
+/// max 5x + 4y s.t. 6x + 4y ≤ 24, x + 2y ≤ 6. Optimum at (3, 1.5), value 21.
+#[test]
+fn two_constraint_fractional_vertex() {
+    let lp = LinearProgram::new(vec![5.0, 4.0])
+        .constraint(vec![6.0, 4.0], 24.0)
+        .constraint(vec![1.0, 2.0], 6.0);
+    assert_optimal(&lp, &[3.0, 1.5], 21.0);
+}
+
+/// A three-variable product-mix LP: max 5x1 + 4x2 + 3x3 subject to
+/// 2x1 + 3x2 + x3 ≤ 5, 4x1 + x2 + 2x3 ≤ 11, 3x1 + 4x2 + 2x3 ≤ 8
+/// (Chvátal, *Linear Programming*, ch. 2). Optimum (2, 0, 1), value 13.
+#[test]
+fn chvatal_product_mix() {
+    let lp = LinearProgram::new(vec![5.0, 4.0, 3.0])
+        .constraint(vec![2.0, 3.0, 1.0], 5.0)
+        .constraint(vec![4.0, 1.0, 2.0], 11.0)
+        .constraint(vec![3.0, 4.0, 2.0], 8.0);
+    assert_optimal(&lp, &[2.0, 0.0, 1.0], 13.0);
+}
+
+/// Minimization via negated objective with ≥ constraints (diet-style):
+/// min 0.6a + 0.35b s.t. 5a + 7b ≥ 8, 4a + 2b ≥ 15, 2a + b ≥ 3.
+/// The second constraint dominates; optimum at a = 3.75, b = 0, cost 2.25.
+#[test]
+fn diet_style_minimization() {
+    let lp = LinearProgram::new(vec![-0.6, -0.35])
+        .constraint_ge(vec![5.0, 7.0], 8.0)
+        .constraint_ge(vec![4.0, 2.0], 15.0)
+        .constraint_ge(vec![2.0, 1.0], 3.0);
+    match lp.solve() {
+        LpOutcome::Optimal { x, value } => {
+            assert!((x[0] - 3.75).abs() < 1e-7, "a = {}", x[0]);
+            assert!(x[1].abs() < 1e-7, "b = {}", x[1]);
+            assert!((-value - 2.25).abs() < 1e-7, "cost = {}", -value);
+        }
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+/// Beale's cycling example. With a naive most-negative pivot rule the
+/// simplex method cycles forever on this LP; any anti-cycling safeguard
+/// must terminate at value 0.05.
+#[test]
+fn beale_cycling_example_terminates() {
+    let lp = LinearProgram::new(vec![0.75, -150.0, 0.02, -6.0])
+        .constraint(vec![0.25, -60.0, -0.04, 9.0], 0.0)
+        .constraint(vec![0.5, -90.0, -0.02, 3.0], 0.0)
+        .constraint(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+    match lp.solve() {
+        LpOutcome::Optimal { value, .. } => {
+            assert!((value - 0.05).abs() < 1e-7, "value = {value}");
+        }
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+/// A redundant + binding mix where the optimum sits on a degenerate vertex:
+/// max x + y s.t. x ≤ 2, y ≤ 2, x + y ≤ 4 (third constraint is the sum of
+/// the first two, so the vertex (2,2) is over-determined).
+#[test]
+fn degenerate_vertex_exact() {
+    let lp = LinearProgram::new(vec![1.0, 1.0])
+        .constraint(vec![1.0, 0.0], 2.0)
+        .constraint(vec![0.0, 1.0], 2.0)
+        .constraint(vec![1.0, 1.0], 4.0);
+    assert_optimal(&lp, &[2.0, 2.0], 4.0);
+}
+
+/// Scaling robustness: multiplying all constraints by a large constant must
+/// not change the argmax (only the slack magnitudes).
+#[test]
+fn scale_invariance_of_argmax() {
+    for scale in [1.0, 1e3, 1e6] {
+        let lp = LinearProgram::new(vec![3.0, 5.0])
+            .constraint(vec![scale, 0.0], 4.0 * scale)
+            .constraint(vec![0.0, 2.0 * scale], 12.0 * scale)
+            .constraint(vec![3.0 * scale, 2.0 * scale], 18.0 * scale);
+        assert_optimal(&lp, &[2.0, 6.0], 36.0);
+    }
+}

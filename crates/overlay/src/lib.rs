@@ -123,12 +123,10 @@ impl<'a> Overlay<'a> {
                 let target = rule.dist().mode();
                 match self.mode {
                     OverlayMode::Hard => target,
-                    OverlayMode::Soft => {
-                        match self.transform(row, rule.clause(), target) {
-                            Some(t) => self.model.predict(&t),
-                            None => self.model.predict(row),
-                        }
-                    }
+                    OverlayMode::Soft => match self.transform(row, rule.clause(), target) {
+                        Some(t) => self.model.predict(&t),
+                        None => self.model.predict(row),
+                    },
                 }
             }
         }
@@ -171,9 +169,8 @@ fn build_prototypes(model: &dyn Classifier, reference: &Dataset) -> Vec<Option<V
     let predicted = model.predict_dataset(reference);
     (0..model.n_classes() as u32)
         .map(|c| {
-            let members: Vec<usize> = (0..reference.n_rows())
-                .filter(|&i| predicted[i] == c)
-                .collect();
+            let members: Vec<usize> =
+                (0..reference.n_rows()).filter(|&i| predicted[i] == c).collect();
             if members.is_empty() {
                 return None;
             }
@@ -232,8 +229,10 @@ mod tests {
     }
 
     fn reference() -> Dataset {
-        let schema =
-            Schema::builder("y", vec!["neg".into(), "pos".into()]).numeric("x").numeric("z").build();
+        let schema = Schema::builder("y", vec!["neg".into(), "pos".into()])
+            .numeric("x")
+            .numeric("z")
+            .build();
         let mut ds = Dataset::new(schema);
         for i in 0..20 {
             let x = i as f64;

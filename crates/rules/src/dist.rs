@@ -54,15 +54,12 @@ impl LabelDist {
     pub fn mode(&self) -> u32 {
         match self {
             LabelDist::Deterministic(c) => *c,
-            LabelDist::Probabilistic(p) => {
-                p.iter()
-                    .enumerate()
-                    .max_by(|(i, a), (j, b)| {
-                        a.partial_cmp(b).expect("finite probs").then(j.cmp(i))
-                    })
-                    .map(|(i, _)| i as u32)
-                    .expect("validated non-empty")
-            }
+            LabelDist::Probabilistic(p) => p
+                .iter()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| a.partial_cmp(b).expect("finite probs").then(j.cmp(i)))
+                .map(|(i, _)| i as u32)
+                .expect("validated non-empty"),
         }
     }
 
@@ -100,9 +97,8 @@ impl LabelDist {
     /// The even mixture `(self + other) / 2` over `n_classes` classes —
     /// the paper's conflict-resolution option 2.
     pub fn mixture(&self, other: &LabelDist, n_classes: usize) -> LabelDist {
-        let probs = (0..n_classes as u32)
-            .map(|c| 0.5 * self.prob(c) + 0.5 * other.prob(c))
-            .collect();
+        let probs =
+            (0..n_classes as u32).map(|c| 0.5 * self.prob(c) + 0.5 * other.prob(c)).collect();
         LabelDist::Probabilistic(probs)
     }
 

@@ -39,9 +39,9 @@ pub fn parse_rule(text: &str, schema: &Schema) -> Result<FeedbackRule, RuleError
         detail: "missing `=>` between clause and class".into(),
     })?;
     let class_name = class_text.trim();
-    let class = schema.class_index(class_name).ok_or_else(|| RuleError::Parse {
-        detail: format!("unknown class {class_name:?}"),
-    })?;
+    let class = schema
+        .class_index(class_name)
+        .ok_or_else(|| RuleError::Parse { detail: format!("unknown class {class_name:?}") })?;
     let clause = parse_clause(clause_text, schema)?;
     let rule = FeedbackRule::deterministic(clause, class);
     rule.validate(schema)?;
@@ -199,14 +199,8 @@ mod tests {
     #[test]
     fn error_cases() {
         let s = schema();
-        assert!(matches!(
-            parse_rule("age < 29", &s),
-            Err(RuleError::Parse { .. })
-        ));
-        assert!(matches!(
-            parse_rule("age < 29 => maybe", &s),
-            Err(RuleError::Parse { .. })
-        ));
+        assert!(matches!(parse_rule("age < 29", &s), Err(RuleError::Parse { .. })));
+        assert!(matches!(parse_rule("age < 29 => maybe", &s), Err(RuleError::Parse { .. })));
         assert!(matches!(
             parse_rule("height < 29 => yes", &s),
             Err(RuleError::UnknownFeatureName { .. })

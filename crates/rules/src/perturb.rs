@@ -86,10 +86,8 @@ pub fn generate_pool_with_provenance<R: Rng + ?Sized>(
     assert!(schema.n_classes() >= 2, "perturbation needs at least two classes");
     let stats = DatasetStats::of(ds);
     // Pool of conditions for perturbation 3: all predicates of all seeds.
-    let condition_pool: Vec<Predicate> = seed_rules
-        .iter()
-        .flat_map(|r| r.clause().predicates().iter().copied())
-        .collect();
+    let condition_pool: Vec<Predicate> =
+        seed_rules.iter().flat_map(|r| r.clause().predicates().iter().copied()).collect();
 
     let lo = (config.min_coverage * ds.n_rows() as f64).ceil() as usize;
     let hi = (config.max_coverage * ds.n_rows() as f64).ceil() as usize;
@@ -311,8 +309,7 @@ mod tests {
             rule.validate(&schema).unwrap();
         }
         // Both seeds should be used across a pool of this size.
-        let used: std::collections::HashSet<usize> =
-            pool.iter().map(|&(_, s)| s).collect();
+        let used: std::collections::HashSet<usize> = pool.iter().map(|&(_, s)| s).collect();
         assert!(used.len() >= 2, "only one seed ever used: {used:?}");
     }
 
@@ -322,11 +319,16 @@ mod tests {
         let schema = ds.schema().clone();
         let cfg = PerturbConfig { pool_size: 10, ..Default::default() };
         let plain = generate_pool(&seeds, &ds, &schema, &cfg, &mut StdRng::seed_from_u64(4));
-        let tracked: Vec<FeedbackRule> =
-            generate_pool_with_provenance(&seeds, &ds, &schema, &cfg, &mut StdRng::seed_from_u64(4))
-                .into_iter()
-                .map(|(r, _)| r)
-                .collect();
+        let tracked: Vec<FeedbackRule> = generate_pool_with_provenance(
+            &seeds,
+            &ds,
+            &schema,
+            &cfg,
+            &mut StdRng::seed_from_u64(4),
+        )
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
         assert_eq!(plain, tracked);
     }
 

@@ -51,8 +51,7 @@ pub fn assess(rule: &FeedbackRule, ds: &Dataset) -> RuleQuality {
     let covered_positives = covered.iter().filter(|&&i| ds.label(i) == mode).count();
     let recall = if positives == 0 { 0.0 } else { covered_positives as f64 / positives as f64 };
     let base_rate = positives as f64 / n as f64;
-    let mode_precision =
-        if support == 0 { 0.0 } else { covered_positives as f64 / support as f64 };
+    let mode_precision = if support == 0 { 0.0 } else { covered_positives as f64 / support as f64 };
     let lift = if base_rate > 0.0 { mode_precision / base_rate } else { 0.0 };
     RuleQuality { support, coverage, confidence, recall, lift }
 }

@@ -56,11 +56,7 @@ pub fn relax_clause(clause: &Clause, ds: &Dataset, min_support: usize) -> Relaxe
         let mut best: Option<(usize, usize)> = None; // (condition index, support)
         for idx in 0..current.len() {
             let candidate = current.without(idx);
-            let s = if candidate.is_empty() {
-                ds.n_rows()
-            } else {
-                candidate.coverage_count(ds)
-            };
+            let s = if candidate.is_empty() { ds.n_rows() } else { candidate.coverage_count(ds) };
             if best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((idx, s));
             }

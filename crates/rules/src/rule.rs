@@ -175,17 +175,11 @@ mod tests {
     #[test]
     fn display_with_names() {
         let s = schema();
-        assert_eq!(
-            rule().display_with(&s).to_string(),
-            "IF age < 29 THEN approved = yes"
-        );
+        assert_eq!(rule().display_with(&s).to_string(), "IF age < 29 THEN approved = yes");
         let p = FeedbackRule::new(
             Clause::always_true(),
             LabelDist::probabilistic(vec![0.25, 0.75]).unwrap(),
         );
-        assert_eq!(
-            p.display_with(&s).to_string(),
-            "IF TRUE THEN approved ~ [no: 0.25, yes: 0.75]"
-        );
+        assert_eq!(p.display_with(&s).to_string(), "IF TRUE THEN approved ~ [no: 0.25, yes: 0.75]");
     }
 }

@@ -105,11 +105,7 @@ impl FeedbackRuleSet {
 
     /// Indices of all rules covering `row`.
     pub fn covering_rules(&self, row: &[Value]) -> Vec<usize> {
-        self.rules
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.covers(row).then_some(i))
-            .collect()
+        self.rules.iter().enumerate().filter_map(|(i, r)| r.covers(row).then_some(i)).collect()
     }
 
     /// Validates every rule against `schema`.
@@ -222,9 +218,8 @@ impl FeedbackRuleSet {
                 let mut intersections = Vec::new();
                 for &(i, j) in &conflicts {
                     let clause = self.rules[i].clause().and(self.rules[j].clause());
-                    let dist = self.rules[i]
-                        .dist()
-                        .mixture(self.rules[j].dist(), schema.n_classes());
+                    let dist =
+                        self.rules[i].dist().mixture(self.rules[j].dist(), schema.n_classes());
                     intersections.push(FeedbackRule::new(clause, dist));
                 }
                 let mut rules = intersections;
@@ -273,9 +268,8 @@ impl FeedbackRuleSet {
     pub fn merge_agreeing_overlaps(&self) -> FeedbackRuleSet {
         let mut kept: Vec<FeedbackRule> = Vec::new();
         for rule in &self.rules {
-            let subsumed = kept.iter().any(|k| {
-                k.dist() == rule.dist() && k.clause().subset_of(rule.clause())
-            });
+            let subsumed =
+                kept.iter().any(|k| k.dist() == rule.dist() && k.clause().subset_of(rule.clause()));
             if !subsumed {
                 kept.push(rule.clone());
             }
@@ -443,7 +437,7 @@ mod tests {
         // A row in the intersection attributes to the mixture rule.
         let d = ds();
         assert_eq!(resolved.first_covering(&d.row(0)), Some(0)); // x=1 < 3
-        // A row in only the first rule attributes to it (now index 1).
+                                                                 // A row in only the first rule attributes to it (now index 1).
         assert_eq!(resolved.first_covering(&d.row(3)), Some(1)); // x=3 in [3,5)
     }
 

@@ -1,0 +1,121 @@
+//! Round-trips between the rule parser and the schema-aware renderers:
+//! any rule built programmatically, printed with `display_with`, must parse
+//! back to an equal rule — across all operators, feature kinds, and float
+//! values (Rust's shortest-round-trip float printing guarantees exactness).
+
+use frote_rules::parse::{parse_clause, parse_predicate, parse_rule};
+use frote_rules::{Clause, FeedbackRule, Op, Predicate};
+
+use frote_data::{Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::builder("approved", vec!["no".into(), "yes".into(), "review".into()])
+        .numeric("age")
+        .numeric("income")
+        .categorical("job", vec!["eng".into(), "teacher".into(), "retired".into()])
+        .categorical("region", vec!["north".into(), "south".into()])
+        .build()
+}
+
+/// Renders `rule` in the parser's grammar (`clause => class`); the
+/// `display_with` form wraps the clause in `IF ... THEN`, which is for
+/// humans, so only the clause part is reused verbatim.
+fn to_parseable(rule: &FeedbackRule, s: &Schema) -> String {
+    let class = match rule.dist().clone() {
+        frote_rules::LabelDist::Deterministic(c) => c,
+        other => panic!("only deterministic rules are textual: {other:?}"),
+    };
+    format!("{} => {}", rule.clause().display_with(s), s.class_name(class))
+}
+
+fn random_predicate(rng: &mut StdRng) -> Predicate {
+    if rng.random_bool(0.5) {
+        // Numeric: features 0-1, any comparison operator, "ugly" floats.
+        let feature = rng.random_range(0..2usize);
+        let op = [Op::Eq, Op::Gt, Op::Ge, Op::Lt, Op::Le][rng.random_range(0..5usize)];
+        let value = match rng.random_range(0..4u32) {
+            0 => rng.random_range(-1000.0..1000.0),
+            1 => rng.random_range(-1.0..1.0) / 3.0,
+            2 => (rng.random_range(-50.0..50.0f64)).round(),
+            _ => rng.random_range(0.0..1e-6),
+        };
+        Predicate::new(feature, op, Value::Num(value))
+    } else {
+        // Categorical: features 2-3 with their real vocabulary sizes.
+        let (feature, n_cats) = if rng.random_bool(0.5) { (2, 3) } else { (3, 2) };
+        let op = if rng.random_bool(0.5) { Op::Eq } else { Op::Ne };
+        Predicate::new(feature, op, Value::Cat(rng.random_range(0..n_cats)))
+    }
+}
+
+#[test]
+fn random_rules_round_trip() {
+    let s = schema();
+    let mut rng = StdRng::seed_from_u64(0x9A25E);
+    for case in 0..500 {
+        let n_preds = rng.random_range(1..5usize);
+        let clause = Clause::new((0..n_preds).map(|_| random_predicate(&mut rng)).collect());
+        let class = rng.random_range(0..3u32);
+        let rule = FeedbackRule::deterministic(clause, class);
+        rule.validate(&s).expect("generated rules are valid");
+        let text = to_parseable(&rule, &s);
+        let back = parse_rule(&text, &s).unwrap_or_else(|e| panic!("case {case}: `{text}`: {e}"));
+        assert_eq!(back, rule, "case {case}: `{text}`");
+    }
+}
+
+#[test]
+fn single_predicates_round_trip_through_all_operators() {
+    let s = schema();
+    for op in [Op::Eq, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+        let p = Predicate::new(1, op, Value::Num(-42.125));
+        let text = format!("{}", p.display_with(&s));
+        assert_eq!(parse_predicate(&text, &s).unwrap(), p, "`{text}`");
+    }
+    for op in [Op::Eq, Op::Ne] {
+        let p = Predicate::new(2, op, Value::Cat(1));
+        let text = format!("{}", p.display_with(&s));
+        assert_eq!(parse_predicate(&text, &s).unwrap(), p, "`{text}`");
+    }
+}
+
+#[test]
+fn empty_clause_renders_and_parses_as_true() {
+    let s = schema();
+    let clause = Clause::new(vec![]);
+    let text = format!("{}", clause.display_with(&s));
+    assert_eq!(text, "TRUE");
+    assert_eq!(parse_clause(&text, &s).unwrap(), clause);
+}
+
+#[test]
+fn shortest_float_printing_is_exact() {
+    let s = schema();
+    // Floats whose decimal expansions are infinite in binary; the printed
+    // shortest form must still parse to the identical bit pattern.
+    for &v in &[0.1, 0.2, 0.3, 1.0 / 3.0, 2.0f64.sqrt(), std::f64::consts::PI, 1e-300] {
+        let p = Predicate::new(0, Op::Le, Value::Num(v));
+        let text = format!("{}", p.display_with(&s));
+        let back = parse_predicate(&text, &s).unwrap();
+        assert_eq!(back, p, "`{text}`");
+    }
+}
+
+#[test]
+fn parse_rejects_what_display_never_produces() {
+    let s = schema();
+    for bad in [
+        "age < 29",             // missing => class
+        "age < 29 => maybe",    // unknown class
+        "height < 29 => yes",   // unknown feature
+        "job > eng => yes",     // ordering operator on categorical
+        "job = plumber => yes", // unknown category
+        "age < abc => yes",     // non-numeric value
+        "age < 29 AND => yes",  // dangling AND
+        "=> yes",               // empty clause text
+    ] {
+        assert!(parse_rule(bad, &s).is_err(), "`{bad}` should not parse");
+    }
+}

@@ -61,8 +61,7 @@ pub fn classify_instances(
         .map(|&i| {
             let neighbors = k_nearest_of_row(ds, i, &all, m, &dist);
             let m_eff = neighbors.len().max(1);
-            let differing =
-                neighbors.iter().filter(|n| labels[n.index] != labels[i]).count();
+            let differing = neighbors.iter().filter(|n| labels[n.index] != labels[i]).count();
             if differing == m_eff {
                 InstanceKind::Noisy
             } else if differing * 2 >= m_eff {

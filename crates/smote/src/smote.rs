@@ -105,10 +105,7 @@ fn generate_impl<R: Rng + ?Sized>(
     }
     let members = ds.indices_of_class(class);
     if members.len() < k + 1 {
-        return Err(SmoteError::NotEnoughInstances {
-            available: members.len(),
-            required: k + 1,
-        });
+        return Err(SmoteError::NotEnoughInstances { available: members.len(), required: k + 1 });
     }
     let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
     let mut out = Dataset::with_shared_schema(ds.schema_handle());
@@ -160,8 +157,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn numeric_ds() -> Dataset {
-        let schema =
-            Schema::builder("y", vec!["maj".into(), "min".into()]).numeric("x1").numeric("x2").build();
+        let schema = Schema::builder("y", vec!["maj".into(), "min".into()])
+            .numeric("x1")
+            .numeric("x2")
+            .build();
         let mut ds = Dataset::new(schema);
         for i in 0..40 {
             ds.push_row(&[Value::Num(i as f64), Value::Num(100.0 - i as f64)], 0).unwrap();
@@ -209,10 +208,7 @@ mod tests {
             smote.generate(&ds, 1, 5, &mut rng),
             Err(SmoteError::NotEnoughInstances { available: 10, required: 21 })
         );
-        assert_eq!(
-            smote.generate(&ds, 7, 5, &mut rng),
-            Err(SmoteError::UnknownClass { class: 7 })
-        );
+        assert_eq!(smote.generate(&ds, 7, 5, &mut rng), Err(SmoteError::UnknownClass { class: 7 }));
     }
 
     #[test]

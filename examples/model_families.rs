@@ -11,8 +11,8 @@
 
 use frote::objective::paper_j;
 use frote::{Frote, FroteConfig};
-use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_data::split::train_test_split;
+use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_ml::forest::RandomForestTrainer;
 use frote_ml::gbdt::GbdtTrainer;
 use frote_ml::logreg::LogisticRegressionTrainer;
@@ -24,15 +24,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ds = DatasetKind::Contraceptive
-        .generate(&SynthConfig { n_rows: 1000, ..Default::default() });
+    let ds =
+        DatasetKind::Contraceptive.generate(&SynthConfig { n_rows: 1000, ..Default::default() });
     let mut rng = StdRng::seed_from_u64(42);
     let (train, test) = train_test_split(&ds, 0.7, &mut rng);
 
-    let rule = parse_rule(
-        "wife-age < 28 AND wife-education = wedu3 => long-term",
-        ds.schema(),
-    )?;
+    let rule = parse_rule("wife-age < 28 AND wife-education = wedu3 => long-term", ds.schema())?;
     println!("feedback rule: {}\n", rule.display_with(ds.schema()));
     let frs = FeedbackRuleSet::new(vec![rule]);
 

@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ds = DatasetKind::Contraceptive
-        .generate(&SynthConfig { n_rows: 800, ..Default::default() });
+    let ds =
+        DatasetKind::Contraceptive.generate(&SynthConfig { n_rows: 800, ..Default::default() });
     let schema = ds.schema().clone();
 
     // Expert A: young couples with children use short-term methods.
@@ -36,11 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // FROTE rejects the conflicting set outright.
     let trainer = LogisticRegressionTrainer::default();
-    let config = FroteConfig {
-        iteration_limit: 8,
-        instances_per_iteration: Some(30),
-        ..Default::default()
-    };
+    let config =
+        FroteConfig { iteration_limit: 8, instances_per_iteration: Some(30), ..Default::default() };
     let mut rng = StdRng::seed_from_u64(42);
     match Frote::new(config).run(&ds, &trainer, &frs, &mut rng) {
         Err(FroteError::Rules(e)) => println!("FROTE rejected the set: {e}"),
@@ -66,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = Frote::new(config).run(&ds, &trainer, &mixed, &mut rng)?;
     println!(
         "\nFROTE on the resolved set: J̄ {:.3} -> {:.3} ({} instances added)",
-        out.report.initial.j,
-        out.report.final_objective.j,
-        out.report.instances_added,
+        out.report.initial.j, out.report.final_objective.j, out.report.instances_added,
     );
     Ok(())
 }

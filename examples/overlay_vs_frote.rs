@@ -11,8 +11,8 @@
 //! mode damages the surrounding region — FROTE moves the boundary instead.
 
 use frote::{Frote, FroteConfig};
-use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_data::split::train_test_split;
+use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_ml::forest::RandomForestTrainer;
 use frote_ml::TrainAlgorithm;
 use frote_overlay::{Overlay, OverlayMode};
@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // accuracy outside.
     let score = |preds: &[u32]| {
         let covered: Vec<usize> = frs.attributed_coverage(&test).concat();
-        let agree = covered
-            .iter()
-            .filter(|&&i| frs.rule(0).label_agrees(preds[i]))
-            .count() as f64
+        let agree = covered.iter().filter(|&&i| frs.rule(0).label_agrees(preds[i])).count() as f64
             / covered.len().max(1) as f64;
         let outside = frs.outside_coverage(&test);
         let acc = outside.iter().filter(|&&i| preds[i] == test.label(i)).count() as f64

@@ -12,9 +12,9 @@
 
 use frote::objective::paper_j;
 use frote::{Frote, FroteConfig, ModStrategy};
+use frote_data::synth::ConceptCond;
 use frote_data::synth::{ConceptRule, FeatureGen, PlantedConcept, SynthConfig, SynthSpec};
 use frote_data::Schema;
-use frote_data::synth::ConceptCond;
 use frote_ml::forest::RandomForestTrainer;
 use frote_rules::parse::parse_rule;
 use frote_rules::FeedbackRuleSet;
@@ -57,15 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ds = spec.generate(&SynthConfig { n_rows: 1000, noise: 0.05, seed: 42 });
     // New regulation: long-tenure health claims must be fast-tracked even
     // with partial documentation.
-    let rule = parse_rule(
-        "claim-type = health AND customer-tenure >= 8 => fast-track",
-        ds.schema(),
-    )?;
+    let rule =
+        parse_rule("claim-type = health AND customer-tenure >= 8 => fast-track", ds.schema())?;
     println!("policy update: {}\n", rule.display_with(ds.schema()));
     let frs = FeedbackRuleSet::new(vec![rule]);
 
     let trainer = RandomForestTrainer::default();
-    println!("{:<10} {:>8} {:>8} {:>8} {:>10} {:>10}", "strategy", "MRA", "F1", "J̄", "added", "accepted");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "strategy", "MRA", "F1", "J̄", "added", "accepted"
+    );
     for strategy in [ModStrategy::None, ModStrategy::Relabel, ModStrategy::Drop] {
         // η matters for `none`/`drop`: depth-3 forests barely move for
         // small additions, so no candidate improves Ĵ and every batch is

@@ -50,10 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test = sample(400, 18.0, &mut rng);
 
     // New policy: young, salaried, high-income applicants are approved.
-    let rule = parse_rule(
-        "age < 35 AND income > 80000 AND employment = salaried => yes",
-        train.schema(),
-    )?;
+    let rule =
+        parse_rule("age < 35 AND income > 80000 AND employment = salaried => yes", train.schema())?;
     println!("feedback rule: {}", rule.display_with(train.schema()));
     let frs = FeedbackRuleSet::new(vec![rule]);
     println!(
@@ -64,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trainer = RandomForestTrainer::default();
     let before = trainer.train(&train);
     let before_j = paper_j(before.as_ref(), &test, &frs);
-    println!(
-        "\nbefore editing: MRA {:.3}, outside-coverage F1 {:.3}",
-        before_j.mra, before_j.f1
-    );
+    println!("\nbefore editing: MRA {:.3}, outside-coverage F1 {:.3}", before_j.mra, before_j.f1);
 
     let config = FroteConfig {
         iteration_limit: 12,
@@ -76,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let out = Frote::new(config).run(&train, &trainer, &frs, &mut rng)?;
     let after_j = paper_j(out.model.as_ref(), &test, &frs);
-    println!(
-        "after FROTE:    MRA {:.3}, outside-coverage F1 {:.3}",
-        after_j.mra, after_j.f1
-    );
+    println!("after FROTE:    MRA {:.3}, outside-coverage F1 {:.3}", after_j.mra, after_j.f1);
     println!(
         "({} synthetic instances over {} accepted iterations; dataset {} -> {} rows)",
         out.report.instances_added,

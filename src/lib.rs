@@ -32,7 +32,9 @@ pub use frote_smote as smote;
 
 /// Commonly used items across the workspace, re-exported for convenience.
 pub mod prelude {
-    pub use frote::{Frote, FroteBuilder, FroteConfig, FroteReport, ModStrategy, SelectionStrategy};
+    pub use frote::{
+        Frote, FroteBuilder, FroteConfig, FroteReport, ModStrategy, SelectionStrategy,
+    };
     pub use frote_data::{Column, Dataset, FeatureKind, Schema, Value};
     pub use frote_ml::{Classifier, TrainAlgorithm};
     pub use frote_rules::{Clause, FeedbackRule, FeedbackRuleSet, LabelDist, Op, Predicate};

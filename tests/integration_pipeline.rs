@@ -23,11 +23,7 @@ fn fast_rf() -> RandomForestTrainer {
 #[test]
 fn frote_raises_mra_in_empty_coverage_regime() {
     let setup = prepare(DatasetKind::Car, Scale::Smoke, 42);
-    let spec = RunSpec {
-        tcf: 0.0,
-        frs_size: 3,
-        ..RunSpec::new(ModelKind::Rf, Scale::Smoke)
-    };
+    let spec = RunSpec { tcf: 0.0, frs_size: 3, ..RunSpec::new(ModelKind::Rf, Scale::Smoke) };
     let mut improvements = Vec::new();
     let mut f1_drops = Vec::new();
     for seed in 0..6 {
@@ -37,8 +33,7 @@ fn frote_raises_mra_in_empty_coverage_regime() {
         }
     }
     assert!(improvements.len() >= 3, "too many degenerate runs");
-    let mean_improvement: f64 =
-        improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let mean_improvement: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
     assert!(
         mean_improvement > 0.05,
         "expected a clear MRA gain at tcf=0, got {mean_improvement} ({improvements:?})"
@@ -52,11 +47,7 @@ fn frote_raises_mra_in_empty_coverage_regime() {
 #[test]
 fn augmentation_beats_relabel_alone_on_average() {
     let setup = prepare(DatasetKind::Mushroom, Scale::Smoke, 42);
-    let spec = RunSpec {
-        tcf: 0.05,
-        frs_size: 3,
-        ..RunSpec::new(ModelKind::Lgbm, Scale::Smoke)
-    };
+    let spec = RunSpec { tcf: 0.05, frs_size: 3, ..RunSpec::new(ModelKind::Lgbm, Scale::Smoke) };
     let mut deltas = Vec::new();
     for seed in 0..6 {
         if let Some(r) = run_once(&setup, &spec, 2000 + seed) {
@@ -78,10 +69,7 @@ fn all_selection_strategies_run_end_to_end() {
         SelectionStrategy::OnlineProxy,
         SelectionStrategy::JointNeighbors,
     ] {
-        let spec = RunSpec {
-            selection: strategy,
-            ..RunSpec::new(ModelKind::Rf, Scale::Smoke)
-        };
+        let spec = RunSpec { selection: strategy, ..RunSpec::new(ModelKind::Rf, Scale::Smoke) };
         let r = run_once(&setup, &spec, 7).unwrap_or_else(|| {
             panic!("{} run degenerated", strategy.name());
         });
@@ -97,12 +85,7 @@ fn mod_strategy_times_model_matrix() {
         for model in ModelKind::ALL {
             let spec = RunSpec { mod_strategy, ..RunSpec::new(model, Scale::Smoke) };
             let r = run_once(&setup, &spec, 99);
-            assert!(
-                r.is_some(),
-                "degenerate run for {} + {}",
-                mod_strategy.name(),
-                model.name()
-            );
+            assert!(r.is_some(), "degenerate run for {} + {}", mod_strategy.name(), model.name());
         }
     }
 }
@@ -126,11 +109,8 @@ fn output_dataset_reproduces_output_model() {
     let rule = parse_rule("safety = low => acc", ds.schema()).unwrap();
     let frs = FeedbackRuleSet::new(vec![rule]);
     let trainer = fast_rf();
-    let config = FroteConfig {
-        iteration_limit: 5,
-        instances_per_iteration: Some(20),
-        ..Default::default()
-    };
+    let config =
+        FroteConfig { iteration_limit: 5, instances_per_iteration: Some(20), ..Default::default() };
     let mut rng = StdRng::seed_from_u64(3);
     let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
     use frote_ml::TrainAlgorithm;
@@ -156,13 +136,8 @@ fn report_accounting_matches_dataset() {
     let mut rng = StdRng::seed_from_u64(8);
     let out = Frote::new(config).run(&ds, &fast_rf(), &frs, &mut rng).unwrap();
     assert_eq!(out.dataset.n_rows(), ds.n_rows() + out.report.instances_added);
-    let accepted_total: usize = out
-        .report
-        .iterations
-        .iter()
-        .filter(|r| r.accepted)
-        .map(|r| r.proposed)
-        .sum();
+    let accepted_total: usize =
+        out.report.iterations.iter().filter(|r| r.accepted).map(|r| r.proposed).sum();
     assert_eq!(accepted_total, out.report.instances_added);
 }
 
@@ -174,11 +149,7 @@ fn conflict_free_draws_across_all_datasets() {
         let mut rng = StdRng::seed_from_u64(11);
         let frs = draw_conflict_free_frs(&setup, 5, &mut rng);
         assert!(!frs.is_empty(), "{}: empty draw", kind.name());
-        assert!(
-            frs.is_conflict_free(setup.dataset.schema()),
-            "{}: conflicting draw",
-            kind.name()
-        );
+        assert!(frs.is_conflict_free(setup.dataset.schema()), "{}: conflicting draw", kind.name());
     }
 }
 
@@ -186,8 +157,8 @@ fn conflict_free_draws_across_all_datasets() {
 /// both labels among the synthetics and a valid run.
 #[test]
 fn probabilistic_rules_end_to_end() {
-    use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
     use frote_data::Value;
+    use frote_rules::{Clause, FeedbackRule, LabelDist, Op, Predicate};
     let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 300, ..Default::default() });
     let rule = FeedbackRule::new(
         Clause::new(vec![Predicate::new(5, Op::Eq, Value::Cat(2))]),
@@ -206,7 +177,7 @@ fn probabilistic_rules_end_to_end() {
         let new_labels: Vec<u32> =
             (ds.n_rows()..out.dataset.n_rows()).map(|i| out.dataset.label(i)).collect();
         assert!(new_labels.iter().all(|&l| l == 1 || l == 2), "{new_labels:?}");
-        assert!(new_labels.iter().any(|&l| l == 1));
+        assert!(new_labels.contains(&1));
     }
 }
 

@@ -162,7 +162,7 @@ proptest! {
         let p = weights.len();
         let coverage: Vec<Vec<usize>> = masks
             .iter()
-            .map(|&m| (0..p).filter(|i| (i + m as usize) % 3 != 0).collect())
+            .map(|&m| (0..p).filter(|i| !(i + m as usize).is_multiple_of(3)).collect())
             .collect();
         let upper = lower + extra;
         let prob = SelectionProblem::new(weights, coverage, lower, upper);

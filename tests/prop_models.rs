@@ -56,10 +56,7 @@ fn trainers() -> Vec<(&'static str, Box<dyn TrainAlgorithm>)> {
                 0,
             )),
         ),
-        (
-            "LGBM",
-            Box::new(GbdtTrainer::new(GbdtParams { n_rounds: 4, ..Default::default() })),
-        ),
+        ("LGBM", Box::new(GbdtTrainer::new(GbdtParams { n_rounds: 4, ..Default::default() }))),
         ("NB", Box::new(NaiveBayesTrainer::default())),
     ]
 }

@@ -33,12 +33,17 @@ fn arb_dataset(max_rows: usize) -> impl Strategy<Value = Dataset> {
 
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     prop_oneof![
-        (0usize..2, -40.0..40.0f64, prop_oneof![
-            Just(Op::Lt), Just(Op::Le), Just(Op::Gt), Just(Op::Ge)
-        ])
+        (
+            0usize..2,
+            -40.0..40.0f64,
+            prop_oneof![Just(Op::Lt), Just(Op::Le), Just(Op::Gt), Just(Op::Ge)]
+        )
             .prop_map(|(f, v, op)| Predicate::new(f, op, Value::Num(v))),
-        (0u32..4, prop_oneof![Just(Op::Eq), Just(Op::Ne)])
-            .prop_map(|(c, op)| Predicate::new(2, op, Value::Cat(c))),
+        (0u32..4, prop_oneof![Just(Op::Eq), Just(Op::Ne)]).prop_map(|(c, op)| Predicate::new(
+            2,
+            op,
+            Value::Cat(c)
+        )),
     ]
 }
 

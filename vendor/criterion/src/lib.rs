@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal benchmark harness with criterion's macro surface:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], `criterion_group!` and
+//! `criterion_main!`. Timing is a simple warmup + sampled median of batch
+//! means — adequate for relative comparisons, with none of criterion's
+//! statistics, plotting, or CLI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing one timing sample per configured batch.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup and batch-size calibration: aim for ~5ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let n_samples = self.samples.capacity();
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), iters_per_sample: 1 };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Binds benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small deterministic property-testing harness under the `proptest` name.
+//! It covers exactly the surface the FROTE test suites use: range and tuple
+//! strategies, [`strategy::Just`], `prop_map`, [`collection::vec`],
+//! [`bool::ANY`], `prop_oneof!`, `prop_compose!`, the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, none of which the suites rely on:
+//! no shrinking on failure, and case generation is seeded from the test's
+//! fully-qualified name plus the case index, so runs are fully
+//! deterministic. Set `PROPTEST_CASES` to change the default case count.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-case deterministic RNG handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for `case` of the test named `name` (seeded from
+        /// an FNV-1a hash of the name, mixed with the case index).
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Runner configuration; only the case count is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type. Object-safe so
+    /// heterogeneous `prop_oneof!` arms can be boxed.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Map<S, F> {
+        /// Wraps `inner`, applying `f` to each generated value
+        /// (used by `prop_compose!`).
+        pub fn new(inner: S, f: F) -> Self {
+            Map { inner, f }
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed arms (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union of `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy_float!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A length specification for [`vec`]: an exact size or a half-open
+    /// range, as in real proptest.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+
+    /// Fair coin flips.
+    pub const ANY: Any = Any;
+}
+
+/// The common imports: strategy types and the assertion/definition macros.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Fails the current case unless the sides differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name(args)(bindings in strategies) -> Out { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($argn:ident: $argt:ty),* $(,)?)
+        ($($pat:pat in $strat:expr),+ $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Map::new(($($strat,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Defines property tests. Each function runs `cases` times with values
+/// drawn from its strategies; the RNG is seeded from the test path, so runs
+/// are deterministic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = <$crate::test_runner::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident
+        ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::gen_value(&strategies, &mut proptest_rng);
+                // The closure gives `prop_assume!` an early-exit scope for
+                // this case only.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("self_test", 0);
+        let strat = (0u32..5, -1.0..1.0f64, crate::bool::ANY);
+        for _ in 0..200 {
+            let (a, b, _c) = strat.gen_value(&mut rng);
+            assert!(a < 5);
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = TestRng::deterministic("self_test_vec", 1);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..3, 2..6).gen_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let exact = crate::collection::vec(0u32..3, 4).gen_value(&mut rng);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::deterministic("self_test_oneof", 2);
+        let strat = prop_oneof![Just(1u32), Just(2u32)].prop_map(|x| x * 10);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.gen_value(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let strat = crate::collection::vec(0u64..1000, 5);
+        let a: Vec<Vec<u64>> =
+            (0..10).map(|c| strat.gen_value(&mut TestRng::deterministic("det", c))).collect();
+        let b: Vec<Vec<u64>> =
+            (0..10).map(|c| strat.gen_value(&mut TestRng::deterministic("det", c))).collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, assume, assert.
+        #[test]
+        fn macro_smoke(x in 0u32..50, flip in crate::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            if flip {
+                prop_assert_ne!(x, 13);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn pair(scale: u32)(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a * scale, b * scale)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_pairs_scale(p in pair(3)) {
+            prop_assert_eq!(p.0 % 3, 0);
+            prop_assert_eq!(p.1 % 3, 0);
+        }
+    }
+}

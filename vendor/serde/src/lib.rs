@@ -1,0 +1,330 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! deliberately small serialization framework under the `serde` name. Unlike
+//! real serde's visitor architecture, [`Serialize`] and [`Deserialize`] here
+//! convert directly to and from an in-memory JSON tree ([`json::JsonValue`]).
+//! The derive macros (re-exported from `serde_derive`) generate
+//! externally-tagged representations compatible with what real
+//! serde+serde_json would produce for the plain `#[derive]` (no attributes)
+//! types this workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON data model shared by `serde` impls and the `serde_json` facade.
+pub mod json {
+    /// An in-memory JSON document.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (stored as `f64`; integers up to 2^53 are exact).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<JsonValue>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// Looks up a key in an object.
+        pub fn get(&self, key: &str) -> Option<&JsonValue> {
+            match self {
+                JsonValue::Object(entries) => {
+                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+use json::JsonValue;
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn type_name(v: &JsonValue) -> &'static str {
+    match v {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "bool",
+        JsonValue::Number(_) => "number",
+        JsonValue::String(_) => "string",
+        JsonValue::Array(_) => "array",
+        JsonValue::Object(_) => "object",
+    }
+}
+
+fn unexpected(expected: &str, found: &JsonValue) -> DeError {
+    DeError::custom(format!("expected {expected}, found {}", type_name(found)))
+}
+
+/// Conversion into the JSON data model.
+pub trait Serialize {
+    /// Builds the JSON tree for `self`.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Conversion out of the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s shape.
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                let x = *self as f64;
+                if x.is_finite() { JsonValue::Number(x) } else { JsonValue::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    other => Err(unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json_value(v).map(std::rc::Rc::new)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+            }
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_json_value(&self) -> JsonValue {
+        // Sort keys so output is deterministic, like a BTreeMap.
+        let mut entries: Vec<_> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Object(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+            }
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Array(items) => {
+                        let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected array of {expected}, found {}", items.len())));
+                        }
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(unexpected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::JsonValue;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 3.5f64.to_json_value();
+        assert_eq!(f64::from_json_value(&v).unwrap(), 3.5);
+        let v = vec![1u32, 2, 3].to_json_value();
+        assert_eq!(Vec::<u32>::from_json_value(&v).unwrap(), vec![1, 2, 3]);
+        let v = Some("hi".to_string()).to_json_value();
+        assert_eq!(Option::<String>::from_json_value(&v).unwrap(), Some("hi".into()));
+        assert_eq!(Option::<String>::from_json_value(&JsonValue::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_shape_errors() {
+        assert!(f64::from_json_value(&JsonValue::Bool(true)).is_err());
+        assert!(Vec::<u32>::from_json_value(&JsonValue::Number(1.0)).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`). Supports exactly the item shapes this workspace
+//! derives: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like — always in serde's
+//! externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attrs(&mut self) {
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde derive: expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident()?;
+    match kind.as_str() {
+        "struct" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&c)?;
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Item::Struct {
+                        name,
+                        fields: Fields::Named(parse_named_fields(g.stream())?),
+                    })
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    Ok(Item::Struct { name, fields: Fields::Unit })
+                }
+                other => Err(format!("serde derive: unexpected struct body {other:?}")),
+            }
+        }
+        "enum" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&c)?;
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+                }
+                other => Err(format!("serde derive: unexpected enum body {other:?}")),
+            }
+        }
+        other => Err(format!("serde derive: cannot derive for `{other}` items")),
+    }
+}
+
+fn check_no_generics(c: &Cursor) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(
+                "serde derive: generic types are not supported by the vendored serde".to_string()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        fields.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, found {other:?}")),
+        }
+        skip_type_until_comma(&mut c);
+    }
+}
+
+/// Advances past a type, stopping after the next top-level `,` (commas inside
+/// `<...>` or grouped tokens don't count) or at end of stream.
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle_depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && c.peek().is_some() => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return Ok(variants),
+            other => {
+                return Err(format!("serde derive: expected `,` after variant, found {other:?}"))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const JV: &str = "::serde::json::JsonValue";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => ser_named("self.", names),
+                Fields::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("{JV}::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => format!("{JV}::Null"),
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{vname} => {JV}::String(\"{vname}\".to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => {JV}::Object(vec![(\"{vname}\".to_string(), \
+                         ::serde::Serialize::to_json_value(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => {JV}::Object(vec![(\"{vname}\".to_string(), \
+                             {JV}::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let inner = ser_named("", fnames);
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {JV}::Object(vec![(\"{vname}\"\
+                             .to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join(" ")))
+        }
+    }
+}
+
+/// `{"a": <a>, "b": <b>}` built from fields reachable as `{prefix}{field}`.
+fn ser_named(prefix: &str, names: &[String]) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&{prefix}{f}))"))
+        .collect();
+    format!("{JV}::Object(vec![{}])", entries.join(", "))
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_json_value(&self) -> {JV} {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => format!(
+                    "match v {{ {JV}::Object(_) => Ok({name} {{ {} }}), \
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"{name}: expected object, found {{other:?}}\"))), }}",
+                    de_named_fields(names)
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+                }
+                Fields::Tuple(n) => format!(
+                    "match v {{ {JV}::Array(items) if items.len() == {n} => Ok({name}({})), \
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"{name}: expected array of {n}, found {{other:?}}\"))), }}",
+                    (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(vname, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_json_value(inner)?)),"
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "\"{vname}\" => match inner {{ \
+                         {JV}::Array(items) if items.len() == {n} => Ok({name}::{vname}({})), \
+                         other => Err(::serde::DeError::custom(format!(\
+                         \"{name}::{vname}: expected array of {n}, found {{other:?}}\"))), }},",
+                        (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    Fields::Named(fnames) => format!(
+                        "\"{vname}\" => {{ let v = inner; match v {{ {JV}::Object(_) => \
+                         Ok({name}::{vname} {{ {} }}), other => \
+                         Err(::serde::DeError::custom(format!(\
+                         \"{name}::{vname}: expected object, found {{other:?}}\"))), }} }},",
+                        de_named_fields(fnames)
+                    ),
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            let body = format!(
+                "match v {{ \
+                 {JV}::String(tag) => match tag.as_str() {{ {} other => \
+                 Err(::serde::DeError::custom(format!(\"{name}: unknown variant `{{other}}`\"))), }}, \
+                 {JV}::Object(entries) if entries.len() == 1 => {{ \
+                 let (tag, inner) = &entries[0]; match tag.as_str() {{ {} other => \
+                 Err(::serde::DeError::custom(format!(\"{name}: unknown variant `{{other}}`\"))), }} }}, \
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"{name}: expected variant tag, found {{other:?}}\"))), }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// `a: from(v.get("a"))?, b: ...` — missing keys deserialize from `Null` so
+/// `Option` fields default to `None`, everything else errors.
+fn de_named_fields(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json_value(\
+                 v.get(\"{f}\").unwrap_or(&{JV}::Null))\
+                 .map_err(|e| ::serde::DeError::custom(\
+                 format!(\"field `{f}`: {{e}}\")))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_json_value(v: &{JV}) -> ::core::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+}
