@@ -1,0 +1,158 @@
+//! Perf smoke: times the parallelized hot paths at 1 and N threads and
+//! writes `BENCH_pr2.json` at the repository root.
+//!
+//! This seeds the repo's perf trajectory for the `frote-par` runtime: kNN
+//! batch query, SMOTE generation, rule-coverage scan, and one full FROTE
+//! iteration, each measured serially (`threads = 1`) and in parallel
+//! (`--threads N`, default 4). Every pair also cross-checks the determinism
+//! contract — the two outputs must match exactly. Speedups are *recorded,
+//! not gated*: single-core CI hosts will legitimately report ~1×.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use frote::{Frote, FroteConfig};
+use frote_bench::CliOptions;
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_data::Value;
+use frote_ml::balltree::BallTree;
+use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_rules::parse::parse_rule;
+use frote_rules::{Clause, FeedbackRuleSet, Op, Predicate};
+use frote_smote::{Smote, SmoteParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One hot path's serial/parallel timing pair.
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    /// Whether the serial and parallel outputs were bit-identical.
+    identical: bool,
+}
+
+/// The whole perf-smoke report.
+#[derive(Debug, Serialize)]
+struct PerfSmoke {
+    host_parallelism: usize,
+    threads_compared: Vec<usize>,
+    benches: Vec<BenchRecord>,
+    note: String,
+}
+
+/// Best-of-`reps` wall-clock in milliseconds plus a digest of the result.
+fn time_best<T: Hash>(reps: usize, mut f: impl FnMut() -> T) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        let mut h = DefaultHasher::new();
+        out.hash(&mut h);
+        digest = h.finish();
+    }
+    (best, digest)
+}
+
+fn record(name: &str, threads: usize, reps: usize, mut f: impl FnMut() -> u64) -> BenchRecord {
+    frote_par::set_threads(1);
+    let (serial_ms, serial_digest) = time_best(reps, &mut f);
+    frote_par::set_threads(threads);
+    let (parallel_ms, parallel_digest) = time_best(reps, &mut f);
+    frote_par::set_threads(1);
+    BenchRecord {
+        name: name.to_string(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        identical: serial_digest == parallel_digest,
+    }
+}
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+fn main() {
+    // `FROTE_THREADS` outranks `set_threads` in the resolver, which would
+    // pin both sides of every comparison; this binary owns its thread count.
+    std::env::remove_var("FROTE_THREADS");
+    let opts = CliOptions::from_env();
+    let threads = opts.threads.unwrap_or(4);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("perfsmoke: serial vs {threads} threads (host parallelism {host})");
+
+    let mut benches = Vec::new();
+
+    // 1. Ball-tree batch kNN: build once, time the query fan-out.
+    let mut rng = StdRng::seed_from_u64(11);
+    let points: Vec<Vec<f64>> =
+        (0..6000).map(|_| (0..8).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
+    let queries: Vec<Vec<f64>> =
+        (0..600).map(|_| (0..8).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
+    let tree = BallTree::build(points);
+    benches.push(record("knn_batch_query", threads, 3, || {
+        let hits = tree.k_nearest_batch(&queries, 10);
+        hash_of(&hits.iter().flat_map(|h| h.iter().map(|n| n.index)).collect::<Vec<_>>())
+    }));
+
+    // 2. SMOTE generation on an all-numeric synthetic dataset.
+    let ds = DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 1500, ..Default::default() });
+    let minority = (0..ds.n_classes() as u32)
+        .min_by_key(|&c| ds.indices_of_class(c).len())
+        .expect("has classes");
+    let smote = Smote::new(SmoteParams::default());
+    benches.push(record("smote_generation", threads, 3, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = smote.generate(&ds, minority, 1500, &mut rng).expect("generation succeeds");
+        hash_of(&format!("{out:?}"))
+    }));
+
+    // 3. Rule-coverage scan over a wide synthetic dataset.
+    let big = DatasetKind::Adult.generate(&SynthConfig { n_rows: 40_000, ..Default::default() });
+    let clause = Clause::new(vec![
+        Predicate::new(0, Op::Ge, Value::Num(30.0)),
+        Predicate::new(0, Op::Lt, Value::Num(60.0)),
+    ]);
+    benches.push(record("rule_coverage", threads, 5, || hash_of(&clause.coverage(&big))));
+
+    // 4. One FROTE iteration end to end (select → generate → retrain).
+    let car = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+    let rule = parse_rule("safety = low AND buying = low => acc", car.schema()).expect("rule");
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let trainer = RandomForestTrainer::new(ForestParams { n_trees: 16, ..Default::default() }, 42);
+    let config =
+        FroteConfig { iteration_limit: 1, instances_per_iteration: Some(40), ..Default::default() };
+    benches.push(record("frote_iteration", threads, 2, || {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = Frote::new(config).run(&car, &trainer, &frs, &mut rng).expect("frote runs");
+        hash_of(&format!("{:?}{:?}", out.dataset, out.report))
+    }));
+
+    for b in &benches {
+        println!(
+            "  {:<20} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {}",
+            b.name, b.serial_ms, threads, b.parallel_ms, b.speedup, b.identical
+        );
+        assert!(b.identical, "{}: serial and parallel outputs diverged", b.name);
+    }
+
+    let report = PerfSmoke {
+        host_parallelism: host,
+        threads_compared: vec![1, threads],
+        benches,
+        note: "speedups are recorded, not gated; single-core hosts report ~1x".to_string(),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(path, json + "\n").expect("write BENCH_pr2.json");
+    println!("wrote {path}");
+}

@@ -29,6 +29,11 @@ pub struct CliOptions {
     /// Emit machine-readable JSON (via `frote_eval::export`) instead of the
     /// text table, where the binary supports it (`--json`).
     pub json: bool,
+    /// Worker-thread override for the `frote-par` runtime (`--threads N`).
+    /// `None` leaves the `frote_par::threads()` resolution untouched
+    /// (`FROTE_THREADS` env var → available parallelism). Results are
+    /// bit-identical at any setting; only wall-clock changes.
+    pub threads: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -38,6 +43,7 @@ impl Default for CliOptions {
             all_datasets: false,
             mod_strategy: frote::ModStrategy::Relabel,
             json: false,
+            threads: None,
         }
     }
 }
@@ -61,6 +67,14 @@ impl CliOptions {
                 }
                 "--all-datasets" => opts.all_datasets = true,
                 "--json" => opts.json = true,
+                "--threads" => {
+                    let v = iter.next().expect("--threads requires a value");
+                    let n: usize =
+                        v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                            panic!("--threads wants a positive integer, got {v:?}")
+                        });
+                    opts.threads = Some(n);
+                }
                 "--mod-strategy" => {
                     let v = iter.next().expect("--mod-strategy requires a value");
                     opts.mod_strategy = match v.as_str() {
@@ -76,9 +90,21 @@ impl CliOptions {
         opts
     }
 
-    /// Parses from the process arguments.
+    /// Parses from the process arguments and applies side-effect options
+    /// (currently `--threads` → [`frote_par::set_threads`]).
     pub fn from_env() -> CliOptions {
-        CliOptions::parse(std::env::args().skip(1))
+        let opts = CliOptions::parse(std::env::args().skip(1));
+        opts.apply();
+        opts
+    }
+
+    /// Applies side-effect options: installs the `--threads` override into
+    /// the `frote-par` resolver. (The `FROTE_THREADS` env var still wins, by
+    /// the resolver's documented precedence.)
+    pub fn apply(&self) {
+        if let Some(n) = self.threads {
+            frote_par::set_threads(n);
+        }
     }
 }
 
@@ -99,11 +125,27 @@ mod tests {
 
     #[test]
     fn full_parse() {
-        let o = parse(&["--scale", "paper", "--all-datasets", "--mod-strategy", "drop", "--json"]);
+        let o = parse(&[
+            "--scale",
+            "paper",
+            "--all-datasets",
+            "--mod-strategy",
+            "drop",
+            "--json",
+            "--threads",
+            "8",
+        ]);
         assert_eq!(o.scale, Scale::Paper);
         assert!(o.all_datasets);
         assert_eq!(o.mod_strategy, frote::ModStrategy::Drop);
         assert!(o.json);
+        assert_eq!(o.threads, Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_threads_rejected() {
+        parse(&["--threads", "0"]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use frote_data::stats::DatasetStats;
 use frote_data::{Dataset, FeatureKind, Value};
 use frote_ml::distance::{MixedDistance, MixedMetric};
 use frote_ml::knn::k_nearest_of_row;
+use frote_par::SeedSplit;
 use frote_rules::{Clause, FeedbackRuleSet, Op};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -76,12 +77,22 @@ impl<'a> Generator<'a> {
     /// Generates one synthetic instance per base instance (`Generate(B)` in
     /// Algorithm 1). Base instances whose population cannot supply a
     /// neighbour are skipped.
+    ///
+    /// Instances are generated in parallel across `frote_par::threads()`
+    /// threads; each base instance draws from its own RNG stream (derived
+    /// from one draw of `rng`), so the batch is bit-identical at any thread
+    /// count.
     pub fn generate(&self, base: &[BaseInstance], rng: &mut StdRng) -> Dataset {
+        let split = SeedSplit::from_rng(rng);
+        let tasks: Vec<(u64, BaseInstance)> =
+            base.iter().copied().enumerate().map(|(t, b)| (t as u64, b)).collect();
+        let rows = frote_par::par_map(&tasks, |&(t, ref b)| {
+            let mut rng = split.stream(t);
+            self.generate_for(b, &mut rng)
+        });
         let mut out = Dataset::with_shared_schema(self.ds.schema_handle());
-        for b in base {
-            if let Some((row, label)) = self.generate_for(b, rng) {
-                out.push_row(&row, label).expect("generated row matches schema");
-            }
+        for (row, label) in rows.into_iter().flatten() {
+            out.push_row(&row, label).expect("generated row matches schema");
         }
         out
     }

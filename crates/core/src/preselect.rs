@@ -41,19 +41,18 @@ impl BasePopulation {
     /// caller can skip generation for them.
     pub fn pre_select(ds: &Dataset, frs: &FeedbackRuleSet, k: usize) -> BasePopulation {
         let min_support = k + 1;
-        let populations = frs
-            .iter()
-            .enumerate()
-            .map(|(r, rule)| {
-                let relaxed = relax_clause(rule.clause(), ds, min_support);
-                RulePopulation {
-                    rule: r,
-                    members: relaxed.clause.coverage(ds),
-                    relaxed: relaxed.was_relaxed(),
-                    effective_clause: relaxed.clause,
-                }
-            })
-            .collect();
+        // Per-rule relaxation + coverage scans are independent; run them in
+        // parallel (identical per-rule results, FRS order preserved).
+        let rules: Vec<usize> = (0..frs.len()).collect();
+        let populations = frote_par::par_map(&rules, |&r| {
+            let relaxed = relax_clause(frs.rule(r).clause(), ds, min_support);
+            RulePopulation {
+                rule: r,
+                members: relaxed.clause.coverage(ds),
+                relaxed: relaxed.was_relaxed(),
+                effective_clause: relaxed.clause,
+            }
+        });
         BasePopulation { populations }
     }
 

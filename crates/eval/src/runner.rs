@@ -164,15 +164,18 @@ pub fn run_once(setup: &BenchmarkSetup, spec: &RunSpec, run_seed: u64) -> Option
 }
 
 /// Convenience: collects the non-degenerate results of `runs` seeded runs.
+///
+/// Runs are independent (each is a pure function of its seed), so they fan
+/// out across `frote_par::threads()` threads; the collected results are
+/// identical to the serial loop, in run order, at any thread count.
 pub fn run_many(
     setup: &BenchmarkSetup,
     spec: &RunSpec,
     runs: usize,
     base_seed: u64,
 ) -> Vec<RunResult> {
-    (0..runs)
-        .filter_map(|r| run_once(setup, spec, base_seed.wrapping_add(r as u64 * 1001)))
-        .collect()
+    let seeds: Vec<u64> = (0..runs).map(|r| base_seed.wrapping_add(r as u64 * 1001)).collect();
+    frote_par::par_map(&seeds, |&seed| run_once(setup, spec, seed)).into_iter().flatten().collect()
 }
 
 #[cfg(test)]

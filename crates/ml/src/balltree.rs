@@ -22,6 +22,10 @@ use crate::knn::Neighbor;
 
 const LEAF_SIZE: usize = 16;
 
+/// Subtrees at least this large are built as parallel fork-join pairs;
+/// below it the spawn overhead outweighs the split work.
+const PAR_BUILD_MIN: usize = 1024;
+
 #[derive(Debug, Clone)]
 enum NodeKind {
     Leaf {
@@ -61,10 +65,14 @@ impl BallTree {
         assert!(!points.is_empty(), "ball tree needs at least one point");
         let dim = points[0].len();
         assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
-        let mut tree =
-            BallTree { order: (0..points.len()).collect(), points, nodes: Vec::new(), root: 0 };
-        tree.root = tree.build_node(0, tree.order.len());
-        tree
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        // Subtrees are built independently (in parallel when large enough)
+        // and merged left ++ right ++ parent — exactly the post-order layout
+        // the old sequential builder produced, so the tree is identical at
+        // any thread count.
+        let nodes = build_subtree(&points, &mut order, 0);
+        let root = nodes.len() - 1;
+        BallTree { points, order, nodes, root }
     }
 
     /// Number of indexed points.
@@ -76,62 +84,6 @@ impl BallTree {
     /// completeness).
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
-    }
-
-    fn build_node(&mut self, start: usize, end: usize) -> usize {
-        let center = self.centroid(start, end);
-        let radius = self.order[start..end]
-            .iter()
-            .map(|&i| euclid(&self.points[i], &center))
-            .fold(0.0, f64::max);
-        if end - start <= LEAF_SIZE {
-            self.nodes.push(Node { center, radius, kind: NodeKind::Leaf { start, end } });
-            return self.nodes.len() - 1;
-        }
-        // Split on the dimension with the largest spread, at the median.
-        let dim = self.widest_dimension(start, end);
-        let mid = start + (end - start) / 2;
-        self.order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
-            self.points[a][dim].partial_cmp(&self.points[b][dim]).unwrap_or(Ordering::Equal)
-        });
-        let left = self.build_node(start, mid);
-        let right = self.build_node(mid, end);
-        self.nodes.push(Node { center, radius, kind: NodeKind::Internal { left, right } });
-        self.nodes.len() - 1
-    }
-
-    fn centroid(&self, start: usize, end: usize) -> Vec<f64> {
-        let dim = self.points[0].len();
-        let mut c = vec![0.0; dim];
-        for &i in &self.order[start..end] {
-            for (acc, &x) in c.iter_mut().zip(&self.points[i]) {
-                *acc += x;
-            }
-        }
-        let n = (end - start) as f64;
-        for x in &mut c {
-            *x /= n;
-        }
-        c
-    }
-
-    fn widest_dimension(&self, start: usize, end: usize) -> usize {
-        let dim = self.points[0].len();
-        let mut best = 0;
-        let mut best_spread = f64::NEG_INFINITY;
-        for d in 0..dim {
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &i in &self.order[start..end] {
-                lo = lo.min(self.points[i][d]);
-                hi = hi.max(self.points[i][d]);
-            }
-            if hi - lo > best_spread {
-                best_spread = hi - lo;
-                best = d;
-            }
-        }
-        best
     }
 
     /// The `k` nearest points to `query`, ascending by distance (ties by
@@ -152,6 +104,17 @@ impl BallTree {
             a.distance.partial_cmp(&b.distance).expect("finite").then_with(|| a.index.cmp(&b.index))
         });
         out
+    }
+
+    /// [`BallTree::k_nearest`] for a batch of queries, answered in parallel
+    /// across `frote_par::threads()` threads. Per-query results are
+    /// identical to serial calls, in query order, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimension differs from the indexed points.
+    pub fn k_nearest_batch(&self, queries: &[Vec<f64>], k: usize) -> Vec<Vec<Neighbor>> {
+        frote_par::par_map(queries, |q| self.k_nearest(q, k))
     }
 
     fn search(&self, node: usize, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
@@ -185,6 +148,91 @@ impl BallTree {
             }
         }
     }
+}
+
+/// Builds the subtree over `order` (a contiguous slice of the global order
+/// array starting at global position `base`) and returns its nodes in
+/// post-order: left subtree, right subtree, root last. Large subtrees build
+/// their children in parallel via [`frote_par::join`]; the merged layout is
+/// the same either way.
+fn build_subtree(points: &[Vec<f64>], order: &mut [usize], base: usize) -> Vec<Node> {
+    let center = centroid(points, order);
+    let radius = order.iter().map(|&i| euclid(&points[i], &center)).fold(0.0, f64::max);
+    if order.len() <= LEAF_SIZE {
+        return vec![Node {
+            center,
+            radius,
+            kind: NodeKind::Leaf { start: base, end: base + order.len() },
+        }];
+    }
+    // Split on the dimension with the largest spread, at the median.
+    let dim = widest_dimension(points, order);
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        points[a][dim].partial_cmp(&points[b][dim]).unwrap_or(Ordering::Equal)
+    });
+    let (left_order, right_order) = order.split_at_mut(mid);
+    let (mut nodes, right) = if left_order.len().min(right_order.len()) >= PAR_BUILD_MIN {
+        frote_par::join(
+            || build_subtree(points, left_order, base),
+            || build_subtree(points, right_order, base + mid),
+        )
+    } else {
+        (build_subtree(points, left_order, base), build_subtree(points, right_order, base + mid))
+    };
+    let offset = nodes.len();
+    nodes.reserve(right.len() + 1);
+    for mut node in right {
+        if let NodeKind::Internal { left, right } = &mut node.kind {
+            *left += offset;
+            *right += offset;
+        }
+        nodes.push(node);
+    }
+    let left_root = offset - 1;
+    let right_root = nodes.len() - 1;
+    nodes.push(Node {
+        center,
+        radius,
+        kind: NodeKind::Internal { left: left_root, right: right_root },
+    });
+    nodes
+}
+
+fn centroid(points: &[Vec<f64>], order: &[usize]) -> Vec<f64> {
+    let dim = points[0].len();
+    let mut c = vec![0.0; dim];
+    for &i in order {
+        for (acc, &x) in c.iter_mut().zip(&points[i]) {
+            *acc += x;
+        }
+    }
+    let n = order.len() as f64;
+    for x in &mut c {
+        *x /= n;
+    }
+    c
+}
+
+fn widest_dimension(points: &[Vec<f64>], order: &[usize]) -> usize {
+    let dim = points[0].len();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for &i in order {
+        for (d, &x) in points[i].iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+    let mut best = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for (d, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+        if h - l > best_spread {
+            best_spread = h - l;
+            best = d;
+        }
+    }
+    best
 }
 
 struct HeapItem(Neighbor);
@@ -241,6 +289,37 @@ mod tests {
     }
 
     #[test]
+    fn large_tree_exercises_parallel_build_and_matches_brute() {
+        // 3000 points crosses PAR_BUILD_MIN, so with FROTE_THREADS > 1 the
+        // top splits build via join; results must match brute force either
+        // way (the merged node layout is identical).
+        let mut rng = StdRng::seed_from_u64(23);
+        let points: Vec<Vec<f64>> =
+            (0..3000).map(|_| (0..3).map(|_| rng.random_range(-5.0..5.0)).collect()).collect();
+        let tree = BallTree::build(points.clone());
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..3).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let got: Vec<usize> = tree.k_nearest(&q, 9).iter().map(|h| h.index).collect();
+            assert_eq!(got, brute(&points, &q, 9));
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Vec<f64>> =
+            (0..300).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
+        let tree = BallTree::build(points);
+        let queries: Vec<Vec<f64>> =
+            (0..40).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
+        let batch = tree.k_nearest_batch(&queries, 5);
+        assert_eq!(batch.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits, &tree.k_nearest(q, 5));
+        }
+    }
+
+    #[test]
     fn k_larger_than_tree() {
         let tree = BallTree::build(vec![vec![0.0], vec![1.0]]);
         assert_eq!(tree.k_nearest(&[0.2], 10).len(), 2);
@@ -275,6 +354,13 @@ mod tests {
     fn query_dim_mismatch_panics() {
         let tree = BallTree::build(vec![vec![0.0, 0.0]]);
         tree.k_nearest(&[0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn batch_query_dim_mismatch_panics() {
+        let tree = BallTree::build(vec![vec![0.0, 0.0]]);
+        tree.k_nearest_batch(&[vec![0.0, 0.0], vec![1.0]], 1);
     }
 
     #[test]

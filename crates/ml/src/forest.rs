@@ -5,8 +5,7 @@
 //! [`RandomForestTrainer::default`] mirrors (100 trees, sqrt-features).
 
 use frote_data::{Dataset, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use frote_par::SeedSplit;
 
 use crate::traits::{Classifier, TrainAlgorithm};
 use crate::tree::{DecisionTree, TreeParams};
@@ -48,15 +47,16 @@ impl RandomForest {
             let m = (ds.n_features() as f64).sqrt().round().max(1.0) as usize;
             tree_params.max_features = Some(m);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let trees = (0..params.n_trees)
-            .map(|_| {
-                let sample = ds.bootstrap_indices(ds.n_rows(), &mut rng);
-                let tree_seed = rng.random::<u64>();
-                let mut tree_rng = StdRng::seed_from_u64(tree_seed);
-                DecisionTree::fit(ds, &sample, &tree_params, &mut tree_rng)
-            })
-            .collect();
+        // Each tree owns an independent RNG stream derived from the forest
+        // seed, so trees can be fitted in parallel while the ensemble stays
+        // bit-identical at any `FROTE_THREADS`.
+        let split = SeedSplit::new(seed);
+        let tree_ids: Vec<u64> = (0..params.n_trees as u64).collect();
+        let trees = frote_par::par_map(&tree_ids, |&t| {
+            let mut rng = split.stream(t);
+            let sample = ds.bootstrap_indices(ds.n_rows(), &mut rng);
+            DecisionTree::fit(ds, &sample, &tree_params, &mut rng)
+        });
         RandomForest { trees, n_classes: ds.n_classes() }
     }
 

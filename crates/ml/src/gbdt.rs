@@ -232,14 +232,19 @@ impl Gbdt {
                     hessians[c][i] = (probs[c] * (1.0 - probs[c])).max(1e-6);
                 }
             }
-            let mut round_trees = Vec::with_capacity(k);
-            for c in 0..k {
+            // Within a round the per-class trees depend only on the
+            // residuals computed above, so they fit in parallel; the score
+            // updates are applied afterwards (class columns are disjoint,
+            // so the result is identical to the interleaved serial order).
+            let classes: Vec<usize> = (0..k).collect();
+            let round_trees = frote_par::par_map(&classes, |&c| {
                 let mut idx: Vec<usize> = (0..n).collect();
-                let tree = RegressionTree::fit(ds, &mut idx, &residuals[c], &hessians[c], params);
+                RegressionTree::fit(ds, &mut idx, &residuals[c], &hessians[c], params)
+            });
+            for (c, tree) in round_trees.iter().enumerate() {
                 for (i, s) in scores.iter_mut().enumerate() {
                     s[c] += params.learning_rate * tree.predict_in(ds, i);
                 }
-                round_trees.push(tree);
             }
             rounds.push(round_trees);
         }

@@ -97,6 +97,19 @@ pub fn k_nearest_of_row(
     k_nearest(ds, &query, candidates, k, i, dist)
 }
 
+/// [`k_nearest_of_row`] for a batch of query rows, scanned in parallel
+/// across `frote_par::threads()` threads. Per-row results are identical to
+/// serial calls, in `rows` order, at any thread count.
+pub fn k_nearest_of_rows(
+    ds: &Dataset,
+    rows: &[usize],
+    candidates: &[usize],
+    k: usize,
+    dist: &MixedDistance,
+) -> Vec<Vec<Neighbor>> {
+    frote_par::par_map(rows, |&i| k_nearest_of_row(ds, i, candidates, k, dist))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +163,19 @@ mod tests {
         let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
         assert!(k_nearest_of_row(&ds, 0, &[1, 2], 0, &dist).is_empty());
         assert!(k_nearest_of_row(&ds, 0, &[], 3, &dist).is_empty());
+    }
+
+    #[test]
+    fn batch_rows_match_single_rows() {
+        let ds = line_ds(30);
+        let dist = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let all: Vec<usize> = (0..30).collect();
+        let rows: Vec<usize> = vec![0, 7, 15, 29];
+        let batch = k_nearest_of_rows(&ds, &rows, &all, 4, &dist);
+        assert_eq!(batch.len(), rows.len());
+        for (&i, hits) in rows.iter().zip(&batch) {
+            assert_eq!(hits, &k_nearest_of_row(&ds, i, &all, 4, &dist));
+        }
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! # frote-par
+//!
+//! The deterministic parallel-execution runtime of the FROTE reproduction.
+//!
+//! The workspace's hot paths — batch kNN, SMOTE-style generation, rule
+//! coverage scans, per-tree ensemble fitting, cross-validation folds,
+//! experiment fan-out — are embarrassingly parallel, but the build
+//! environment has no `rayon`. This crate provides the std-only substrate:
+//!
+//! - a scoped [`pool::ThreadPool`] (shared lazily as one global pool),
+//! - data-parallel helpers [`par_map`] / [`par_chunks_map`] /
+//!   [`par_blocks_map`] and the fork-join primitives [`join`] / [`scope`],
+//! - [`SeedSplit`], which derives independent per-item RNG streams from one
+//!   seed so randomized loops stay bit-identical at any thread count,
+//! - a single thread-count resolver [`threads`]:
+//!   `FROTE_THREADS` env var → [`set_threads`] override →
+//!   `std::thread::available_parallelism()`.
+//!
+//! ## Determinism contract
+//!
+//! Every helper in this crate returns results in input order and applies the
+//! caller's closure once per item, so for pure closures the output is
+//! byte-identical to a serial loop regardless of `FROTE_THREADS`. Randomized
+//! closures keep the same guarantee by drawing from a per-item
+//! [`SeedSplit::stream`] instead of one shared sequential RNG. When
+//! [`threads`] resolves to 1, every helper degrades to a plain serial loop
+//! and the pool is never even started.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+mod seed;
+
+pub use pool::{Scope, ThreadPool};
+pub use seed::SeedSplit;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide override set by [`set_threads`] (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves the thread count used by every parallel helper:
+///
+/// 1. the `FROTE_THREADS` environment variable (if set to a positive
+///    integer),
+/// 2. the [`set_threads`] config override (e.g. a `--threads` CLI flag),
+/// 3. `std::thread::available_parallelism()`.
+///
+/// A result of 1 means "run serially"; helpers then never touch the pool.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("FROTE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Sets the config-level thread override (clamped to at least 1). The
+/// `FROTE_THREADS` environment variable still takes precedence, so operators
+/// can pin reproduction runs without touching CLI flags.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Clears the [`set_threads`] override (mainly for tests).
+pub fn clear_threads_override() {
+    THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// The lazily-started global pool shared by all helpers. Sized once, at
+/// first parallel use, to the larger of the machine's parallelism and the
+/// resolved thread count (capped defensively): correctness never depends on
+/// the worker count, only how many chunks run truly concurrently.
+fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ThreadPool::new(hw.max(threads()).min(64))
+    })
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+/// `a` runs on the calling thread; `b` is offloaded when [`threads`] > 1.
+/// Panics in either closure propagate (after both have stopped running).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut rb: Option<RB> = None;
+    let ra = global_pool().scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("joined task completed"))
+}
+
+/// Runs `f` with a [`Scope`] on the global pool; see [`ThreadPool::scope`].
+/// With [`threads`] == 1 the scope still works — tasks just queue to the
+/// single global worker — so callers need no serial special case, though the
+/// dedicated helpers below avoid the pool entirely in that regime.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    global_pool().scope(f)
+}
+
+/// Applies `f` to every element, in parallel, returning results in input
+/// order — byte-identical to `items.iter().map(f).collect()` for pure `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let t = threads();
+    if t <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Chunk count tracks the thread count, but since `f` is applied per
+    // item and outputs are reassembled in order, chunking never affects the
+    // result — only the schedule.
+    let chunk_size = items.len().div_ceil(t.min(items.len()));
+    let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    global_pool().scope(|s| {
+        for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+            let parts = &parts;
+            let f = &f;
+            s.spawn(move || {
+                let out: Vec<U> = chunk.iter().map(f).collect();
+                parts.lock().expect("par_map parts poisoned").push((ci, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("par_map parts poisoned");
+    parts.sort_unstable_by_key(|&(ci, _)| ci);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Splits `items` into fixed-size chunks of `chunk_size`, applies
+/// `f(chunk_index, chunk)` to each in parallel, and concatenates the
+/// per-chunk outputs in chunk order.
+///
+/// Chunk boundaries depend only on `chunk_size` — never on the thread
+/// count — so closures may key per-chunk behaviour (e.g. a
+/// [`SeedSplit::stream`] per chunk) on `chunk_index` and remain
+/// thread-count-invariant.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks_map<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> Vec<U> + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks_map: chunk_size must be positive");
+    let t = threads();
+    if t <= 1 || items.len() <= chunk_size {
+        let mut out = Vec::new();
+        for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+            out.extend(f(ci, chunk));
+        }
+        return out;
+    }
+    let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    global_pool().scope(|s| {
+        for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+            let parts = &parts;
+            let f = &f;
+            s.spawn(move || {
+                let out = f(ci, chunk);
+                parts.lock().expect("par_chunks_map parts poisoned").push((ci, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("par_chunks_map parts poisoned");
+    parts.sort_unstable_by_key(|&(ci, _)| ci);
+    parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+/// The index-range counterpart of [`par_chunks_map`], for scans over
+/// `0..n` with no backing slice (columnar datasets): splits the range into
+/// fixed `block_size` blocks, applies `f(block_index, range)` to each in
+/// parallel, and concatenates the outputs in block order. Block boundaries
+/// depend only on `block_size`, so results are thread-count-invariant, and
+/// nothing of size `n` is materialized.
+///
+/// # Panics
+///
+/// Panics if `block_size == 0`.
+pub fn par_blocks_map<U, F>(n: usize, block_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, core::ops::Range<usize>) -> Vec<U> + Sync,
+{
+    assert!(block_size > 0, "par_blocks_map: block_size must be positive");
+    if threads() <= 1 || n <= block_size {
+        let mut out = Vec::new();
+        for (bi, start) in (0..n).step_by(block_size).enumerate() {
+            out.extend(f(bi, start..(start + block_size).min(n)));
+        }
+        return out;
+    }
+    // One descriptor per block (n / block_size entries, never O(n));
+    // par_map supplies the ordered scheduling.
+    let blocks: Vec<(usize, usize)> = (0..n).step_by(block_size).enumerate().collect();
+    par_map(&blocks, |&(bi, start)| f(bi, start..(start + block_size).min(n)))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Test support: safely rebinding `FROTE_THREADS` within one process.
+///
+/// Environment mutation is process-global, so every determinism test that
+/// compares thread counts must serialize its rebinding through one shared
+/// lock — this module owns that lock for the whole workspace, so suites in
+/// the same binary can't race each other.
+pub mod test_support {
+    use std::sync::Mutex;
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Restores the prior `FROTE_THREADS` binding on drop, so a panicking
+    /// closure (a failed assertion) cannot leak the override into later
+    /// tests of the same binary.
+    struct Restore(Option<String>);
+
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(v) => std::env::set_var("FROTE_THREADS", v),
+                None => std::env::remove_var("FROTE_THREADS"),
+            }
+        }
+    }
+
+    /// Runs `f` with `FROTE_THREADS` bound to `value` (restored afterwards,
+    /// even on panic). Calls serialize on a process-wide lock.
+    pub fn with_threads_var<R>(value: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _restore = Restore(std::env::var("FROTE_THREADS").ok());
+        std::env::set_var("FROTE_THREADS", value);
+        f()
+    }
+
+    /// [`with_threads_var`] for a numeric thread count.
+    pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        with_threads_var(&n.to_string(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_env_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+        test_support::with_threads_var(n, f)
+    }
+
+    #[test]
+    fn threads_resolver_priority() {
+        with_env_threads("3", || {
+            clear_threads_override();
+            assert_eq!(threads(), 3, "env wins");
+            set_threads(5);
+            assert_eq!(threads(), 3, "env beats override");
+        });
+        with_env_threads("not-a-number", || {
+            set_threads(5);
+            assert_eq!(threads(), 5, "invalid env falls through to override");
+            clear_threads_override();
+            assert!(threads() >= 1, "falls back to available parallelism");
+        });
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for t in ["1", "2", "7"] {
+            let par = with_env_threads(t, || par_map(&items, |&x| x * x + 1));
+            assert_eq!(par, serial, "FROTE_THREADS={t}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_matches_serial_and_passes_chunk_index() {
+        let items: Vec<u32> = (0..100).collect();
+        let serial: Vec<(usize, u32)> = items
+            .chunks(7)
+            .enumerate()
+            .flat_map(|(ci, c)| c.iter().map(move |&x| (ci, x * 2)))
+            .collect();
+        for t in ["1", "4"] {
+            let par = with_env_threads(t, || {
+                par_chunks_map(&items, 7, |ci, chunk| chunk.iter().map(|&x| (ci, x * 2)).collect())
+            });
+            assert_eq!(par, serial, "FROTE_THREADS={t}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_and_runs_in_either_mode() {
+        for t in ["1", "4"] {
+            let (a, b) = with_env_threads(t, || join(|| 2 + 2, || "ok".to_string()));
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[9u8], |&x| x + 1), vec![10]);
+        assert!(par_chunks_map(&empty, 4, |_, c| c.to_vec()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        par_chunks_map(&[1, 2, 3], 0, |_, c| c.to_vec());
+    }
+
+    #[test]
+    fn par_blocks_map_matches_serial_and_passes_block_index() {
+        let serial: Vec<(usize, usize)> = (0..100)
+            .step_by(7)
+            .enumerate()
+            .flat_map(|(bi, s)| (s..(s + 7).min(100)).map(move |i| (bi, i * 3)))
+            .collect();
+        for t in ["1", "4"] {
+            let par = with_env_threads(t, || {
+                par_blocks_map(100, 7, |bi, rows| rows.map(|i| (bi, i * 3)).collect())
+            });
+            assert_eq!(par, serial, "FROTE_THREADS={t}");
+        }
+        assert!(par_blocks_map(0, 5, |_, r| r.collect::<Vec<_>>()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size must be positive")]
+    fn zero_block_size_panics() {
+        par_blocks_map(3, 0, |_, r| r.collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            with_env_threads("4", || {
+                par_map(&[1, 2, 3, 4, 5, 6, 7, 8], |&x| {
+                    if x == 5 {
+                        panic!("item exploded");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_on_global_pool() {
+        let mut slots = vec![0usize; 4];
+        with_env_threads("4", || {
+            scope(|s| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    s.spawn(move || *slot = i + 1);
+                }
+            });
+        });
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+}

@@ -13,7 +13,8 @@
 
 use frote_data::Dataset;
 use frote_ml::distance::{MixedDistance, MixedMetric};
-use frote_ml::knn::k_nearest_of_row;
+use frote_ml::knn::{k_nearest_of_row, k_nearest_of_rows};
+use frote_par::SeedSplit;
 
 /// Triage category of an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,10 +57,14 @@ pub fn classify_instances(
     assert!(m > 0, "neighbour count must be positive");
     let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
     let all: Vec<usize> = (0..ds.n_rows()).collect();
+    // The kNN scan dominates this triage; batch it across threads (results
+    // are per-candidate and order-preserving, so the triage is identical at
+    // any thread count).
+    let neighborhoods = k_nearest_of_rows(ds, candidates, &all, m, &dist);
     candidates
         .iter()
-        .map(|&i| {
-            let neighbors = k_nearest_of_row(ds, i, &all, m, &dist);
+        .zip(&neighborhoods)
+        .map(|(&i, neighbors)| {
             let m_eff = neighbors.len().max(1);
             let differing = neighbors.iter().filter(|n| labels[n.index] != labels[i]).count();
             if differing == m_eff {
@@ -136,16 +141,23 @@ impl BorderlineSmote {
             return Err(SmoteError::NotEnoughInstances { available: 0, required: 1 });
         }
         let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
-        let mut out = frote_data::Dataset::with_shared_schema(ds.schema_handle());
         use rand::seq::IndexedRandom;
-        for _ in 0..n_new {
-            let &base = danger.choose(rng).expect("non-empty danger set");
+        // Per-row RNG streams (one split draw from the caller's generator)
+        // keep the output bit-identical at any `FROTE_THREADS`.
+        let split = SeedSplit::from_rng(rng);
+        let row_ids: Vec<u64> = (0..n_new as u64).collect();
+        let rows = frote_par::par_map(&row_ids, |&t| {
+            let mut rng = split.stream(t);
+            let &base = danger.choose(&mut rng).expect("non-empty danger set");
             let neighbors = k_nearest_of_row(ds, base, &members, self.k, &dist);
             if neighbors.is_empty() {
-                continue;
+                return None;
             }
-            let neighbor = neighbors.choose(rng).expect("non-empty").index;
-            let row = crate::smote_interpolate(ds, base, neighbor, &neighbors, rng);
+            let neighbor = neighbors.choose(&mut rng).expect("non-empty").index;
+            Some(crate::smote_interpolate(ds, base, neighbor, &neighbors, &mut rng))
+        });
+        let mut out = frote_data::Dataset::with_shared_schema(ds.schema_handle());
+        for row in rows.into_iter().flatten() {
             out.push_row(&row, class).expect("interpolated row matches schema");
         }
         Ok(out)

@@ -4,6 +4,7 @@ use frote_data::stats::CategoricalStats;
 use frote_data::{Dataset, FeatureKind, Value};
 use frote_ml::distance::{MixedDistance, MixedMetric};
 use frote_ml::knn::{k_nearest_of_row, Neighbor};
+use frote_par::SeedSplit;
 use rand::seq::IndexedRandom;
 use rand::Rng;
 
@@ -108,13 +109,22 @@ fn generate_impl<R: Rng + ?Sized>(
         return Err(SmoteError::NotEnoughInstances { available: members.len(), required: k + 1 });
     }
     let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
-    let mut out = Dataset::with_shared_schema(ds.schema_handle());
-    for _ in 0..n_new {
-        let &base = members.choose(rng).expect("non-empty members");
+    // Each synthetic row owns an independent RNG stream derived from one
+    // draw of the caller's generator, so rows synthesize in parallel and the
+    // output is bit-identical at any `FROTE_THREADS` (including the serial
+    // fallback at 1 thread).
+    let split = SeedSplit::from_rng(rng);
+    let row_ids: Vec<u64> = (0..n_new as u64).collect();
+    let rows = frote_par::par_map(&row_ids, |&t| {
+        let mut rng = split.stream(t);
+        let &base = members.choose(&mut rng).expect("non-empty members");
         let neighbors = k_nearest_of_row(ds, base, &members, k, &dist);
         let &Neighbor { index: neighbor, .. } =
-            neighbors.choose(rng).expect("k >= 1 neighbours exist");
-        let row = interpolate_row(ds, base, neighbor, &neighbors, rng);
+            neighbors.choose(&mut rng).expect("k >= 1 neighbours exist");
+        interpolate_row(ds, base, neighbor, &neighbors, &mut rng)
+    });
+    let mut out = Dataset::with_shared_schema(ds.schema_handle());
+    for row in rows {
         out.push_row(&row, class).expect("synthesized row matches schema");
     }
     Ok(out)

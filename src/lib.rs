@@ -17,6 +17,8 @@
 //! - [`induct`] — greedy boolean rule-set induction (BRCG stand-in)
 //! - [`opt`] — simplex LP solver and the base-instance-selection IP
 //! - [`overlay`] — the Overlay post-processing baseline (Daly et al. 2021)
+//! - [`par`] — deterministic parallel-execution runtime (thread pool + seed
+//!   splitting + the `FROTE_THREADS` resolver)
 //! - [`core`] — the FROTE algorithm itself
 //! - [`eval`] — the experiment harness reproducing every table and figure
 
@@ -27,6 +29,7 @@ pub use frote_induct as induct;
 pub use frote_ml as ml;
 pub use frote_opt as opt;
 pub use frote_overlay as overlay;
+pub use frote_par as par;
 pub use frote_rules as rules;
 pub use frote_smote as smote;
 

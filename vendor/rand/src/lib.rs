@@ -159,6 +159,36 @@ range_float!(f32, f64);
 pub trait SeedableRng: Sized {
     /// Builds a generator whose stream is a deterministic function of `seed`.
     fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from fresh entropy of `rng`, consuming exactly one
+    /// `next_u64` draw regardless of the constructed generator's type — the
+    /// upstream crate's `from_rng` shape. Callers that fan work out to
+    /// parallel streams use this so the parent stream's position stays
+    /// independent of how many children are derived afterwards.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+
+    /// Builds the `stream`-th generator of an independent family keyed by
+    /// `seed`: a deterministic function of `(seed, stream)` whose outputs are
+    /// decorrelated across streams. This is the substrate for
+    /// `frote_par::SeedSplit`, which hands each parallel work item its own
+    /// stream so results are bit-identical at any thread count.
+    fn seed_from_stream(seed: u64, stream: u64) -> Self {
+        Self::seed_from_u64(mix_stream(seed, stream))
+    }
+}
+
+/// SplitMix64-style avalanche of a `(seed, stream)` pair into one seed.
+/// Adjacent streams land far apart so xoshiro states never overlap in
+/// practice, and `stream = 0` is *not* the identity on `seed`.
+#[inline]
+fn mix_stream(seed: u64, stream: u64) -> u64 {
+    let mut z =
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x6A09_E667_F3BC_C909);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Concrete generators.
@@ -314,6 +344,60 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn from_rng_consumes_one_draw_and_is_deterministic() {
+        let mut parent_a = StdRng::seed_from_u64(5);
+        let mut parent_b = StdRng::seed_from_u64(5);
+        let mut child_a = StdRng::from_rng(&mut parent_a);
+        let mut child_b = StdRng::from_rng(&mut parent_b);
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+        // Both parents advanced by exactly one draw.
+        assert_eq!(parent_a.next_u64(), parent_b.next_u64());
+        // The child stream is not the parent stream continued.
+        let mut parent_c = StdRng::seed_from_u64(5);
+        parent_c.next_u64();
+        let mut child_c = StdRng::from_rng(&mut parent_a);
+        assert_ne!(child_a.next_u64(), parent_c.next_u64());
+        let _ = child_c.next_u64();
+    }
+
+    #[test]
+    fn seed_from_stream_families_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_stream(42, 3);
+        let mut b = StdRng::seed_from_stream(42, 3);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Different streams of the same seed differ, as do equal streams of
+        // different seeds, and stream 0 is not seed_from_u64(seed).
+        let mut c = StdRng::seed_from_stream(42, 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut d = StdRng::seed_from_stream(43, 3);
+        assert_ne!(b.next_u64(), d.next_u64());
+        let mut s0 = StdRng::seed_from_stream(42, 0);
+        let mut plain = StdRng::seed_from_u64(42);
+        assert_ne!(s0.next_u64(), plain.next_u64());
+    }
+
+    #[test]
+    fn seed_from_stream_outputs_look_independent() {
+        // Crude decorrelation check: adjacent streams should not produce
+        // correlated unit doubles.
+        let n = 4_000;
+        let mut dot = 0.0;
+        for s in 0..4u64 {
+            let mut x = StdRng::seed_from_stream(7, s);
+            let mut y = StdRng::seed_from_stream(7, s + 1);
+            for _ in 0..n {
+                let a: f64 = x.random::<f64>() - 0.5;
+                let b: f64 = y.random::<f64>() - 0.5;
+                dot += a * b;
+            }
+        }
+        let corr = dot / (4.0 * n as f64) / (1.0 / 12.0);
+        assert!(corr.abs() < 0.05, "adjacent streams correlate: {corr}");
     }
 
     #[test]
