@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
 
     let encoder = Encoder::fit(&ds);
     let points = encoder.encode_dataset(&ds);
-    let query = points[0].clone();
+    let query = points.row(0).to_vec();
     c.bench_function("ball_tree_build", |b| b.iter(|| black_box(BallTree::build(points.clone()))));
     let tree = BallTree::build(points);
     c.bench_function("ball_tree_knn_k5", |b| b.iter(|| black_box(tree.k_nearest(&query, 5))));

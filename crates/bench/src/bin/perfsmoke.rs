@@ -1,12 +1,13 @@
 //! Perf smoke: times the parallelized hot paths at 1 and N threads and
-//! writes `BENCH_pr2.json` at the repository root.
+//! writes `BENCH_pr3.json` at the repository root.
 //!
-//! This seeds the repo's perf trajectory for the `frote-par` runtime: kNN
-//! batch query, SMOTE generation, rule-coverage scan, and one full FROTE
-//! iteration, each measured serially (`threads = 1`) and in parallel
-//! (`--threads N`, default 4). Every pair also cross-checks the determinism
-//! contract — the two outputs must match exactly. Speedups are *recorded,
-//! not gated*: single-core CI hosts will legitimately report ~1×.
+//! Probes cover the `frote-par` runtime (kNN batch query, SMOTE generation,
+//! rule-coverage scan, one full FROTE iteration) and the dense data plane
+//! (batch encoding into `FeatureMatrix`, batch `predict_dataset` scoring for
+//! the RF / LGBM / LR families). Every pair also cross-checks the
+//! determinism contract — the serial and parallel outputs must match
+//! exactly. Speedups are *recorded, not gated*: single-core CI hosts will
+//! legitimately report ~1×.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -14,10 +15,14 @@ use std::time::Instant;
 
 use frote::{Frote, FroteConfig};
 use frote_bench::CliOptions;
+use frote_data::encode::Encoder;
 use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_data::Value;
 use frote_ml::balltree::BallTree;
 use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_ml::gbdt::{GbdtParams, GbdtTrainer};
+use frote_ml::logreg::LogisticRegressionTrainer;
+use frote_ml::TrainAlgorithm;
 use frote_rules::parse::parse_rule;
 use frote_rules::{Clause, FeedbackRuleSet, Op, Predicate};
 use frote_smote::{Smote, SmoteParams};
@@ -81,6 +86,14 @@ fn hash_of<T: Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+fn hash_f64s(values: &[f64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in values {
+        v.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
 fn main() {
     // `FROTE_THREADS` outranks `set_threads` in the resolver, which would
     // pin both sides of every comparison; this binary owns its thread count.
@@ -98,7 +111,8 @@ fn main() {
         (0..6000).map(|_| (0..8).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
     let queries: Vec<Vec<f64>> =
         (0..600).map(|_| (0..8).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
-    let tree = BallTree::build(points);
+    let queries = frote_data::FeatureMatrix::from_rows(queries);
+    let tree = BallTree::build(points.into());
     benches.push(record("knn_batch_query", threads, 3, || {
         let hits = tree.k_nearest_batch(&queries, 10);
         hash_of(&hits.iter().flat_map(|h| h.iter().map(|n| n.index)).collect::<Vec<_>>())
@@ -124,7 +138,28 @@ fn main() {
     ]);
     benches.push(record("rule_coverage", threads, 5, || hash_of(&clause.coverage(&big))));
 
-    // 4. One FROTE iteration end to end (select → generate → retrain).
+    // 4. Encode throughput: the whole Adult table into one FeatureMatrix.
+    let encoder = Encoder::fit(&big);
+    benches.push(record("encode_dataset", threads, 5, || {
+        let m = encoder.encode_dataset(&big);
+        hash_f64s(m.as_slice())
+    }));
+
+    // 5. Batch predict_dataset throughput per model family (train once at a
+    // pinned thread count so every timing scores the same model).
+    let scoring = DatasetKind::Adult.generate(&SynthConfig { n_rows: 8000, ..Default::default() });
+    frote_par::set_threads(1);
+    let rf = RandomForestTrainer::new(ForestParams { n_trees: 20, ..Default::default() }, 42)
+        .train(&scoring);
+    let lgbm = GbdtTrainer::new(GbdtParams { n_rounds: 10, ..Default::default() }).train(&scoring);
+    let lr = LogisticRegressionTrainer::default().train(&scoring);
+    for (name, model) in
+        [("predict_dataset_rf", &rf), ("predict_dataset_lgbm", &lgbm), ("predict_dataset_lr", &lr)]
+    {
+        benches.push(record(name, threads, 3, || hash_of(&model.predict_dataset(&scoring))));
+    }
+
+    // 6. One FROTE iteration end to end (select → generate → retrain).
     let car = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
     let rule = parse_rule("safety = low AND buying = low => acc", car.schema()).expect("rule");
     let frs = FeedbackRuleSet::new(vec![rule]);
@@ -139,7 +174,7 @@ fn main() {
 
     for b in &benches {
         println!(
-            "  {:<20} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {}",
+            "  {:<22} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {}",
             b.name, b.serial_ms, threads, b.parallel_ms, b.speedup, b.identical
         );
         assert!(b.identical, "{}: serial and parallel outputs diverged", b.name);
@@ -151,8 +186,8 @@ fn main() {
         benches,
         note: "speedups are recorded, not gated; single-core hosts report ~1x".to_string(),
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write(path, json + "\n").expect("write BENCH_pr2.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_pr3.json");
     println!("wrote {path}");
 }

@@ -11,7 +11,7 @@ use crate::modstrategy::ModStrategy;
 use crate::objective::{empirical_j, ObjectiveWeights};
 use crate::preselect::BasePopulation;
 use crate::report::{FroteReport, IterationRecord};
-use crate::select::SelectionStrategy;
+use crate::select::{SelectCache, SelectionStrategy};
 
 /// Configuration of a FROTE run. Defaults mirror the paper's experimental
 /// setup (§5.1): `q = 0.5`, `τ = 200`, `k = 5`, `random` selection,
@@ -170,12 +170,25 @@ impl Frote {
         let mut best = initial;
         let mut bp = BasePopulation::pre_select(&active, frs, cfg.k);
 
-        // Lines 5-18: the augmentation loop.
+        // Lines 5-18: the augmentation loop. The select cache keeps the
+        // proxy strategies' encoded matrix incremental across iterations
+        // (base rows encoded once; only accepted synthetic rows are
+        // appended) — bit-identical to refitting from scratch.
         let mut iterations = Vec::new();
+        let mut select_cache = SelectCache::new();
         let mut total_added = 0usize;
         let mut i = 0usize;
         while i < cfg.iteration_limit && total_added <= quota {
-            let base = cfg.selection.select(&active, frs, &bp, eta, cfg.k, model.as_ref(), rng);
+            let base = cfg.selection.select(
+                &active,
+                frs,
+                &bp,
+                eta,
+                cfg.k,
+                model.as_ref(),
+                &mut select_cache,
+                rng,
+            );
             if base.is_empty() {
                 break; // no viable rule populations — nothing can be generated
             }

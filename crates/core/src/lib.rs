@@ -60,4 +60,4 @@ pub use generate::LabelPolicy;
 pub use modstrategy::ModStrategy;
 pub use objective::ObjectiveWeights;
 pub use report::{FroteReport, IterationRecord};
-pub use select::SelectionStrategy;
+pub use select::{SelectCache, SelectionStrategy};

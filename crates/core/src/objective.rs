@@ -58,8 +58,9 @@ pub fn mra_opt(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> O
     let mut agreement = 0.0;
     for (r, rows) in attributed.iter().enumerate() {
         let rule = frs.rule(r);
-        for &i in rows {
-            let pred = model.predict(&ds.row(i));
+        // Batch-predict the rule's coverage in one parallel pass.
+        let preds = model.predict_rows(ds, rows);
+        for pred in preds {
             agreement += rule.dist().prob(pred);
             total += 1;
         }
@@ -78,7 +79,7 @@ pub fn mra(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
 /// against the dataset's own labels. Returns 1.0 when empty.
 pub fn outside_f1(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
     let outside = frs.outside_coverage(ds);
-    let preds: Vec<u32> = outside.iter().map(|&i| model.predict(&ds.row(i))).collect();
+    let preds = model.predict_rows(ds, &outside);
     let labels: Vec<u32> = outside.iter().map(|&i| ds.label(i)).collect();
     metrics::macro_f1(&preds, &labels, ds.n_classes())
 }
@@ -121,8 +122,8 @@ pub fn paper_j(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> O
         }
         let rule = frs.rule(r);
         let mut agree = 0.0;
-        for &i in rows {
-            agree += rule.dist().prob(model.predict(&ds.row(i)));
+        for pred in model.predict_rows(ds, rows) {
+            agree += rule.dist().prob(pred);
         }
         agreement_total += agree;
         covered_rows += rows.len();
@@ -150,11 +151,12 @@ mod tests {
         fn n_classes(&self) -> usize {
             2
         }
-        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+        fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+            out.clear();
             if row[0].expect_num() >= 5.0 {
-                vec![0.0, 1.0]
+                out.extend_from_slice(&[0.0, 1.0]);
             } else {
-                vec![1.0, 0.0]
+                out.extend_from_slice(&[1.0, 0.0]);
             }
         }
     }

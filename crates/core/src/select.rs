@@ -15,7 +15,7 @@
 //!   "too computationally intensive to be practical"; this proxy keeps the
 //!   spirit at `O(|P|)` cost and is benchmarked as an ablation.
 
-use frote_data::Dataset;
+use frote_data::{Dataset, EncodedCache, FeatureMatrix};
 use frote_ml::logreg::{LogRegParams, LogisticRegression};
 use frote_ml::Classifier;
 use frote_opt::SelectionProblem;
@@ -25,6 +25,52 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 
 use crate::preselect::BasePopulation;
+
+/// Memoized state shared by the proxy-based strategies across the
+/// augmentation loop's iterations: the incremental [`EncodedCache`] of the
+/// active dataset plus the LR proxy fitted from it, keyed by the dataset's
+/// row count (the loop only ever appends rows, so an unchanged count means
+/// an unchanged dataset and the proxy — a deterministic function of it — is
+/// reused verbatim).
+///
+/// Must only be reused across calls that pass the *same, append-only*
+/// dataset; hand each FROTE run its own cache.
+#[derive(Debug, Default)]
+pub struct SelectCache {
+    encoded: Option<EncodedCache>,
+    proxy: Option<(usize, LogisticRegression)>,
+}
+
+impl SelectCache {
+    /// An empty cache (nothing fitted yet).
+    pub fn new() -> Self {
+        SelectCache::default()
+    }
+
+    /// The LR proxy of `ds` together with the encoded matrix it was fitted
+    /// from (matrix row `i` is the encoding of dataset row `i`) —
+    /// bit-identical to `LogisticRegression::fit(ds, {max_iter: 50})` +
+    /// `encode_dataset`, but base rows are encoded once and the fit itself
+    /// is skipped while `ds` is unchanged.
+    fn proxy_and_matrix(&mut self, ds: &Dataset) -> (&LogisticRegression, &FeatureMatrix) {
+        let rows = ds.n_rows();
+        if self.proxy.as_ref().is_none_or(|&(at, _)| at != rows) {
+            let encoded = self.encoded.get_or_insert_with(|| EncodedCache::fit(ds));
+            encoded.sync(ds);
+            let model = LogisticRegression::fit_encoded(
+                encoded.encoder().clone(),
+                encoded.matrix(),
+                ds.labels(),
+                ds.n_classes(),
+                &LogRegParams { max_iter: 50, ..Default::default() },
+            );
+            self.proxy = Some((rows, model));
+        }
+        let proxy = &self.proxy.as_ref().expect("just fitted").1;
+        let matrix = self.encoded.as_ref().expect("fitted alongside the proxy").matrix();
+        (proxy, matrix)
+    }
+}
 
 /// A selected base instance: a dataset row slated to seed one synthetic
 /// instance under one rule, optionally with a pinned interpolation
@@ -85,8 +131,11 @@ impl SelectionStrategy {
 
     /// Selects up to `eta` base instances from the viable populations.
     ///
-    /// `model` is the current model `M_D̂` — used by `Ip` (borderline
-    /// weights) and `OnlineProxy` (proxy labels); `Random` ignores it.
+    /// `model` is the current model `M_D̂` — used only by `Ip` (borderline
+    /// weights against its predictions). `OnlineProxy` and `JointNeighbors`
+    /// score with the cached LR proxy instead; `cache` memoizes that
+    /// proxy's encoded matrix and fit across iterations (see
+    /// [`SelectCache`]). `Random` touches neither.
     #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
     pub fn select(
         self,
@@ -96,6 +145,7 @@ impl SelectionStrategy {
         eta: usize,
         k: usize,
         model: &dyn Classifier,
+        cache: &mut SelectCache,
         rng: &mut StdRng,
     ) -> Vec<BaseInstance> {
         let viable = bp.viable(k);
@@ -105,9 +155,13 @@ impl SelectionStrategy {
         match self {
             SelectionStrategy::Random => random_select(bp, &viable, eta, rng),
             SelectionStrategy::Ip => ip_select(ds, bp, &viable, eta, k, model),
-            SelectionStrategy::OnlineProxy => online_proxy_select(ds, frs, bp, &viable, eta, model),
+            SelectionStrategy::OnlineProxy => {
+                let (proxy, encoded) = cache.proxy_and_matrix(ds);
+                online_proxy_select(frs, bp, &viable, eta, proxy, encoded)
+            }
             SelectionStrategy::JointNeighbors => {
-                joint_neighbor_select(ds, frs, bp, &viable, eta, k)
+                let (proxy, _) = cache.proxy_and_matrix(ds);
+                joint_neighbor_select(ds, frs, bp, &viable, eta, k, proxy)
             }
         }
     }
@@ -194,17 +248,20 @@ fn joint_neighbor_select(
     viable: &[usize],
     eta: usize,
     k: usize,
+    proxy: &LogisticRegression,
 ) -> Vec<BaseInstance> {
     use frote_data::Value;
     use frote_ml::distance::{MixedDistance, MixedMetric};
     use frote_ml::knn::k_nearest_of_row;
 
-    let proxy = LogisticRegression::fit(ds, &LogRegParams { max_iter: 50, ..Default::default() });
     let dist = MixedDistance::fit(ds, MixedMetric::SmoteNc);
     let quota = (eta / viable.len()).max(1);
     /// Cap on candidate bases scored per rule, keeping the pass `O(P·k)`.
     const MAX_BASES_PER_RULE: usize = 64;
     let mut out = Vec::new();
+    let mut midpoint: Vec<Value> = Vec::with_capacity(ds.n_features());
+    let mut encode_scratch: Vec<f64> = Vec::with_capacity(proxy.encoder().width());
+    let mut probs: Vec<f64> = Vec::with_capacity(ds.n_classes());
     for &r in viable {
         let target = frs.rule(r).dist().mode() as usize;
         let members = &bp.population(r).members;
@@ -212,14 +269,15 @@ fn joint_neighbor_select(
         let mut scored: Vec<(f64, usize, usize)> = Vec::new();
         for &row in members.iter().step_by(step) {
             for n in k_nearest_of_row(ds, row, members, k, &dist) {
-                let midpoint: Vec<Value> = (0..ds.n_features())
-                    .map(|j| match (ds.value(row, j), ds.value(n.index, j)) {
+                midpoint.clear();
+                midpoint.extend((0..ds.n_features()).map(|j| {
+                    match (ds.cell(row, j), ds.cell(n.index, j)) {
                         (Value::Num(a), Value::Num(b)) => Value::Num(0.5 * (a + b)),
                         (cell, _) => cell, // categorical: the base's value
-                    })
-                    .collect();
-                let p = proxy.predict_proba(&midpoint);
-                scored.push((p.get(target).copied().unwrap_or(0.0), row, n.index));
+                    }
+                }));
+                proxy.predict_proba_scratch(&midpoint, &mut encode_scratch, &mut probs);
+                scored.push((probs.get(target).copied().unwrap_or(0.0), row, n.index));
             }
         }
         scored.sort_by(|a, b| {
@@ -239,24 +297,26 @@ fn joint_neighbor_select(
 /// dataset's labels, then pick, per rule, the candidates where the proxy
 /// assigns the *lowest* probability to the rule's target class.
 fn online_proxy_select(
-    ds: &Dataset,
     frs: &FeedbackRuleSet,
     bp: &BasePopulation,
     viable: &[usize],
     eta: usize,
-    _model: &dyn Classifier,
+    proxy: &LogisticRegression,
+    encoded: &FeatureMatrix,
 ) -> Vec<BaseInstance> {
-    let proxy = LogisticRegression::fit(ds, &LogRegParams { max_iter: 50, ..Default::default() });
     let quota = (eta / viable.len()).max(1);
     let mut out = Vec::new();
+    let mut probs = Vec::with_capacity(proxy.n_classes());
     for &r in viable {
         let target = frs.rule(r).dist().mode();
         let members = &bp.population(r).members;
+        // Members score straight off the cached encoded matrix: no per-row
+        // materialization or re-encode.
         let mut scored: Vec<(f64, usize)> = members
             .iter()
-            .map(|&row| {
-                let p = proxy.predict_proba(&ds.row(row));
-                (p.get(target as usize).copied().unwrap_or(0.0), row)
+            .map(|&i| {
+                proxy.predict_proba_encoded(encoded.row(i), &mut probs);
+                (probs.get(target as usize).copied().unwrap_or(0.0), i)
             })
             .collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite probabilities"));
@@ -279,11 +339,12 @@ mod tests {
         fn n_classes(&self) -> usize {
             2
         }
-        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+        fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+            out.clear();
             if row[0].expect_num() >= 10.0 {
-                vec![0.0, 1.0]
+                out.extend_from_slice(&[0.0, 1.0]);
             } else {
-                vec![1.0, 0.0]
+                out.extend_from_slice(&[1.0, 0.0]);
             }
         }
     }
@@ -321,7 +382,16 @@ mod tests {
     fn random_respects_populations_and_quota() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel = SelectionStrategy::Random.select(&d, &f, &bp, 8, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::Random.select(
+            &d,
+            &f,
+            &bp,
+            8,
+            5,
+            &Stub,
+            &mut SelectCache::new(),
+            &mut rng,
+        );
         assert_eq!(sel.len(), 8);
         for b in &sel {
             assert!(bp.population(b.rule).members.contains(&b.row));
@@ -335,7 +405,16 @@ mod tests {
     fn ip_selects_feasible_rule_coverage() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel = SelectionStrategy::Ip.select(&d, &f, &bp, 16, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::Ip.select(
+            &d,
+            &f,
+            &bp,
+            16,
+            5,
+            &Stub,
+            &mut SelectCache::new(),
+            &mut rng,
+        );
         assert!(!sel.is_empty());
         for b in &sel {
             assert!(bp.population(b.rule).members.contains(&b.row));
@@ -351,7 +430,16 @@ mod tests {
     fn online_proxy_prefers_hard_candidates() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel = SelectionStrategy::OnlineProxy.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::OnlineProxy.select(
+            &d,
+            &f,
+            &bp,
+            6,
+            5,
+            &Stub,
+            &mut SelectCache::new(),
+            &mut rng,
+        );
         assert!(!sel.is_empty());
         for b in &sel {
             assert!(bp.population(b.rule).members.contains(&b.row));
@@ -362,11 +450,13 @@ mod tests {
     fn zero_eta_or_no_viable_rules() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(SelectionStrategy::Random.select(&d, &f, &bp, 0, 5, &Stub, &mut rng).is_empty());
+        assert!(SelectionStrategy::Random
+            .select(&d, &f, &bp, 0, 5, &Stub, &mut SelectCache::new(), &mut rng)
+            .is_empty());
         // k too large -> nothing viable.
         let bp_small = BasePopulation::pre_select(&d, &f, 50);
         assert!(SelectionStrategy::Random
-            .select(&d, &f, &bp_small, 10, 50, &Stub, &mut rng)
+            .select(&d, &f, &bp_small, 10, 50, &Stub, &mut SelectCache::new(), &mut rng)
             .is_empty());
     }
 
@@ -382,7 +472,16 @@ mod tests {
     fn joint_neighbors_pins_valid_pairs() {
         let (d, f, bp) = setup();
         let mut rng = StdRng::seed_from_u64(42);
-        let sel = SelectionStrategy::JointNeighbors.select(&d, &f, &bp, 6, 5, &Stub, &mut rng);
+        let sel = SelectionStrategy::JointNeighbors.select(
+            &d,
+            &f,
+            &bp,
+            6,
+            5,
+            &Stub,
+            &mut SelectCache::new(),
+            &mut rng,
+        );
         assert!(!sel.is_empty());
         for b in &sel {
             let members = &bp.population(b.rule).members;
@@ -403,6 +502,7 @@ mod tests {
             8,
             5,
             &Stub,
+            &mut SelectCache::new(),
             &mut StdRng::seed_from_u64(3),
         );
         let b = SelectionStrategy::Random.select(
@@ -412,6 +512,7 @@ mod tests {
             8,
             5,
             &Stub,
+            &mut SelectCache::new(),
             &mut StdRng::seed_from_u64(3),
         );
         assert_eq!(a, b);

@@ -135,13 +135,38 @@ impl Dataset {
         Ok(())
     }
 
+    /// Cell value at row `i`, column `j` — a borrowed-view alias of
+    /// [`Dataset::value`] for hot loops that address the columnar store
+    /// directly instead of materializing rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn cell(&self, i: usize, j: usize) -> Value {
+        self.value(i, j)
+    }
+
     /// Materializes row `i` as a vector of values.
+    ///
+    /// Allocates; batch paths should prefer [`Dataset::row_into`] with a
+    /// reused scratch buffer, or [`Dataset::cell`] for single cells.
     ///
     /// # Panics
     ///
     /// Panics if `i >= n_rows()`.
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Writes row `i` into `out` (cleared first), reusing its allocation —
+    /// the allocation-free counterpart of [`Dataset::row`] for inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn row_into(&self, i: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.value(i)));
     }
 
     /// Appends a row.

@@ -5,20 +5,36 @@
 //! training dataset and then maps any schema-compatible row to a vector:
 //! numeric columns are z-scored (constant columns map to 0), categorical
 //! columns expand to one-hot blocks.
+//!
+//! Batch encoding is matrix-first: [`Encoder::encode_dataset`] fills a flat
+//! row-major [`FeatureMatrix`] (in parallel across `frote_par::threads()`
+//! threads; cell-for-cell identical to per-row [`Encoder::encode`] at any
+//! thread count), and [`Encoder::encode_append`] extends an existing matrix
+//! with a dataset's trailing rows so growing datasets (FROTE's `D̂`) encode
+//! only what is new. [`EncodedCache`] packages that incremental discipline.
 
 use crate::column::Column;
 use crate::dataset::Dataset;
+use crate::matrix::FeatureMatrix;
 use crate::stats::NumericStats;
 use crate::value::{FeatureKind, Value};
 
+/// Rows per parallel block when batch-encoding. Block boundaries never
+/// affect results, only the schedule.
+const ENCODE_BLOCK: usize = 512;
+
 /// A fitted feature encoder. See the [module docs](self).
-#[derive(Debug, Clone)]
+///
+/// Equality compares the fitted parameters (means/stds/cardinalities), so
+/// callers can detect when a refit on a grown dataset left the encoding
+/// unchanged (always true for pure-categorical schemas).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Encoder {
     cols: Vec<ColEncoder>,
     width: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum ColEncoder {
     Numeric { mean: f64, std: f64 },
     OneHot { cardinality: usize },
@@ -55,6 +71,23 @@ impl Encoder {
         self.width
     }
 
+    /// Encodes one cell into `out`. The single source of truth for the
+    /// encoding arithmetic — every batch path funnels through it, which is
+    /// what keeps matrix and per-row encodings bit-identical.
+    fn encode_cell(enc: &ColEncoder, v: Value, out: &mut Vec<f64>) {
+        match (enc, v) {
+            (ColEncoder::Numeric { mean, std }, Value::Num(x)) => {
+                out.push(if *std > 0.0 { (x - mean) / std } else { x - mean });
+            }
+            (ColEncoder::OneHot { cardinality }, Value::Cat(c)) => {
+                let start = out.len();
+                out.resize(start + cardinality, 0.0);
+                out[start + c as usize] = 1.0;
+            }
+            _ => panic!("row cell kind does not match encoder"),
+        }
+    }
+
     /// Encodes one row into `out`, which is cleared first.
     ///
     /// # Panics
@@ -66,17 +99,7 @@ impl Encoder {
         out.clear();
         out.reserve(self.width);
         for (enc, &v) in self.cols.iter().zip(row) {
-            match (enc, v) {
-                (ColEncoder::Numeric { mean, std }, Value::Num(x)) => {
-                    out.push(if *std > 0.0 { (x - mean) / std } else { x - mean });
-                }
-                (ColEncoder::OneHot { cardinality }, Value::Cat(c)) => {
-                    let start = out.len();
-                    out.resize(start + cardinality, 0.0);
-                    out[start + c as usize] = 1.0;
-                }
-                _ => panic!("row cell kind does not match encoder"),
-            }
+            Self::encode_cell(enc, v, out);
         }
     }
 
@@ -87,9 +110,111 @@ impl Encoder {
         out
     }
 
-    /// Encodes every row of `ds` as a dense row-major matrix.
-    pub fn encode_dataset(&self, ds: &Dataset) -> Vec<Vec<f64>> {
-        (0..ds.n_rows()).map(|i| self.encode(&ds.row(i))).collect()
+    /// Appends the encoding of dataset row `i` to `buf`, reading the
+    /// columnar store directly (no `Vec<Value>` row materialization).
+    fn encode_ds_row(&self, ds: &Dataset, i: usize, buf: &mut Vec<f64>) {
+        for (j, enc) in self.cols.iter().enumerate() {
+            Self::encode_cell(enc, ds.cell(i, j), buf);
+        }
+    }
+
+    /// Encodes every row of `ds` as a dense row-major [`FeatureMatrix`], in
+    /// parallel across `frote_par::threads()` threads. Cell-for-cell
+    /// identical to per-row [`Encoder::encode`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds`'s schema does not match the fitted dataset's.
+    pub fn encode_dataset(&self, ds: &Dataset) -> FeatureMatrix {
+        assert_eq!(ds.n_features(), self.cols.len(), "row arity mismatch");
+        if self.width == 0 {
+            // Feature-less schemas still have rows; keep the count.
+            return FeatureMatrix::zero_width(ds.n_rows());
+        }
+        let data: Vec<f64> = frote_par::par_blocks_map(ds.n_rows(), ENCODE_BLOCK, |_, rows| {
+            let mut buf = Vec::with_capacity(rows.len() * self.width);
+            for i in rows {
+                self.encode_ds_row(ds, i, &mut buf);
+            }
+            buf
+        });
+        FeatureMatrix::from_raw(self.width, data)
+    }
+
+    /// Appends the encodings of `ds`'s rows `matrix.n_rows()..ds.n_rows()`
+    /// to `matrix` — the incremental path for datasets that only grow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix width differs from the encoder width, or if the
+    /// matrix already has more rows than `ds`.
+    pub fn encode_append(&self, ds: &Dataset, matrix: &mut FeatureMatrix) {
+        assert_eq!(matrix.width(), self.width, "matrix width must equal the encoder width");
+        assert!(matrix.n_rows() <= ds.n_rows(), "matrix has more rows than the dataset");
+        for i in matrix.n_rows()..ds.n_rows() {
+            matrix.push_row_with(|buf| self.encode_ds_row(ds, i, buf));
+        }
+    }
+}
+
+/// An incrementally maintained encoded view of a growing dataset: the
+/// encoder fit plus the full [`FeatureMatrix`] of encodings, kept in sync by
+/// appending only new rows whenever growth leaves the fitted parameters
+/// unchanged (always, for pure-categorical schemas such as the paper's Car /
+/// Mushroom / Nursery benchmarks) and re-encoding in place otherwise.
+///
+/// The cache is exact by construction: after [`EncodedCache::sync`],
+/// `encoder()` equals `Encoder::fit(ds)` and `matrix()` equals
+/// `encoder().encode_dataset(ds)` bit for bit — callers trade no determinism
+/// for the saved work.
+#[derive(Debug, Clone)]
+pub struct EncodedCache {
+    encoder: Encoder,
+    matrix: FeatureMatrix,
+}
+
+impl EncodedCache {
+    /// Fits the encoder to `ds` and encodes every row.
+    pub fn fit(ds: &Dataset) -> EncodedCache {
+        let encoder = Encoder::fit(ds);
+        let matrix = encoder.encode_dataset(ds);
+        EncodedCache { encoder, matrix }
+    }
+
+    /// Brings the cache in sync with `ds`, whose leading `matrix().n_rows()`
+    /// rows must be unchanged since the last sync (FROTE's loop only ever
+    /// appends). Returns `true` when the update was incremental (fitted
+    /// parameters unchanged — only new rows were encoded) and `false` when a
+    /// full re-encode was required.
+    pub fn sync(&mut self, ds: &Dataset) -> bool {
+        if ds.n_rows() == self.matrix.n_rows() {
+            return true; // unchanged dataset: even the refit can be skipped
+        }
+        let refit = Encoder::fit(ds);
+        if refit == self.encoder {
+            self.encoder.encode_append(ds, &mut self.matrix);
+            true
+        } else {
+            self.encoder = refit;
+            self.matrix = self.encoder.encode_dataset(ds);
+            false
+        }
+    }
+
+    /// Drops cached encodings past the first `rows` rows (rejecting a
+    /// candidate batch without re-encoding the survivors).
+    pub fn truncate(&mut self, rows: usize) {
+        self.matrix.truncate_rows(rows);
+    }
+
+    /// The current encoder fit.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The encoded rows, one per dataset row as of the last sync.
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.matrix
     }
 }
 
@@ -139,11 +264,65 @@ mod tests {
     }
 
     #[test]
-    fn encode_dataset_shape() {
+    fn encode_dataset_matches_per_row_encode() {
         let ds = demo();
-        let m = Encoder::fit(&ds).encode_dataset(&ds);
-        assert_eq!(m.len(), 2);
-        assert_eq!(m[0].len(), 4);
+        let enc = Encoder::fit(&ds);
+        let m = enc.encode_dataset(&ds);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.width(), 4);
+        for i in 0..ds.n_rows() {
+            assert_eq!(m.row(i), enc.encode(&ds.row(i)).as_slice());
+        }
+    }
+
+    #[test]
+    fn encode_append_extends_incrementally() {
+        let mut ds = demo();
+        let enc = Encoder::fit(&ds);
+        let mut m = enc.encode_dataset(&ds);
+        ds.push_row(&[Value::Num(2.0), Value::Cat(1)], 0).unwrap();
+        enc.encode_append(&ds, &mut m);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.row(2), enc.encode(&ds.row(2)).as_slice());
+    }
+
+    #[test]
+    fn cache_incremental_on_categorical_schema() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        let mut cache = EncodedCache::fit(&ds);
+        ds.push_row(&[Value::Cat(1)], 1).unwrap();
+        assert!(cache.sync(&ds), "one-hot params never change: append path");
+        assert_eq!(cache.matrix().n_rows(), 2);
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+    }
+
+    #[test]
+    fn cache_refits_when_numeric_stats_move() {
+        let mut ds = demo();
+        let mut cache = EncodedCache::fit(&ds);
+        ds.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
+        assert!(!cache.sync(&ds), "mean/std moved: full re-encode");
+        assert_eq!(cache.encoder(), &Encoder::fit(&ds));
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+    }
+
+    #[test]
+    fn cache_truncate_drops_rejected_rows() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Cat(1)], 1).unwrap();
+        let mut cache = EncodedCache::fit(&ds);
+        cache.truncate(1);
+        assert_eq!(cache.matrix().n_rows(), 1);
+        assert!(cache.sync(&ds));
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //!   schemas with categorical vocabularies,
 //! - [`Dataset`] and [`Column`] — a columnar store with cheap coverage scans
 //!   and per-column statistics,
-//! - [`encode`] — one-hot + standardization encoding for linear models and
-//!   distance computations,
+//! - [`FeatureMatrix`] — the flat row-major encoded data plane shared by the
+//!   batch scoring and nearest-neighbour paths,
+//! - [`encode`] — one-hot + standardization encoding into [`FeatureMatrix`]
+//!   for linear models and distance computations (incrementally appendable
+//!   via [`EncodedCache`]),
 //! - [`split`] — deterministic train/test splitting utilities,
 //! - [`csv`] — a small typed CSV reader/writer,
 //! - [`synth`] — schema-matched synthetic generators for the eight UCI
@@ -41,6 +44,7 @@ pub mod csv;
 mod dataset;
 pub mod encode;
 mod error;
+mod matrix;
 mod schema;
 pub mod split;
 pub mod stats;
@@ -49,6 +53,8 @@ mod value;
 
 pub use column::Column;
 pub use dataset::Dataset;
+pub use encode::{EncodedCache, Encoder};
 pub use error::DataError;
+pub use matrix::FeatureMatrix;
 pub use schema::{FeatureMeta, Schema, SchemaBuilder};
 pub use value::{FeatureKind, Value};

@@ -52,13 +52,14 @@ fn overlay_objective(ov: &Overlay<'_>, test: &Dataset, frs: &FeedbackRuleSet) ->
             continue;
         }
         let rule = frs.rule(r);
-        let agree: f64 = rows.iter().map(|&i| rule.dist().prob(ov.predict(&test.row(i)))).sum();
+        let agree: f64 =
+            ov.predict_rows(test, rows).into_iter().map(|pred| rule.dist().prob(pred)).sum();
         agree_total += agree;
         covered += rows.len();
         j += (rows.len() as f64 / n as f64) * (agree / rows.len() as f64);
     }
     let outside = frs.outside_coverage(test);
-    let preds: Vec<u32> = outside.iter().map(|&i| ov.predict(&test.row(i))).collect();
+    let preds = ov.predict_rows(test, &outside);
     let labels: Vec<u32> = outside.iter().map(|&i| test.label(i)).collect();
     let f1 = metrics::macro_f1(&preds, &labels, test.n_classes());
     j += (n - covered) as f64 / n as f64 * f1;

@@ -44,10 +44,10 @@ pub struct ProbabilisticCell {
 fn truth_objective(model: &dyn Classifier, test: &Dataset, frs: &FeedbackRuleSet) -> (f64, f64) {
     let coverage = frs.coverage(test);
     let outside = frs.outside_coverage(test);
-    let cov_preds: Vec<u32> = coverage.iter().map(|&i| model.predict(&test.row(i))).collect();
+    let cov_preds = model.predict_rows(test, &coverage);
     let cov_labels: Vec<u32> = coverage.iter().map(|&i| test.label(i)).collect();
     let mra = metrics::accuracy(&cov_preds, &cov_labels);
-    let out_preds: Vec<u32> = outside.iter().map(|&i| model.predict(&test.row(i))).collect();
+    let out_preds = model.predict_rows(test, &outside);
     let out_labels: Vec<u32> = outside.iter().map(|&i| test.label(i)).collect();
     let f1 = metrics::macro_f1(&out_preds, &out_labels, test.n_classes());
     let n = test.n_rows().max(1) as f64;

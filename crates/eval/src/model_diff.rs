@@ -122,11 +122,12 @@ mod tests {
         fn n_classes(&self) -> usize {
             2
         }
-        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+        fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+            out.clear();
             if row[0].expect_num() >= self.0 {
-                vec![0.0, 1.0]
+                out.extend_from_slice(&[0.0, 1.0]);
             } else {
-                vec![1.0, 0.0]
+                out.extend_from_slice(&[1.0, 0.0]);
             }
         }
     }
@@ -181,8 +182,9 @@ mod tests {
             fn n_classes(&self) -> usize {
                 3
             }
-            fn predict_proba(&self, _row: &[Value]) -> Vec<f64> {
-                vec![1.0, 0.0, 0.0]
+            fn predict_proba_into(&self, _row: &[Value], out: &mut Vec<f64>) {
+                out.clear();
+                out.extend_from_slice(&[1.0, 0.0, 0.0]);
             }
         }
         let ds = reference();

@@ -1,15 +1,17 @@
 //! A ball tree for Euclidean k-NN over dense numeric vectors.
 //!
 //! The paper uses scikit-learn's `NearestNeighbors(algorithm="ball_tree")`;
-//! this is the corresponding substrate. It indexes encoded (`Vec<f64>`)
-//! points — mixed-type rows go through `frote_data::encode::Encoder` first —
-//! and answers k-nearest queries with branch-and-bound pruning on ball
-//! bounds.
+//! this is the corresponding substrate. It indexes encoded points stored as
+//! one flat [`FeatureMatrix`] — mixed-type rows go through
+//! `frote_data::encode::Encoder` first — and answers k-nearest queries with
+//! branch-and-bound pruning on ball bounds. Points are read as contiguous
+//! `&[f64]` row views, so the query scan walks cache lines instead of
+//! chasing a pointer per point.
 //!
 //! ```
 //! use frote_ml::balltree::BallTree;
 //! let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![5.0, 5.0]];
-//! let tree = BallTree::build(pts);
+//! let tree = BallTree::build(pts.into());
 //! let hits = tree.k_nearest(&[0.9, 0.1], 2);
 //! assert_eq!(hits[0].index, 1);
 //! assert_eq!(hits[1].index, 0);
@@ -17,6 +19,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use frote_data::FeatureMatrix;
 
 use crate::knn::Neighbor;
 
@@ -46,26 +50,24 @@ struct Node {
     kind: NodeKind,
 }
 
-/// An immutable ball tree over owned points.
+/// An immutable ball tree over owned points (flat row-major storage).
 #[derive(Debug, Clone)]
 pub struct BallTree {
-    points: Vec<Vec<f64>>,
+    points: FeatureMatrix,
     order: Vec<usize>,
     nodes: Vec<Node>,
     root: usize,
 }
 
 impl BallTree {
-    /// Builds a tree over `points`. All points must share one dimension.
+    /// Builds a tree over `points` (`Vec<Vec<f64>>` converts via `.into()`).
     ///
     /// # Panics
     ///
-    /// Panics if `points` is empty or dimensions are inconsistent.
-    pub fn build(points: Vec<Vec<f64>>) -> Self {
+    /// Panics if `points` is empty.
+    pub fn build(points: FeatureMatrix) -> Self {
         assert!(!points.is_empty(), "ball tree needs at least one point");
-        let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
-        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut order: Vec<usize> = (0..points.n_rows()).collect();
         // Subtrees are built independently (in parallel when large enough)
         // and merged left ++ right ++ parent — exactly the post-order layout
         // the old sequential builder produced, so the tree is identical at
@@ -77,7 +79,7 @@ impl BallTree {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.points.n_rows()
     }
 
     /// Whether the tree is empty (never true post-build; kept for API
@@ -93,7 +95,7 @@ impl BallTree {
     ///
     /// Panics if `query`'s dimension differs from the indexed points.
     pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.points[0].len(), "query dimension mismatch");
+        assert_eq!(query.len(), self.points.width(), "query dimension mismatch");
         if k == 0 {
             return Vec::new();
         }
@@ -113,8 +115,10 @@ impl BallTree {
     /// # Panics
     ///
     /// Panics if any query's dimension differs from the indexed points.
-    pub fn k_nearest_batch(&self, queries: &[Vec<f64>], k: usize) -> Vec<Vec<Neighbor>> {
-        frote_par::par_map(queries, |q| self.k_nearest(q, k))
+    pub fn k_nearest_batch(&self, queries: &FeatureMatrix, k: usize) -> Vec<Vec<Neighbor>> {
+        frote_par::par_blocks_map(queries.n_rows(), 64, |_, rows| {
+            rows.map(|i| self.k_nearest(queries.row(i), k)).collect()
+        })
     }
 
     fn search(&self, node: usize, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
@@ -131,7 +135,7 @@ impl BallTree {
         match n.kind {
             NodeKind::Leaf { start, end } => {
                 for &i in &self.order[start..end] {
-                    let d = euclid(query, &self.points[i]);
+                    let d = euclid(query, self.points.row(i));
                     heap.push(HeapItem(Neighbor { index: i, distance: d }));
                     if heap.len() > k {
                         heap.pop();
@@ -155,9 +159,9 @@ impl BallTree {
 /// post-order: left subtree, right subtree, root last. Large subtrees build
 /// their children in parallel via [`frote_par::join`]; the merged layout is
 /// the same either way.
-fn build_subtree(points: &[Vec<f64>], order: &mut [usize], base: usize) -> Vec<Node> {
+fn build_subtree(points: &FeatureMatrix, order: &mut [usize], base: usize) -> Vec<Node> {
     let center = centroid(points, order);
-    let radius = order.iter().map(|&i| euclid(&points[i], &center)).fold(0.0, f64::max);
+    let radius = order.iter().map(|&i| euclid(points.row(i), &center)).fold(0.0, f64::max);
     if order.len() <= LEAF_SIZE {
         return vec![Node {
             center,
@@ -169,7 +173,7 @@ fn build_subtree(points: &[Vec<f64>], order: &mut [usize], base: usize) -> Vec<N
     let dim = widest_dimension(points, order);
     let mid = order.len() / 2;
     order.select_nth_unstable_by(mid, |&a, &b| {
-        points[a][dim].partial_cmp(&points[b][dim]).unwrap_or(Ordering::Equal)
+        points.row(a)[dim].partial_cmp(&points.row(b)[dim]).unwrap_or(Ordering::Equal)
     });
     let (left_order, right_order) = order.split_at_mut(mid);
     let (mut nodes, right) = if left_order.len().min(right_order.len()) >= PAR_BUILD_MIN {
@@ -199,11 +203,11 @@ fn build_subtree(points: &[Vec<f64>], order: &mut [usize], base: usize) -> Vec<N
     nodes
 }
 
-fn centroid(points: &[Vec<f64>], order: &[usize]) -> Vec<f64> {
-    let dim = points[0].len();
+fn centroid(points: &FeatureMatrix, order: &[usize]) -> Vec<f64> {
+    let dim = points.width();
     let mut c = vec![0.0; dim];
     for &i in order {
-        for (acc, &x) in c.iter_mut().zip(&points[i]) {
+        for (acc, &x) in c.iter_mut().zip(points.row(i)) {
             *acc += x;
         }
     }
@@ -214,12 +218,12 @@ fn centroid(points: &[Vec<f64>], order: &[usize]) -> Vec<f64> {
     c
 }
 
-fn widest_dimension(points: &[Vec<f64>], order: &[usize]) -> usize {
-    let dim = points[0].len();
+fn widest_dimension(points: &FeatureMatrix, order: &[usize]) -> usize {
+    let dim = points.width();
     let mut lo = vec![f64::INFINITY; dim];
     let mut hi = vec![f64::NEG_INFINITY; dim];
     for &i in order {
-        for (d, &x) in points[i].iter().enumerate() {
+        for (d, &x) in points.row(i).iter().enumerate() {
             lo[d] = lo[d].min(x);
             hi[d] = hi[d].max(x);
         }
@@ -280,7 +284,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let points: Vec<Vec<f64>> =
             (0..500).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
-        let tree = BallTree::build(points.clone());
+        let tree = BallTree::build(points.clone().into());
         for _ in 0..50 {
             let q: Vec<f64> = (0..4).map(|_| rng.random_range(-10.0..10.0)).collect();
             let got: Vec<usize> = tree.k_nearest(&q, 7).iter().map(|h| h.index).collect();
@@ -296,7 +300,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let points: Vec<Vec<f64>> =
             (0..3000).map(|_| (0..3).map(|_| rng.random_range(-5.0..5.0)).collect()).collect();
-        let tree = BallTree::build(points.clone());
+        let tree = BallTree::build(points.clone().into());
         for _ in 0..20 {
             let q: Vec<f64> = (0..3).map(|_| rng.random_range(-5.0..5.0)).collect();
             let got: Vec<usize> = tree.k_nearest(&q, 9).iter().map(|h| h.index).collect();
@@ -309,25 +313,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let points: Vec<Vec<f64>> =
             (0..300).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
-        let tree = BallTree::build(points);
-        let queries: Vec<Vec<f64>> =
-            (0..40).map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
+        let tree = BallTree::build(points.into());
+        let queries: FeatureMatrix = (0..40)
+            .map(|_| (0..4).map(|_| rng.random_range(-10.0..10.0)).collect())
+            .collect::<Vec<Vec<f64>>>()
+            .into();
         let batch = tree.k_nearest_batch(&queries, 5);
-        assert_eq!(batch.len(), queries.len());
-        for (q, hits) in queries.iter().zip(&batch) {
-            assert_eq!(hits, &tree.k_nearest(q, 5));
+        assert_eq!(batch.len(), queries.n_rows());
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(hits, &tree.k_nearest(queries.row(i), 5));
         }
     }
 
     #[test]
     fn k_larger_than_tree() {
-        let tree = BallTree::build(vec![vec![0.0], vec![1.0]]);
+        let tree = BallTree::build(vec![vec![0.0], vec![1.0]].into());
         assert_eq!(tree.k_nearest(&[0.2], 10).len(), 2);
     }
 
     #[test]
     fn single_point_tree() {
-        let tree = BallTree::build(vec![vec![3.0, 4.0]]);
+        let tree = BallTree::build(vec![vec![3.0, 4.0]].into());
         let hits = tree.k_nearest(&[0.0, 0.0], 1);
         assert_eq!(hits[0].index, 0);
         assert!((hits[0].distance - 5.0).abs() < 1e-12);
@@ -337,7 +343,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_all_returned() {
-        let tree = BallTree::build(vec![vec![1.0]; 40]);
+        let tree = BallTree::build(vec![vec![1.0]; 40].into());
         let hits = tree.k_nearest(&[1.0], 5);
         assert_eq!(hits.len(), 5);
         assert!(hits.iter().all(|h| h.distance == 0.0));
@@ -346,26 +352,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one point")]
     fn empty_build_panics() {
-        BallTree::build(vec![]);
+        BallTree::build(FeatureMatrix::new(1));
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn query_dim_mismatch_panics() {
-        let tree = BallTree::build(vec![vec![0.0, 0.0]]);
+        let tree = BallTree::build(vec![vec![0.0, 0.0]].into());
         tree.k_nearest(&[0.0], 1);
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn batch_query_dim_mismatch_panics() {
-        let tree = BallTree::build(vec![vec![0.0, 0.0]]);
-        tree.k_nearest_batch(&[vec![0.0, 0.0], vec![1.0]], 1);
+        let tree = BallTree::build(vec![vec![0.0, 0.0]].into());
+        tree.k_nearest_batch(&FeatureMatrix::from_rows(vec![vec![0.0]]), 1);
     }
 
     #[test]
     fn k_zero_returns_empty() {
-        let tree = BallTree::build(vec![vec![0.0]]);
+        let tree = BallTree::build(vec![vec![0.0]].into());
         assert!(tree.k_nearest(&[0.0], 0).is_empty());
     }
 }

@@ -101,6 +101,33 @@ impl MixedDistance {
         acc.sqrt()
     }
 
+    /// Distance between a materialized `query` row and row `i` of `ds`,
+    /// read straight from the columnar store (avoids materializing the
+    /// dataset row). Bit-identical to `distance(query, &ds.row(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query`'s arity or kinds do not match the fitted dataset.
+    pub fn distance_to_row(&self, query: &[Value], ds: &Dataset, i: usize) -> f64 {
+        assert_eq!(query.len(), self.numeric_scale.len(), "row arity mismatch");
+        let mut acc = 0.0;
+        for (j, scale) in self.numeric_scale.iter().enumerate() {
+            match (scale, query[j], ds.cell(i, j)) {
+                (Some(s), Value::Num(x), Value::Num(y)) => {
+                    let d = (x - y) / s;
+                    acc += d * d;
+                }
+                (None, Value::Cat(x), Value::Cat(y)) => {
+                    if x != y {
+                        acc += self.nominal_penalty * self.nominal_penalty;
+                    }
+                }
+                _ => panic!("row kind mismatch at feature {j}"),
+            }
+        }
+        acc.sqrt()
+    }
+
     /// Distance between two rows of `ds` by index (avoids materializing
     /// rows).
     pub fn distance_between(&self, ds: &Dataset, i: usize, j: usize) -> f64 {
@@ -197,6 +224,11 @@ mod tests {
         let a = ds.row(0);
         let b = ds.row(2);
         assert!((d.distance(&a, &b) - d.distance_between(&ds, 0, 2)).abs() < 1e-15);
+        assert_eq!(
+            d.distance(&a, &b),
+            d.distance_to_row(&a, &ds, 2),
+            "query-vs-index must be exact"
+        );
     }
 
     #[test]

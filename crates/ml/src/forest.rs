@@ -65,6 +65,22 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Averaged-vote prediction for a row already in `ds`, accumulated into
+    /// the caller's scratch.
+    fn vote_in(&self, ds: &Dataset, i: usize, acc: &mut [f64]) -> u32 {
+        acc.fill(0.0);
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.leaf_dist_in(ds, i)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in acc.iter_mut() {
+            *a /= n;
+        }
+        crate::traits::argmax(acc)
+    }
+
     /// Normalized split-frequency feature importances: the fraction of all
     /// splits across the forest taken on each feature. Sums to 1 when the
     /// forest contains at least one split; all-zero for stump forests.
@@ -88,18 +104,43 @@ impl Classifier for RandomForest {
         self.n_classes
     }
 
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
-        let mut acc = vec![0.0; self.n_classes];
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_classes, 0.0);
         for tree in &self.trees {
-            for (a, p) in acc.iter_mut().zip(tree.predict_proba(row)) {
+            for (a, p) in out.iter_mut().zip(tree.leaf_dist(row)) {
                 *a += p;
             }
         }
         let n = self.trees.len() as f64;
-        for a in &mut acc {
+        for a in out.iter_mut() {
             *a /= n;
         }
-        acc
+    }
+
+    /// Accumulates per-tree leaf distributions straight off the columnar
+    /// store, in parallel over row blocks — no per-row or per-tree
+    /// allocation.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        frote_par::par_blocks_map(ds.n_rows(), crate::traits::PREDICT_BLOCK, |_, rows| {
+            let mut acc = vec![0.0; self.n_classes];
+            let mut out = Vec::with_capacity(rows.len());
+            for i in rows {
+                out.push(self.vote_in(ds, i, &mut acc));
+            }
+            out
+        })
+    }
+
+    fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        frote_par::par_chunks_map(rows, crate::traits::PREDICT_BLOCK, |_, chunk| {
+            let mut acc = vec![0.0; self.n_classes];
+            let mut out = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                out.push(self.vote_in(ds, i, &mut acc));
+            }
+            out
+        })
     }
 }
 

@@ -6,9 +6,9 @@
 //! additive-model formulation LightGBM uses (minus the histogram/GOSS
 //! engineering, unnecessary at reproduction scale).
 
-use frote_data::{Column, Dataset, Value};
+use frote_data::{Column, Dataset, FeatureMatrix, Value};
 
-use crate::traits::{argmax, Classifier, TrainAlgorithm};
+use crate::traits::{argmax, Classifier, TrainAlgorithm, PREDICT_BLOCK};
 use crate::tree::SplitTest;
 
 /// GBDT hyper-parameters.
@@ -218,18 +218,21 @@ impl Gbdt {
         let counts = ds.class_counts();
         let base_score: Vec<f64> =
             counts.iter().map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln()).collect();
-        let mut scores = vec![base_score.clone(); n];
+        // One flat matrix per quantity: `scores` is row-per-instance
+        // (width k); `residuals`/`hessians` are row-per-class (width n) so
+        // each regression tree borrows its class's row as a plain slice.
+        let mut scores = FeatureMatrix::from_raw(k, base_score.repeat(n));
         let mut rounds = Vec::with_capacity(params.n_rounds);
         let mut probs = vec![0.0; k];
-        let mut residuals = vec![vec![0.0; n]; k];
-        let mut hessians = vec![vec![0.0; n]; k];
+        let mut residuals = FeatureMatrix::from_raw(n, vec![0.0; n * k]);
+        let mut hessians = FeatureMatrix::from_raw(n, vec![0.0; n * k]);
         for _ in 0..params.n_rounds {
-            for (i, s) in scores.iter().enumerate() {
-                softmax_into(s, &mut probs);
+            for i in 0..n {
+                softmax_into(scores.row(i), &mut probs);
                 let y = ds.label(i) as usize;
-                for c in 0..k {
-                    residuals[c][i] = f64::from(c == y) - probs[c];
-                    hessians[c][i] = (probs[c] * (1.0 - probs[c])).max(1e-6);
+                for (c, &p) in probs.iter().enumerate() {
+                    residuals.row_mut(c)[i] = f64::from(c == y) - p;
+                    hessians.row_mut(c)[i] = (p * (1.0 - p)).max(1e-6);
                 }
             }
             // Within a round the per-class trees depend only on the
@@ -239,11 +242,11 @@ impl Gbdt {
             let classes: Vec<usize> = (0..k).collect();
             let round_trees = frote_par::par_map(&classes, |&c| {
                 let mut idx: Vec<usize> = (0..n).collect();
-                RegressionTree::fit(ds, &mut idx, &residuals[c], &hessians[c], params)
+                RegressionTree::fit(ds, &mut idx, residuals.row(c), hessians.row(c), params)
             });
             for (c, tree) in round_trees.iter().enumerate() {
-                for (i, s) in scores.iter_mut().enumerate() {
-                    s[c] += params.learning_rate * tree.predict_in(ds, i);
+                for i in 0..n {
+                    scores.row_mut(i)[c] += params.learning_rate * tree.predict_in(ds, i);
                 }
             }
             rounds.push(round_trees);
@@ -256,14 +259,26 @@ impl Gbdt {
         self.rounds.len()
     }
 
-    fn raw_scores(&self, row: &[Value]) -> Vec<f64> {
-        let mut s = self.base_score.clone();
+    fn raw_scores_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.base_score);
         for round in &self.rounds {
             for (c, tree) in round.iter().enumerate() {
-                s[c] += self.learning_rate * tree.predict(row);
+                out[c] += self.learning_rate * tree.predict(row);
             }
         }
-        s
+    }
+
+    /// [`Gbdt::raw_scores_into`] for a row already in `ds`, traversed
+    /// straight off the columnar store.
+    fn raw_scores_in_into(&self, ds: &Dataset, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.base_score);
+        for round in &self.rounds {
+            for (c, tree) in round.iter().enumerate() {
+                out[c] += self.learning_rate * tree.predict_in(ds, i);
+            }
+        }
     }
 }
 
@@ -307,15 +322,44 @@ impl Classifier for Gbdt {
         self.n_classes
     }
 
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
-        let s = self.raw_scores(row);
-        let mut p = vec![0.0; self.n_classes];
-        softmax_into(&s, &mut p);
-        p
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        let mut s = Vec::with_capacity(self.n_classes);
+        self.raw_scores_into(row, &mut s);
+        out.clear();
+        out.resize(self.n_classes, 0.0);
+        softmax_into(&s, out);
     }
 
     fn predict(&self, row: &[Value]) -> u32 {
-        argmax(&self.raw_scores(row))
+        let mut s = Vec::with_capacity(self.n_classes);
+        self.raw_scores_into(row, &mut s);
+        argmax(&s)
+    }
+
+    /// Index-based ensemble traversal in parallel over row blocks — no
+    /// `Dataset::row` allocation per row.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        frote_par::par_blocks_map(ds.n_rows(), PREDICT_BLOCK, |_, rows| {
+            let mut s = Vec::with_capacity(self.n_classes);
+            let mut out = Vec::with_capacity(rows.len());
+            for i in rows {
+                self.raw_scores_in_into(ds, i, &mut s);
+                out.push(argmax(&s));
+            }
+            out
+        })
+    }
+
+    fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        frote_par::par_chunks_map(rows, PREDICT_BLOCK, |_, chunk| {
+            let mut s = Vec::with_capacity(self.n_classes);
+            let mut out = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                self.raw_scores_in_into(ds, i, &mut s);
+                out.push(argmax(&s));
+            }
+            out
+        })
     }
 }
 

@@ -60,19 +60,39 @@ pub fn k_nearest(
     exclude: usize,
     dist: &MixedDistance,
 ) -> Vec<Neighbor> {
+    // Candidate rows are read straight from the columnar store
+    // (`distance_to_row`); neither side of the comparison materializes a row.
+    scan(candidates, k, exclude, |c| dist.distance_to_row(query, ds, c))
+}
+
+/// Convenience: neighbours of row `i` of `ds` among `candidates`, excluding
+/// itself. Fully index-based — no row is ever materialized.
+pub fn k_nearest_of_row(
+    ds: &Dataset,
+    i: usize,
+    candidates: &[usize],
+    k: usize,
+    dist: &MixedDistance,
+) -> Vec<Neighbor> {
+    scan(candidates, k, i, |c| dist.distance_between(ds, i, c))
+}
+
+/// The shared bounded-heap linear scan.
+fn scan(
+    candidates: &[usize],
+    k: usize,
+    exclude: usize,
+    distance_to: impl Fn(usize) -> f64,
+) -> Vec<Neighbor> {
     if k == 0 {
         return Vec::new();
     }
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-    let mut row = Vec::with_capacity(ds.n_features());
     for &c in candidates {
         if c == exclude {
             continue;
         }
-        row.clear();
-        row.extend((0..ds.n_features()).map(|j| ds.value(c, j)));
-        let d = dist.distance(query, &row);
-        heap.push(HeapItem(Neighbor { index: c, distance: d }));
+        heap.push(HeapItem(Neighbor { index: c, distance: distance_to(c) }));
         if heap.len() > k {
             heap.pop();
         }
@@ -82,19 +102,6 @@ pub fn k_nearest(
         a.distance.partial_cmp(&b.distance).expect("finite").then_with(|| a.index.cmp(&b.index))
     });
     out
-}
-
-/// Convenience: neighbours of row `i` of `ds` among `candidates`, excluding
-/// itself.
-pub fn k_nearest_of_row(
-    ds: &Dataset,
-    i: usize,
-    candidates: &[usize],
-    k: usize,
-    dist: &MixedDistance,
-) -> Vec<Neighbor> {
-    let query = ds.row(i);
-    k_nearest(ds, &query, candidates, k, i, dist)
 }
 
 /// [`k_nearest_of_row`] for a batch of query rows, scanned in parallel

@@ -8,9 +8,9 @@
 //! step size is well behaved.
 
 use frote_data::encode::Encoder;
-use frote_data::{Dataset, Value};
+use frote_data::{Dataset, FeatureMatrix, Value};
 
-use crate::traits::{argmax, Classifier, TrainAlgorithm};
+use crate::traits::{argmax, Classifier, TrainAlgorithm, PREDICT_BLOCK};
 
 /// Logistic regression hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,13 +35,15 @@ impl Default for LogRegParams {
 #[derive(Debug, Clone)]
 pub struct LogisticRegression {
     encoder: Encoder,
-    /// Row-major weights: `weights[class][feature]`, with the bias last.
-    weights: Vec<Vec<f64>>,
+    /// Flat row-major weights: row `class`, columns `0..width` features with
+    /// the bias last (stride `width + 1`).
+    weights: FeatureMatrix,
     n_classes: usize,
 }
 
 impl LogisticRegression {
-    /// Fits the model to `ds`.
+    /// Fits the model to `ds`: encodes once into a [`FeatureMatrix`] and
+    /// runs full-batch gradient descent over its row views.
     ///
     /// # Panics
     ///
@@ -50,20 +52,39 @@ impl LogisticRegression {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         let encoder = Encoder::fit(ds);
         let x = encoder.encode_dataset(ds);
-        let n = x.len();
+        Self::fit_encoded(encoder, &x, ds.labels(), ds.n_classes(), params)
+    }
+
+    /// Fits from a pre-encoded matrix (the FROTE loop's incremental cache
+    /// path). `encoder` must be the fit that produced `x`; given that, the
+    /// result is bit-identical to [`LogisticRegression::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `labels.len() != x.n_rows()`.
+    pub fn fit_encoded(
+        encoder: Encoder,
+        x: &FeatureMatrix,
+        labels: &[u32],
+        n_classes: usize,
+        params: &LogRegParams,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(x.width(), encoder.width(), "matrix width must equal the encoder width");
+        assert_eq!(labels.len(), x.n_rows(), "one label per encoded row");
+        let n = x.n_rows();
         let d = encoder.width();
-        let k = ds.n_classes();
-        let mut weights = vec![vec![0.0; d + 1]; k];
+        let k = n_classes;
+        let mut weights = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
         let mut probs = vec![0.0; k];
-        let mut grads = vec![vec![0.0; d + 1]; k];
+        let mut grads = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
         for _ in 0..params.max_iter {
-            for g in grads.iter_mut() {
-                g.iter_mut().for_each(|v| *v = 0.0);
-            }
-            for (xi, &yi) in x.iter().zip(ds.labels()) {
+            grads.as_mut_slice().fill(0.0);
+            for (xi, &yi) in x.rows().zip(labels) {
                 softmax_scores(&weights, xi, &mut probs);
-                for (c, g) in grads.iter_mut().enumerate() {
-                    let err = probs[c] - f64::from(c as u32 == yi);
+                for (c, &p) in probs.iter().enumerate() {
+                    let g = grads.row_mut(c);
+                    let err = p - f64::from(c as u32 == yi);
                     for (gj, &xj) in g.iter_mut().zip(xi) {
                         *gj += err * xj;
                     }
@@ -72,7 +93,8 @@ impl LogisticRegression {
             }
             let inv_n = 1.0 / n as f64;
             let mut max_grad: f64 = 0.0;
-            for (w, g) in weights.iter_mut().zip(&grads) {
+            for c in 0..k {
+                let (w, g) = (weights.row_mut(c), grads.row(c));
                 for (j, (wj, &gj)) in w.iter_mut().zip(g).enumerate() {
                     let reg = if j < d { params.l2 * *wj } else { 0.0 };
                     let step = gj * inv_n + reg;
@@ -87,17 +109,44 @@ impl LogisticRegression {
         LogisticRegression { encoder, weights, n_classes: k }
     }
 
-    fn scores(&self, row: &[Value]) -> Vec<f64> {
-        let x = self.encoder.encode(row);
-        let mut probs = vec![0.0; self.n_classes];
-        softmax_scores(&self.weights, &x, &mut probs);
-        probs
+    /// The encoder fitted alongside the weights.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// [`Classifier::predict_proba_into`] with a caller-provided encode
+    /// scratch, for tight loops that score many rows (no allocation per
+    /// call).
+    pub fn predict_proba_scratch(&self, row: &[Value], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
+        self.scores_into(row, scratch, out);
+    }
+
+    /// Class probabilities for one **pre-encoded** feature row (e.g. a
+    /// [`FeatureMatrix`] view from the encoder that fitted this model).
+    /// Bit-identical to encoding the raw row and calling
+    /// [`Classifier::predict_proba_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s length differs from the fitted encoder width.
+    pub fn predict_proba_encoded(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.encoder.width(), "encoded row width mismatch");
+        out.clear();
+        out.resize(self.n_classes, 0.0);
+        softmax_scores(&self.weights, x, out);
+    }
+
+    fn scores_into(&self, row: &[Value], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
+        self.encoder.encode_into(row, scratch);
+        out.clear();
+        out.resize(self.n_classes, 0.0);
+        softmax_scores(&self.weights, scratch, out);
     }
 }
 
-fn softmax_scores(weights: &[Vec<f64>], x: &[f64], out: &mut [f64]) {
+fn softmax_scores(weights: &FeatureMatrix, x: &[f64], out: &mut [f64]) {
     let d = x.len();
-    for (o, w) in out.iter_mut().zip(weights) {
+    for (o, w) in out.iter_mut().zip(weights.rows()) {
         let mut z = w[d]; // bias
         for (wj, xj) in w[..d].iter().zip(x) {
             z += wj * xj;
@@ -120,12 +169,48 @@ impl Classifier for LogisticRegression {
         self.n_classes
     }
 
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
-        self.scores(row)
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        let mut scratch = Vec::with_capacity(self.encoder.width());
+        self.scores_into(row, &mut scratch, out);
     }
 
     fn predict(&self, row: &[Value]) -> u32 {
-        argmax(&self.scores(row))
+        let mut scratch = Vec::with_capacity(self.encoder.width());
+        let mut probs = Vec::with_capacity(self.n_classes);
+        self.scores_into(row, &mut scratch, &mut probs);
+        argmax(&probs)
+    }
+
+    /// Scratch-reusing subset scoring: one row buffer, one encode buffer,
+    /// and one probability buffer per parallel chunk.
+    fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        frote_par::par_chunks_map(rows, PREDICT_BLOCK, |_, chunk| {
+            let mut row = Vec::with_capacity(ds.n_features());
+            let mut scratch = Vec::with_capacity(self.encoder.width());
+            let mut probs = Vec::with_capacity(self.n_classes);
+            let mut out = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                ds.row_into(i, &mut row);
+                self.scores_into(&row, &mut scratch, &mut probs);
+                out.push(argmax(&probs));
+            }
+            out
+        })
+    }
+
+    /// Encodes the dataset once and scores matrix row views in parallel —
+    /// no per-row encode or `Dataset::row` allocation.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        let x = self.encoder.encode_dataset(ds);
+        frote_par::par_blocks_map(x.n_rows(), PREDICT_BLOCK, |_, rows| {
+            let mut probs = vec![0.0; self.n_classes];
+            let mut out = Vec::with_capacity(rows.len());
+            for i in rows {
+                softmax_scores(&self.weights, x.row(i), &mut probs);
+                out.push(argmax(&probs));
+            }
+            out
+        })
     }
 }
 

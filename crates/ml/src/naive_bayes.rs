@@ -8,7 +8,7 @@
 //! instance shifts the class priors and likelihoods directly), which makes
 //! NB a useful ablation subject for data-editing methods.
 
-use frote_data::{Column, Dataset, Value};
+use frote_data::{Column, Dataset, FeatureMatrix, Value};
 
 use crate::traits::{argmax, Classifier, TrainAlgorithm};
 
@@ -32,8 +32,9 @@ impl Default for NaiveBayesParams {
 enum FeatureModel {
     /// Per-class (mean, variance).
     Gaussian(Vec<(f64, f64)>),
-    /// Per-class log-probabilities per category: `log_probs[class][cat]`.
-    Multinomial(Vec<Vec<f64>>),
+    /// Per-class log-probabilities per category: one flat matrix row per
+    /// class, one column per category.
+    Multinomial(FeatureMatrix),
 }
 
 /// A trained Naive Bayes model.
@@ -85,17 +86,17 @@ impl NaiveBayes {
                         .kind()
                         .cardinality()
                         .expect("categorical column has cardinality");
-                    let log_probs = per_class_rows
-                        .iter()
-                        .map(|rows| {
-                            let mut c = vec![params.alpha; card];
-                            for &i in rows {
-                                c[v[i] as usize] += 1.0;
-                            }
-                            let total: f64 = c.iter().sum();
-                            c.into_iter().map(|x| (x / total).ln()).collect()
-                        })
-                        .collect();
+                    let mut log_probs = FeatureMatrix::with_capacity(card, per_class_rows.len());
+                    for rows in &per_class_rows {
+                        let mut c = vec![params.alpha; card];
+                        for &i in rows {
+                            c[v[i] as usize] += 1.0;
+                        }
+                        let total: f64 = c.iter().sum();
+                        log_probs.push_row_with(|buf| {
+                            buf.extend(c.iter().map(|x| (x / total).ln()));
+                        });
+                    }
                     FeatureModel::Multinomial(log_probs)
                 }
             })
@@ -103,9 +104,10 @@ impl NaiveBayes {
         NaiveBayes { log_priors, features, n_classes: k }
     }
 
-    fn log_joint(&self, row: &[Value]) -> Vec<f64> {
+    fn log_joint_into(&self, row: &[Value], scores: &mut Vec<f64>) {
         assert_eq!(row.len(), self.features.len(), "row arity mismatch");
-        let mut scores = self.log_priors.clone();
+        scores.clear();
+        scores.extend_from_slice(&self.log_priors);
         for (fm, &cell) in self.features.iter().zip(row) {
             match (fm, cell) {
                 (FeatureModel::Gaussian(stats), Value::Num(x)) => {
@@ -115,14 +117,13 @@ impl NaiveBayes {
                     }
                 }
                 (FeatureModel::Multinomial(lp), Value::Cat(c)) => {
-                    for (s, class_lp) in scores.iter_mut().zip(lp) {
+                    for (s, class_lp) in scores.iter_mut().zip(lp.rows()) {
                         *s += class_lp[c as usize];
                     }
                 }
                 _ => panic!("row cell kind does not match the trained schema"),
             }
         }
-        scores
     }
 }
 
@@ -131,19 +132,23 @@ impl Classifier for NaiveBayes {
         self.n_classes
     }
 
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
-        let scores = self.log_joint(row);
-        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut p: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
-        let total: f64 = p.iter().sum();
-        for q in &mut p {
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        self.log_joint_into(row, out);
+        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for q in out.iter_mut() {
+            *q = (*q - max).exp();
+            total += *q;
+        }
+        for q in out.iter_mut() {
             *q /= total;
         }
-        p
     }
 
     fn predict(&self, row: &[Value]) -> u32 {
-        argmax(&self.log_joint(row))
+        let mut scores = Vec::with_capacity(self.n_classes);
+        self.log_joint_into(row, &mut scores);
+        argmax(&scores)
     }
 }
 

@@ -6,7 +6,7 @@
 //! [`crate::forest`] (with per-node feature subsampling) and
 //! [`crate::gbdt`] (a regression variant lives there).
 
-use frote_data::{Column, Dataset, Value};
+use frote_data::{Column, Dataset, FeatureMatrix, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -184,13 +184,27 @@ impl DecisionTree {
         features
     }
 
-    fn leaf_dist(&self, row: &[Value]) -> &[f64] {
+    pub(crate) fn leaf_dist(&self, row: &[Value]) -> &[f64] {
         let mut node = self.nodes.len() - 1; // root is pushed last
         loop {
             match &self.nodes[node] {
                 Node::Leaf { dist } => return dist,
                 Node::Split { test, left, right } => {
                     node = if test.goes_left(row) { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Leaf distribution for a row already in `ds`, traversed straight off
+    /// the columnar store (no row materialization).
+    pub(crate) fn leaf_dist_in(&self, ds: &Dataset, i: usize) -> &[f64] {
+        let mut node = self.nodes.len() - 1;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { dist } => return dist,
+                Node::Split { test, left, right } => {
+                    node = if test.goes_left_in(ds, i) { *left } else { *right };
                 }
             }
         }
@@ -202,14 +216,31 @@ impl Classifier for DecisionTree {
         self.n_classes
     }
 
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.n_features, "row arity mismatch");
-        self.leaf_dist(row).to_vec()
+        out.clear();
+        out.extend_from_slice(self.leaf_dist(row));
     }
 
     fn predict(&self, row: &[Value]) -> u32 {
         assert_eq!(row.len(), self.n_features, "row arity mismatch");
         argmax(self.leaf_dist(row))
+    }
+
+    /// Index-based traversal over the columnar store, in parallel — no
+    /// `Dataset::row` allocation per row.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        assert_eq!(ds.n_features(), self.n_features, "row arity mismatch");
+        frote_par::par_blocks_map(ds.n_rows(), crate::traits::PREDICT_BLOCK, |_, rows| {
+            rows.map(|i| argmax(self.leaf_dist_in(ds, i))).collect()
+        })
+    }
+
+    fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        assert_eq!(ds.n_features(), self.n_features, "row arity mismatch");
+        frote_par::par_chunks_map(rows, crate::traits::PREDICT_BLOCK, |_, chunk| {
+            chunk.iter().map(|&i| argmax(self.leaf_dist_in(ds, i))).collect()
+        })
     }
 }
 
@@ -383,25 +414,24 @@ fn best_categorical_split(
         .kind()
         .cardinality()
         .expect("categorical column has cardinality");
-    // counts[c][y] for category c.
-    let mut counts = vec![vec![0.0; n_classes]; cardinality];
+    // One flat row of per-class counts per category.
+    let mut counts = FeatureMatrix::from_raw(n_classes, vec![0.0; n_classes * cardinality]);
     let mut totals = vec![0.0; cardinality];
     for &i in indices {
-        let c = ds.value(i, feature).expect_cat() as usize;
-        counts[c][ds.label(i) as usize] += 1.0;
+        let c = ds.cell(i, feature).expect_cat() as usize;
+        counts.row_mut(c)[ds.label(i) as usize] += 1.0;
         totals[c] += 1.0;
     }
     let n = indices.len() as f64;
     let mut best: Option<(f64, SplitTest)> = None;
-    for c in 0..cardinality {
-        let left_total = totals[c];
+    for (c, &left_total) in totals.iter().enumerate() {
         let right_total = n - left_total;
         if (left_total as usize) < min_leaf || (right_total as usize) < min_leaf {
             continue;
         }
         let right_counts: Vec<f64> =
-            parent_counts.iter().zip(&counts[c]).map(|(p, l)| p - l).collect();
-        let child = (left_total * gini(&counts[c], left_total)
+            parent_counts.iter().zip(counts.row(c)).map(|(p, l)| p - l).collect();
+        let child = (left_total * gini(counts.row(c), left_total)
             + right_total * gini(&right_counts, right_total))
             / n;
         if best.as_ref().is_none_or(|(bg, _)| child < *bg) {

@@ -29,7 +29,7 @@ fn brute_distances(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<f64> {
 /// equivalence is asserted on sorted distances, which is what kNN consumers
 /// (SMOTE neighbourhoods, borderline detection) actually depend on.
 fn assert_equivalent(points: &[Vec<f64>], query: &[f64], k: usize) {
-    let tree = BallTree::build(points.to_vec());
+    let tree = BallTree::build(points.to_vec().into());
     let mut got: Vec<f64> = tree.k_nearest(query, k).iter().map(|n| n.distance).collect();
     got.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let want = brute_distances(points, query, k);
@@ -60,7 +60,7 @@ fn tree_indices_agree_with_brute_force_when_distances_are_unique() {
     let points = random_points(&mut rng, 120, 4, 1000.0);
     for _ in 0..50 {
         let query: Vec<f64> = (0..4).map(|_| rng.random_range(-900.0..900.0)).collect();
-        let tree = BallTree::build(points.clone());
+        let tree = BallTree::build(points.clone().into());
         let mut got: Vec<usize> = tree.k_nearest(&query, 9).iter().map(|n| n.index).collect();
         got.sort_unstable();
         let mut by_dist: Vec<(f64, usize)> =
@@ -98,7 +98,7 @@ fn clustered_duplicates_and_collinear_points() {
 fn query_at_every_training_point_finds_itself_first() {
     let mut rng = StdRng::seed_from_u64(0xF1DE);
     let points = random_points(&mut rng, 80, 3, 50.0);
-    let tree = BallTree::build(points.clone());
+    let tree = BallTree::build(points.clone().into());
     for (i, p) in points.iter().enumerate() {
         let hits = tree.k_nearest(p, 1);
         assert_eq!(hits.len(), 1);

@@ -132,9 +132,31 @@ impl<'a> Overlay<'a> {
         }
     }
 
-    /// Predictions for a whole dataset.
+    /// Predictions for the dataset rows listed in `rows` (in that order),
+    /// with a reused row scratch.
+    pub fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        let mut row = Vec::with_capacity(ds.n_features());
+        rows.iter()
+            .map(|&i| {
+                ds.row_into(i, &mut row);
+                self.predict(&row)
+            })
+            .collect()
+    }
+
+    /// Predictions for a whole dataset, computed in parallel over row
+    /// blocks with a reused row scratch (identical to the serial per-row
+    /// loop at any `FROTE_THREADS`).
     pub fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
-        (0..ds.n_rows()).map(|i| self.predict(&ds.row(i))).collect()
+        frote_par::par_blocks_map(ds.n_rows(), 256, |_, rows| {
+            let mut row = Vec::with_capacity(ds.n_features());
+            let mut out = Vec::with_capacity(rows.len());
+            for i in rows {
+                ds.row_into(i, &mut row);
+                out.push(self.predict(&row));
+            }
+            out
+        })
     }
 
     /// Soft transformation: keep clause-constrained features, replace the
@@ -219,11 +241,12 @@ mod tests {
         fn n_classes(&self) -> usize {
             2
         }
-        fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+        fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+            out.clear();
             if row[0].expect_num() >= 10.0 {
-                vec![0.0, 1.0]
+                out.extend_from_slice(&[0.0, 1.0]);
             } else {
-                vec![1.0, 0.0]
+                out.extend_from_slice(&[1.0, 0.0]);
             }
         }
     }
@@ -282,11 +305,12 @@ mod tests {
             fn n_classes(&self) -> usize {
                 2
             }
-            fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+            fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+                out.clear();
                 if row[1].expect_num() >= 110.0 {
-                    vec![0.0, 1.0]
+                    out.extend_from_slice(&[0.0, 1.0]);
                 } else {
-                    vec![1.0, 0.0]
+                    out.extend_from_slice(&[1.0, 0.0]);
                 }
             }
         }
@@ -304,8 +328,9 @@ mod tests {
             fn n_classes(&self) -> usize {
                 2
             }
-            fn predict_proba(&self, _row: &[Value]) -> Vec<f64> {
-                vec![1.0, 0.0]
+            fn predict_proba_into(&self, _row: &[Value], out: &mut Vec<f64>) {
+                out.clear();
+                out.extend_from_slice(&[1.0, 0.0]);
             }
         }
         let model = AlwaysZero;

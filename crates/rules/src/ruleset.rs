@@ -284,8 +284,7 @@ impl FeedbackRuleSet {
         let mut out = vec![Vec::new(); self.rules.len()];
         let mut row = Vec::new();
         for i in 0..ds.n_rows() {
-            row.clear();
-            row.extend(ds.row(i));
+            ds.row_into(i, &mut row);
             if let Some(r) = self.first_covering(&row) {
                 out[r].push(i);
             }

@@ -38,7 +38,7 @@ pub mod prelude {
     pub use frote::{
         Frote, FroteBuilder, FroteConfig, FroteReport, ModStrategy, SelectionStrategy,
     };
-    pub use frote_data::{Column, Dataset, FeatureKind, Schema, Value};
+    pub use frote_data::{Column, Dataset, Encoder, FeatureKind, FeatureMatrix, Schema, Value};
     pub use frote_ml::{Classifier, TrainAlgorithm};
     pub use frote_rules::{Clause, FeedbackRule, FeedbackRuleSet, LabelDist, Op, Predicate};
 }

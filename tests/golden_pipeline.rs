@@ -1,0 +1,74 @@
+//! Golden pipeline pin: the FROTE loop's full output (augmented dataset +
+//! report) is byte-identical to the seed implementation, at 1 and 4 threads.
+//!
+//! The hashes below were captured from the pre-refactor (PR 2) tree; the
+//! dense-data-plane refactor must not move them. FNV-1a is used because its
+//! value is defined by the algorithm alone (unlike `DefaultHasher`, which is
+//! only stable within one std release).
+
+use frote::{Frote, FroteConfig, SelectionStrategy};
+use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_par::test_support::with_threads;
+use frote_rules::parse::parse_rule;
+use frote_rules::FeedbackRuleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One deterministic end-to-end run over the mixed Car scenario with the
+/// random strategy (the paper's default).
+fn run_random() -> u64 {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+    let rule = parse_rule("safety = low AND buying = low => acc", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let trainer = RandomForestTrainer::new(ForestParams { n_trees: 10, ..Default::default() }, 42);
+    let config = FroteConfig {
+        iteration_limit: 4,
+        instances_per_iteration: Some(15),
+        selection: SelectionStrategy::Random,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
+    fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
+}
+
+/// A numeric-heavy scenario through the online-proxy strategy, which
+/// exercises the encoder + logistic-regression path end to end.
+fn run_online() -> u64 {
+    let ds = DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 250, ..Default::default() });
+    let rule = parse_rule("alcohol >= 12 => 8", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let trainer = RandomForestTrainer::new(ForestParams { n_trees: 8, ..Default::default() }, 7);
+    let config = FroteConfig {
+        iteration_limit: 3,
+        instances_per_iteration: Some(12),
+        selection: SelectionStrategy::OnlineProxy,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
+    fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
+}
+
+/// Captured from the seed (pre-refactor) tree; see the module docs.
+const GOLDEN_RANDOM: u64 = 0x3d16_ce7c_f8d3_ed96;
+const GOLDEN_ONLINE: u64 = 0x95e7_5f49_4078_f82e;
+
+#[test]
+fn pipeline_output_pinned_at_1_and_4_threads() {
+    for t in [1usize, 4] {
+        let (a, b) = with_threads(t, || (run_random(), run_online()));
+        assert_eq!(a, GOLDEN_RANDOM, "random-strategy pipeline drifted at {t} threads");
+        assert_eq!(b, GOLDEN_ONLINE, "online-proxy pipeline drifted at {t} threads");
+    }
+}

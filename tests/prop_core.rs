@@ -63,11 +63,12 @@ impl Classifier for Stub {
     fn n_classes(&self) -> usize {
         2
     }
-    fn predict_proba(&self, row: &[Value]) -> Vec<f64> {
+    fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        out.clear();
         if row[0].expect_num() > 0.0 {
-            vec![0.1, 0.9]
+            out.extend_from_slice(&[0.1, 0.9]);
         } else {
-            vec![0.9, 0.1]
+            out.extend_from_slice(&[0.9, 0.1]);
         }
     }
 }

@@ -64,9 +64,32 @@ proptest! {
         let encoded = enc.encode_dataset(&ds);
         for j in 0..2 {
             let mean: f64 =
-                encoded.iter().map(|r| r[j]).sum::<f64>() / encoded.len() as f64;
+                encoded.rows().map(|r| r[j]).sum::<f64>() / encoded.n_rows() as f64;
             prop_assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
         }
+    }
+
+    /// The matrix batch encoder agrees cell-for-cell with per-row encoding,
+    /// at 1 and 4 threads, and appending encodes exactly the tail rows.
+    #[test]
+    fn encode_dataset_matches_per_row(ds in arb_dataset()) {
+        let enc = Encoder::fit(&ds);
+        for t in [1usize, 4] {
+            let m = frote_par::test_support::with_threads(t, || enc.encode_dataset(&ds));
+            prop_assert_eq!(m.n_rows(), ds.n_rows());
+            prop_assert_eq!(m.width(), enc.width());
+            for i in 0..ds.n_rows() {
+                let per_row = enc.encode(&ds.row(i));
+                prop_assert_eq!(m.row(i), per_row.as_slice(), "row {} at {} threads", i, t);
+            }
+        }
+        // Incremental append over a prefix reproduces the full matrix.
+        let full = enc.encode_dataset(&ds);
+        let prefix_rows: Vec<usize> = (0..ds.n_rows() / 2).collect();
+        let prefix = ds.gather(&prefix_rows);
+        let mut grown = enc.encode_dataset(&prefix);
+        enc.encode_append(&ds, &mut grown);
+        prop_assert_eq!(grown, full);
     }
 
     /// Splits partition the index set with the requested sizes.
@@ -163,7 +186,7 @@ proptest! {
         ),
         k in 1usize..8,
     ) {
-        let tree = BallTree::build(points.clone());
+        let tree = BallTree::build(points.clone().into());
         let query = &points[0];
         let got: Vec<usize> = tree.k_nearest(query, k).iter().map(|h| h.index).collect();
         let mut brute: Vec<(f64, usize)> = points

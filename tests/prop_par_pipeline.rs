@@ -134,8 +134,8 @@ proptest! {
             let queries: Vec<Vec<f64>> = (0..30)
                 .map(|_| (0..3).map(|_| rng.random_range(-10.0..10.0)).collect())
                 .collect();
-            let tree = BallTree::build(points);
-            format!("{:?}", tree.k_nearest_batch(&queries, 8))
+            let tree = BallTree::build(points.into());
+            format!("{:?}", tree.k_nearest_batch(&queries.into(), 8))
         };
         let reference = with_threads(1, run);
         for t in [2usize, 7] {
