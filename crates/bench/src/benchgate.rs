@@ -1,0 +1,285 @@
+//! The CI bench-regression gate behind the `benchdiff` binary.
+//!
+//! Compares a fresh perfsmoke record against the committed baseline:
+//! **output hashes are gated** (a probe whose stable FNV digest moved, or
+//! whose serial/parallel outputs diverged, fails the job) while **timings
+//! are warn-only** — shared CI runners make wall-clock too noisy to gate,
+//! so the delta table is printed for humans instead.
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a as a [`std::hash::Hasher`] — the canonical stable digest shared
+/// by the producer (`perfsmoke` records `output_fnv` with it) and this
+/// gate. `DefaultHasher` is only stable within one std build, which is
+/// useless for a cross-run comparison.
+#[derive(Debug)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl FnvHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        FnvHasher::default()
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The bench-record filename in force: the `BENCH_FILE` environment
+/// variable (which CI sets once for every step) or this PR generation's
+/// committed default. Shared by `perfsmoke` (writer) and `benchdiff`
+/// (reader) so the name is wired in exactly one place.
+pub fn default_bench_file() -> String {
+    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr4.json".to_string())
+}
+
+/// The per-probe fields the gate reads (a subset of perfsmoke's record, so
+/// older committed baselines without `output_fnv` still parse).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateRecord {
+    /// Probe name (the join key between baseline and fresh runs).
+    pub name: String,
+    /// Serial wall-clock, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall-clock, milliseconds.
+    pub parallel_ms: f64,
+    /// Whether the run's serial and parallel outputs were bit-identical.
+    pub identical: bool,
+    /// Stable FNV-1a output digest (absent in pre-gate baselines).
+    pub output_fnv: Option<String>,
+}
+
+/// The slice of a `BENCH_*.json` file the gate consumes.
+#[derive(Debug, Deserialize)]
+pub struct GateFile {
+    /// All probe records.
+    pub benches: Vec<GateRecord>,
+}
+
+/// The gate's verdict: a human delta table, warn-only notes, and the
+/// failures that should break the job.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Per-probe timing delta lines (warn-only).
+    pub table: Vec<String>,
+    /// Informational notes (added/removed probes, incomparable hashes).
+    pub notes: Vec<String>,
+    /// Hard failures: determinism breaks and output-hash regressions.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn delta_pct(old: f64, new: f64) -> String {
+    if old <= 0.0 {
+        return "    n/a".to_string();
+    }
+    format!("{:+6.1}%", (new - old) / old * 100.0)
+}
+
+/// Compares a fresh record against the committed baseline. Identical-output
+/// and hash mismatches populate `failures`; everything timing-shaped is
+/// advisory.
+pub fn compare(old: &GateFile, new: &GateFile) -> GateOutcome {
+    let mut outcome = GateOutcome { table: Vec::new(), notes: Vec::new(), failures: Vec::new() };
+    outcome.table.push(format!(
+        "{:<22} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "probe", "old ser", "new ser", "Δser", "old par", "new par", "Δpar"
+    ));
+    for rec in &new.benches {
+        if !rec.identical {
+            outcome.failures.push(format!(
+                "{}: serial and parallel outputs diverged in the fresh run",
+                rec.name
+            ));
+        }
+        match old.benches.iter().find(|o| o.name == rec.name) {
+            None => outcome.notes.push(format!("{}: new probe (no baseline)", rec.name)),
+            Some(o) => {
+                outcome.table.push(format!(
+                    "{:<22} {:>8.2}ms {:>8.2}ms {:>8} {:>8.2}ms {:>8.2}ms {:>8}",
+                    rec.name,
+                    o.serial_ms,
+                    rec.serial_ms,
+                    delta_pct(o.serial_ms, rec.serial_ms),
+                    o.parallel_ms,
+                    rec.parallel_ms,
+                    delta_pct(o.parallel_ms, rec.parallel_ms),
+                ));
+                match (&o.output_fnv, &rec.output_fnv) {
+                    (Some(old_fnv), Some(new_fnv)) if old_fnv != new_fnv => {
+                        outcome.failures.push(format!(
+                            "{}: output hash changed ({old_fnv} -> {new_fnv}) — behaviour \
+                             regression, or an intentional change that needs a regenerated \
+                             baseline",
+                            rec.name
+                        ));
+                    }
+                    (None, _) | (_, None) => outcome.notes.push(format!(
+                        "{}: baseline has no output hash; gating starts next run",
+                        rec.name
+                    )),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for o in &old.benches {
+        if !new.benches.iter().any(|r| r.name == o.name) {
+            outcome.notes.push(format!("{}: probe removed since the baseline", o.name));
+        }
+    }
+    outcome
+}
+
+/// Picks the baseline `BENCH_*.json` in `dir`: the highest-numbered
+/// `BENCH_pr<N>.json` (lexicographic fallback for other names) that is not
+/// `exclude`. Returns `None` when the directory holds no candidate.
+pub fn discover_baseline(dir: &std::path::Path, exclude: &str) -> Option<std::path::PathBuf> {
+    let mut candidates: Vec<(u64, String)> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json") && n != exclude)
+        .map(|n| {
+            let digits: String =
+                n.trim_start_matches("BENCH_pr").chars().take_while(char::is_ascii_digit).collect();
+            (digits.parse().unwrap_or(0), n)
+        })
+        .collect();
+    candidates.sort();
+    candidates.pop().map(|(_, n)| dir.join(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, fnv: Option<&str>, identical: bool) -> GateRecord {
+        GateRecord {
+            name: name.to_string(),
+            serial_ms: 10.0,
+            parallel_ms: 5.0,
+            identical,
+            output_fnv: fnv.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn fnv_hasher_matches_known_vectors() {
+        use std::hash::Hasher;
+        assert_eq!(FnvHasher::new().finish(), 0xcbf2_9ce4_8422_2325, "offset basis");
+        let mut h = FnvHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c, "FNV-1a of \"a\"");
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { benches: vec![rec("a", Some("1"), true)] };
+        let out = compare(&old, &new);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.table.len(), 2, "header + one probe");
+    }
+
+    #[test]
+    fn hash_mismatch_fails() {
+        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { benches: vec![rec("a", Some("2"), true)] };
+        let out = compare(&old, &new);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("output hash changed"), "{}", out.failures[0]);
+    }
+
+    #[test]
+    fn determinism_break_fails_even_without_baseline() {
+        let old = GateFile { benches: Vec::new() };
+        let new = GateFile { benches: vec![rec("a", Some("1"), false)] };
+        let out = compare(&old, &new);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("diverged"));
+    }
+
+    #[test]
+    fn missing_baseline_hash_warns_only() {
+        let old = GateFile { benches: vec![rec("a", None, true)] };
+        let new = GateFile { benches: vec![rec("a", Some("2"), true)] };
+        let out = compare(&old, &new);
+        assert!(out.passed(), "pre-gate baselines must not fail the job");
+        assert!(out.notes.iter().any(|n| n.contains("gating starts next run")));
+    }
+
+    #[test]
+    fn added_and_removed_probes_are_notes() {
+        let old = GateFile { benches: vec![rec("gone", Some("1"), true)] };
+        let new = GateFile { benches: vec![rec("fresh", Some("2"), true)] };
+        let out = compare(&old, &new);
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("new probe")));
+        assert!(out.notes.iter().any(|n| n.contains("removed")));
+    }
+
+    #[test]
+    fn timing_regressions_never_fail() {
+        let mut slow = rec("a", Some("1"), true);
+        slow.serial_ms = 1000.0;
+        slow.parallel_ms = 900.0;
+        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { benches: vec![slow] };
+        let out = compare(&old, &new);
+        assert!(out.passed(), "timings are warn-only");
+        assert!(out.table[1].contains('%'));
+    }
+
+    #[test]
+    fn gate_file_parses_with_and_without_hashes() {
+        let with: GateFile = serde_json::from_str(
+            r#"{"benches":[{"name":"a","serial_ms":1.0,"parallel_ms":2.0,"speedup":0.5,
+                "identical":true,"output_fnv":"deadbeef"}],"note":"x"}"#,
+        )
+        .expect("parses");
+        assert_eq!(with.benches[0].output_fnv.as_deref(), Some("deadbeef"));
+        let without: GateFile = serde_json::from_str(
+            r#"{"benches":[{"name":"a","serial_ms":1.0,"parallel_ms":2.0,"identical":true}]}"#,
+        )
+        .expect("parses without output_fnv");
+        assert_eq!(without.benches[0].output_fnv, None);
+    }
+
+    #[test]
+    fn baseline_discovery_prefers_highest_pr_number() {
+        let dir = std::env::temp_dir().join("frote-benchgate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_pr2.json", "BENCH_pr10.json", "BENCH_pr4.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let found = discover_baseline(&dir, "BENCH_pr10.json").expect("found");
+        assert!(found.ends_with("BENCH_pr4.json"), "{found:?}");
+        let found = discover_baseline(&dir, "BENCH_pr4.json").expect("found");
+        assert!(found.ends_with("BENCH_pr10.json"), "numeric, not lexicographic: {found:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,62 @@
+//! CI bench gate: diffs a fresh perfsmoke record against the committed
+//! baseline and fails on output-hash regressions (timings are warn-only).
+//!
+//! ```text
+//! benchdiff [--new <path>] [--old <path>]
+//! ```
+//!
+//! `--new` defaults to the `BENCH_FILE` environment variable (the name CI
+//! wires everywhere) or the committed record name, in the current
+//! directory; `--old` defaults to the highest-numbered other
+//! `BENCH_*.json` next to it (CI passes an explicit `--old` pointing at a
+//! pre-run copy of the committed record, so the fresh run gates against
+//! its own committed baseline).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use frote_bench::benchgate::{compare, default_bench_file, discover_baseline, GateFile};
+
+fn parse_file(path: &PathBuf) -> GateFile {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e:?}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut new_path: Option<PathBuf> = None;
+    let mut old_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--new" => new_path = Some(args.next().expect("--new requires a path").into()),
+            "--old" => old_path = Some(args.next().expect("--old requires a path").into()),
+            other => panic!("unknown argument {other:?} (benchdiff [--new <path>] [--old <path>])"),
+        }
+    }
+    let new_path = new_path.unwrap_or_else(|| PathBuf::from(default_bench_file()));
+    let old_path = old_path.unwrap_or_else(|| {
+        let dir = new_path.parent().filter(|p| !p.as_os_str().is_empty());
+        let exclude = new_path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        discover_baseline(dir.unwrap_or(std::path::Path::new(".")), exclude)
+            .unwrap_or_else(|| panic!("no baseline BENCH_*.json found next to {new_path:?}"))
+    });
+    println!("benchdiff: {} (fresh) vs {} (baseline)", new_path.display(), old_path.display());
+
+    let outcome = compare(&parse_file(&old_path), &parse_file(&new_path));
+    for line in &outcome.table {
+        println!("  {line}");
+    }
+    for note in &outcome.notes {
+        println!("  note: {note}");
+    }
+    if outcome.passed() {
+        println!("bench gate: OK (timings are warn-only; output hashes unchanged)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            eprintln!("bench gate FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,28 +1,32 @@
 //! Perf smoke: times the parallelized hot paths at 1 and N threads and
-//! writes `BENCH_pr3.json` at the repository root.
+//! writes a `BENCH_*.json` record (default `BENCH_pr4.json` at the
+//! repository root; override with `--out <path>`).
 //!
 //! Probes cover the `frote-par` runtime (kNN batch query, SMOTE generation,
-//! rule-coverage scan, one full FROTE iteration) and the dense data plane
+//! rule-coverage scan, one full FROTE iteration), the dense data plane
 //! (batch encoding into `FeatureMatrix`, batch `predict_dataset` scoring for
-//! the RF / LGBM / LR families). Every pair also cross-checks the
-//! determinism contract — the serial and parallel outputs must match
-//! exactly. Speedups are *recorded, not gated*: single-core CI hosts will
-//! legitimately report ~1×.
+//! the RF / LGBM / LR families), and the quantized training plane (DT / GBDT
+//! fits in exact vs histogram split mode). Every serial/parallel pair
+//! cross-checks the determinism contract — the outputs must match exactly —
+//! and records a *stable* FNV-1a output digest so `benchdiff` can gate later
+//! runs against this one. Timings are recorded, not gated: single-core CI
+//! hosts will legitimately report ~1× speedups.
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use frote::{Frote, FroteConfig};
+use frote_bench::benchgate::{default_bench_file, FnvHasher};
 use frote_bench::CliOptions;
 use frote_data::encode::Encoder;
 use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_data::Value;
 use frote_ml::balltree::BallTree;
 use frote_ml::forest::{ForestParams, RandomForestTrainer};
-use frote_ml::gbdt::{GbdtParams, GbdtTrainer};
+use frote_ml::gbdt::{Gbdt, GbdtParams, GbdtTrainer};
 use frote_ml::logreg::LogisticRegressionTrainer;
-use frote_ml::TrainAlgorithm;
+use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
+use frote_ml::{SplitMode, TrainAlgorithm};
 use frote_rules::parse::parse_rule;
 use frote_rules::{Clause, FeedbackRuleSet, Op, Predicate};
 use frote_smote::{Smote, SmoteParams};
@@ -39,6 +43,18 @@ struct BenchRecord {
     speedup: f64,
     /// Whether the serial and parallel outputs were bit-identical.
     identical: bool,
+    /// Stable FNV-1a digest of the probe's output (hex) — the value
+    /// `benchdiff` gates across runs.
+    output_fnv: String,
+}
+
+/// One exact-vs-histogram training comparison (timings of the serial legs).
+#[derive(Debug, Serialize)]
+struct ModeComparison {
+    name: String,
+    exact_ms: f64,
+    histogram_ms: f64,
+    speedup: f64,
 }
 
 /// The whole perf-smoke report.
@@ -47,20 +63,18 @@ struct PerfSmoke {
     host_parallelism: usize,
     threads_compared: Vec<usize>,
     benches: Vec<BenchRecord>,
+    mode_comparisons: Vec<ModeComparison>,
     note: String,
 }
 
-/// Best-of-`reps` wall-clock in milliseconds plus a digest of the result.
-fn time_best<T: Hash>(reps: usize, mut f: impl FnMut() -> T) -> (f64, u64) {
+/// Best-of-`reps` wall-clock in milliseconds plus the output digest.
+fn time_best(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut digest = 0;
     for _ in 0..reps {
         let start = Instant::now();
-        let out = f();
+        digest = f();
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
-        let mut h = DefaultHasher::new();
-        out.hash(&mut h);
-        digest = h.finish();
     }
     (best, digest)
 }
@@ -77,17 +91,18 @@ fn record(name: &str, threads: usize, reps: usize, mut f: impl FnMut() -> u64) -
         parallel_ms,
         speedup: serial_ms / parallel_ms,
         identical: serial_digest == parallel_digest,
+        output_fnv: format!("{parallel_digest:016x}"),
     }
 }
 
 fn hash_of<T: Hash>(value: &T) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FnvHasher::new();
     value.hash(&mut h);
     h.finish()
 }
 
 fn hash_f64s(values: &[f64]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FnvHasher::new();
     for v in values {
         v.to_bits().hash(&mut h);
     }
@@ -115,7 +130,7 @@ fn main() {
     let tree = BallTree::build(points.into());
     benches.push(record("knn_batch_query", threads, 3, || {
         let hits = tree.k_nearest_batch(&queries, 10);
-        hash_of(&hits.iter().flat_map(|h| h.iter().map(|n| n.index)).collect::<Vec<_>>())
+        hash_of(&hits.iter().flat_map(|h| h.iter().map(|n| n.index as u64)).collect::<Vec<_>>())
     }));
 
     // 2. SMOTE generation on an all-numeric synthetic dataset.
@@ -159,7 +174,45 @@ fn main() {
         benches.push(record(name, threads, 3, || hash_of(&model.predict_dataset(&scoring))));
     }
 
-    // 6. One FROTE iteration end to end (select → generate → retrain).
+    // 6. Tree training in exact vs histogram split mode, on a numeric-heavy
+    // table where the exact search's per-node sorts dominate. The serial
+    // legs feed the mode comparison; the serial/parallel pair of each mode
+    // additionally pins the histogram engine's thread-determinism.
+    let fit_ds =
+        DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 6000, ..Default::default() });
+    let mut mode_comparisons = Vec::new();
+    let dt_fit = |mode: SplitMode| {
+        let params = TreeParams { max_depth: 8, split_mode: mode, ..Default::default() };
+        let model = DecisionTreeTrainer::new(params, 42).train(&fit_ds);
+        hash_of(&model.predict_dataset(&fit_ds))
+    };
+    let gbdt_fit = |mode: SplitMode| {
+        let params = GbdtParams { n_rounds: 6, split_mode: mode, ..Default::default() };
+        let model: Box<dyn frote_ml::Classifier> = Box::new(Gbdt::fit(&fit_ds, &params));
+        hash_of(&model.predict_dataset(&fit_ds))
+    };
+    let dt_exact = record("dt_fit_exact", threads, 2, || dt_fit(SplitMode::Exact));
+    let dt_hist = record("dt_fit_hist", threads, 2, || dt_fit(SplitMode::histogram()));
+    mode_comparisons.push(ModeComparison {
+        name: "dt_fit".to_string(),
+        exact_ms: dt_exact.serial_ms,
+        histogram_ms: dt_hist.serial_ms,
+        speedup: dt_exact.serial_ms / dt_hist.serial_ms,
+    });
+    benches.push(dt_exact);
+    benches.push(dt_hist);
+    let gbdt_exact = record("gbdt_fit_exact", threads, 2, || gbdt_fit(SplitMode::Exact));
+    let gbdt_hist = record("gbdt_fit_hist", threads, 2, || gbdt_fit(SplitMode::histogram()));
+    mode_comparisons.push(ModeComparison {
+        name: "gbdt_fit".to_string(),
+        exact_ms: gbdt_exact.serial_ms,
+        histogram_ms: gbdt_hist.serial_ms,
+        speedup: gbdt_exact.serial_ms / gbdt_hist.serial_ms,
+    });
+    benches.push(gbdt_exact);
+    benches.push(gbdt_hist);
+
+    // 7. One FROTE iteration end to end (select → generate → retrain).
     let car = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
     let rule = parse_rule("safety = low AND buying = low => acc", car.schema()).expect("rule");
     let frs = FeedbackRuleSet::new(vec![rule]);
@@ -174,20 +227,31 @@ fn main() {
 
     for b in &benches {
         println!(
-            "  {:<22} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {}",
-            b.name, b.serial_ms, threads, b.parallel_ms, b.speedup, b.identical
+            "  {:<22} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {} | fnv {}",
+            b.name, b.serial_ms, threads, b.parallel_ms, b.speedup, b.identical, b.output_fnv
         );
         assert!(b.identical, "{}: serial and parallel outputs diverged", b.name);
+    }
+    for m in &mode_comparisons {
+        println!(
+            "  {:<22} exact {:>8.2} ms | histogram {:>8.2} ms | speedup {:>5.2}x",
+            m.name, m.exact_ms, m.histogram_ms, m.speedup
+        );
     }
 
     let report = PerfSmoke {
         host_parallelism: host,
         threads_compared: vec![1, threads],
         benches,
-        note: "speedups are recorded, not gated; single-core hosts report ~1x".to_string(),
+        mode_comparisons,
+        note: "speedups are recorded, not gated; single-core hosts report ~1x parallel speedups"
+            .to_string(),
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
+    // `--out` wins, then `BENCH_FILE`/committed default at the repo root.
+    let path = opts.out.unwrap_or_else(|| {
+        format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), default_bench_file())
+    });
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write(path, json + "\n").expect("write BENCH_pr3.json");
+    std::fs::write(&path, json + "\n").expect("write the bench record");
     println!("wrote {path}");
 }

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod benchgate;
+
 use frote_eval::Scale;
 
 /// Parsed command-line options shared by all experiment binaries.
@@ -34,6 +36,15 @@ pub struct CliOptions {
     /// (`FROTE_THREADS` env var → available parallelism). Results are
     /// bit-identical at any setting; only wall-clock changes.
     pub threads: Option<usize>,
+    /// Tree split-search override
+    /// (`--split-mode exact|histogram|histogram:<bins>`). `None` leaves the
+    /// process-wide default (exact) untouched; `Some` installs the mode via
+    /// [`frote_ml::set_default_split_mode`] so every tree trainer the
+    /// experiment harness constructs picks it up.
+    pub split_mode: Option<frote_ml::SplitMode>,
+    /// Output-path override for binaries that write a report file
+    /// (`--out <path>`, currently `perfsmoke`).
+    pub out: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -44,6 +55,8 @@ impl Default for CliOptions {
             mod_strategy: frote::ModStrategy::Relabel,
             json: false,
             threads: None,
+            split_mode: None,
+            out: None,
         }
     }
 }
@@ -75,6 +88,17 @@ impl CliOptions {
                         });
                     opts.threads = Some(n);
                 }
+                "--split-mode" => {
+                    let v = iter.next().expect("--split-mode requires a value");
+                    let mode = frote_ml::SplitMode::parse(&v).unwrap_or_else(|| {
+                        panic!("unknown split mode {v:?} (exact|histogram|histogram:<bins>)")
+                    });
+                    opts.split_mode = Some(mode);
+                }
+                "--out" => {
+                    let v = iter.next().expect("--out requires a value");
+                    opts.out = Some(v);
+                }
                 "--mod-strategy" => {
                     let v = iter.next().expect("--mod-strategy requires a value");
                     opts.mod_strategy = match v.as_str() {
@@ -99,11 +123,15 @@ impl CliOptions {
     }
 
     /// Applies side-effect options: installs the `--threads` override into
-    /// the `frote-par` resolver. (The `FROTE_THREADS` env var still wins, by
-    /// the resolver's documented precedence.)
+    /// the `frote-par` resolver (the `FROTE_THREADS` env var still wins, by
+    /// the resolver's documented precedence) and the `--split-mode` override
+    /// into the `frote-ml` split-mode default.
     pub fn apply(&self) {
         if let Some(n) = self.threads {
             frote_par::set_threads(n);
+        }
+        if let Some(mode) = self.split_mode {
+            frote_ml::set_default_split_mode(mode);
         }
     }
 }
@@ -134,12 +162,37 @@ mod tests {
             "--json",
             "--threads",
             "8",
+            "--split-mode",
+            "histogram:128",
+            "--out",
+            "BENCH_custom.json",
         ]);
         assert_eq!(o.scale, Scale::Paper);
         assert!(o.all_datasets);
         assert_eq!(o.mod_strategy, frote::ModStrategy::Drop);
         assert!(o.json);
         assert_eq!(o.threads, Some(8));
+        assert_eq!(o.split_mode, Some(frote_ml::SplitMode::Histogram { max_bins: 128 }));
+        assert_eq!(o.out.as_deref(), Some("BENCH_custom.json"));
+    }
+
+    #[test]
+    fn split_mode_applies_to_the_process_default() {
+        // Safe to flip here: this test binary trains no models.
+        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
+        parse(&["--split-mode", "histogram"]).apply();
+        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::histogram());
+        parse(&["--split-mode", "exact"]).apply();
+        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
+        // No flag: the default is left untouched.
+        parse(&[]).apply();
+        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown split mode")]
+    fn bad_split_mode_rejected() {
+        parse(&["--split-mode", "sorted"]);
     }
 
     #[test]

@@ -164,18 +164,21 @@ impl Frote {
             return Err(FroteError::DatasetTooSmall { rows: active.n_rows(), required: cfg.k + 1 });
         }
 
-        // Lines 2-4: initial model, objective, base population.
-        let mut model = algorithm.train(&active);
+        // Lines 2-4: initial model, objective, base population. The cache
+        // is created first: histogram-mode trainers bin the base rows here
+        // and bin only appended rows on every retrain below.
+        let mut select_cache = SelectCache::new();
+        let mut model = algorithm.train_cached(&active, select_cache.train_cache());
         let initial = empirical_j(model.as_ref(), &active, frs, &cfg.weights);
         let mut best = initial;
         let mut bp = BasePopulation::pre_select(&active, frs, cfg.k);
 
         // Lines 5-18: the augmentation loop. The select cache keeps the
-        // proxy strategies' encoded matrix incremental across iterations
-        // (base rows encoded once; only accepted synthetic rows are
-        // appended) — bit-identical to refitting from scratch.
+        // proxy strategies' encoded matrix — and the trainer's bin codes —
+        // incremental across iterations (base rows encoded/binned once;
+        // only accepted synthetic rows are appended) — bit-identical to
+        // refitting from scratch.
         let mut iterations = Vec::new();
-        let mut select_cache = SelectCache::new();
         let mut total_added = 0usize;
         let mut i = 0usize;
         while i < cfg.iteration_limit && total_added <= quota {
@@ -201,7 +204,7 @@ impl Frote {
             }
             let mut candidate = active.clone();
             candidate.extend_from(&synthetic).expect("generator preserves the schema");
-            let candidate_model = algorithm.train(&candidate);
+            let candidate_model = algorithm.train_cached(&candidate, select_cache.train_cache());
             // Line 11 (Ĵ_D̂(M_D', F)) is read as "the empirical objective
             // over the current candidate dataset": with tcf = 0 the only
             // rule-covered instances in existence are the synthetic ones in
@@ -223,6 +226,10 @@ impl Frote {
                 best = candidate_j;
                 total_added += synthetic.n_rows();
                 bp = BasePopulation::pre_select(&active, frs, cfg.k);
+            } else {
+                // Roll the train cache back to the surviving rows so the
+                // next candidate's rows replace the rejected ones.
+                select_cache.truncate_train(active.n_rows());
             }
             iterations.push(record);
             i += 1;

@@ -17,7 +17,7 @@
 
 use frote_data::{Dataset, EncodedCache, FeatureMatrix};
 use frote_ml::logreg::{LogRegParams, LogisticRegression};
-use frote_ml::Classifier;
+use frote_ml::{Classifier, TrainCache};
 use frote_opt::SelectionProblem;
 use frote_rules::FeedbackRuleSet;
 use frote_smote::borderline::borderline_weights;
@@ -31,7 +31,9 @@ use crate::preselect::BasePopulation;
 /// active dataset plus the LR proxy fitted from it, keyed by the dataset's
 /// row count (the loop only ever appends rows, so an unchanged count means
 /// an unchanged dataset and the proxy — a deterministic function of it — is
-/// reused verbatim).
+/// reused verbatim). It also carries the loop's [`TrainCache`], so
+/// histogram-mode tree trainers bin base rows once and bin codes append
+/// incrementally exactly like the encoded rows do.
 ///
 /// Must only be reused across calls that pass the *same, append-only*
 /// dataset; hand each FROTE run its own cache.
@@ -39,12 +41,27 @@ use crate::preselect::BasePopulation;
 pub struct SelectCache {
     encoded: Option<EncodedCache>,
     proxy: Option<(usize, LogisticRegression)>,
+    train: TrainCache,
 }
 
 impl SelectCache {
     /// An empty cache (nothing fitted yet).
     pub fn new() -> Self {
         SelectCache::default()
+    }
+
+    /// The retrain-side cache handed to [`frote_ml::TrainAlgorithm::
+    /// train_cached`] each time the loop (re)trains the model.
+    pub fn train_cache(&mut self) -> &mut TrainCache {
+        &mut self.train
+    }
+
+    /// Drops train-side cached rows past the first `rows` — called when a
+    /// candidate batch is rejected, so the next candidate's rows replace
+    /// the rejected ones instead of appending after them. The select-side
+    /// caches never see candidate rows and need no rollback.
+    pub fn truncate_train(&mut self, rows: usize) {
+        self.train.truncate(rows);
     }
 
     /// The LR proxy of `ds` together with the encoded matrix it was fitted

@@ -15,6 +15,8 @@
 //! - [`encode`] — one-hot + standardization encoding into [`FeatureMatrix`]
 //!   for linear models and distance computations (incrementally appendable
 //!   via [`EncodedCache`]),
+//! - [`binned`] — quantized per-feature bin codes ([`Binner`] /
+//!   [`BinnedMatrix`] / [`BinnedCache`]) for histogram tree training,
 //! - [`split`] — deterministic train/test splitting utilities,
 //! - [`csv`] — a small typed CSV reader/writer,
 //! - [`synth`] — schema-matched synthetic generators for the eight UCI
@@ -39,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binned;
 mod column;
 pub mod csv;
 mod dataset;
@@ -51,6 +54,7 @@ pub mod stats;
 pub mod synth;
 mod value;
 
+pub use binned::{BinnedCache, BinnedMatrix, Binner};
 pub use column::Column;
 pub use dataset::Dataset;
 pub use encode::{EncodedCache, Encoder};

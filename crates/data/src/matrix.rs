@@ -8,8 +8,8 @@
 
 use std::ops::Index;
 
-/// A dense row-major `f64` matrix with a fixed row width. See the
-/// [module docs](self).
+/// A dense row-major `f64` matrix with a fixed row width. See the module
+/// docs above for the layout rationale.
 ///
 /// # Example
 ///

@@ -4,10 +4,11 @@
 //! with default settings except `max_depth = 3`, which
 //! [`RandomForestTrainer::default`] mirrors (100 trees, sqrt-features).
 
-use frote_data::{Dataset, Value};
+use frote_data::{BinnedCache, BinnedMatrix, Binner, Dataset, Value};
 use frote_par::SeedSplit;
 
-use crate::traits::{Classifier, TrainAlgorithm};
+use crate::histogram::SplitMode;
+use crate::traits::{Classifier, TrainAlgorithm, TrainCache};
 use crate::tree::{DecisionTree, TreeParams};
 
 /// Random forest hyper-parameters.
@@ -34,12 +35,45 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fits a forest on `ds`.
+    /// Fits a forest on `ds`. In [`SplitMode::Histogram`] the dataset is
+    /// quantized once and every tree trains over the shared codes.
     ///
     /// # Panics
     ///
     /// Panics if `ds` is empty or `params.n_trees == 0`.
     pub fn fit(ds: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        match params.tree.split_mode {
+            SplitMode::Exact => Self::fit_impl(ds, params, seed, None),
+            SplitMode::Histogram { max_bins } => {
+                let binned = BinnedCache::fit(ds, max_bins);
+                Self::fit_impl(ds, params, seed, Some((binned.binner(), binned.codes())))
+            }
+        }
+    }
+
+    /// [`RandomForest::fit`] with the binning reused from a caller-held
+    /// [`TrainCache`] (FROTE's retrain loop bins only the appended rows).
+    pub fn fit_cached(
+        ds: &Dataset,
+        params: &ForestParams,
+        seed: u64,
+        cache: &mut TrainCache,
+    ) -> Self {
+        match params.tree.split_mode {
+            SplitMode::Exact => Self::fit_impl(ds, params, seed, None),
+            SplitMode::Histogram { max_bins } => {
+                let binned = cache.binned(ds, max_bins);
+                Self::fit_impl(ds, params, seed, Some((binned.binner(), binned.codes())))
+            }
+        }
+    }
+
+    fn fit_impl(
+        ds: &Dataset,
+        params: &ForestParams,
+        seed: u64,
+        binned: Option<(&Binner, &BinnedMatrix)>,
+    ) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         assert!(params.n_trees > 0, "forest needs at least one tree");
         let mut tree_params = params.tree;
@@ -55,7 +89,12 @@ impl RandomForest {
         let trees = frote_par::par_map(&tree_ids, |&t| {
             let mut rng = split.stream(t);
             let sample = ds.bootstrap_indices(ds.n_rows(), &mut rng);
-            DecisionTree::fit(ds, &sample, &tree_params, &mut rng)
+            match binned {
+                None => DecisionTree::fit(ds, &sample, &tree_params, &mut rng),
+                Some((binner, codes)) => {
+                    DecisionTree::fit_hist(ds, binner, codes, &sample, &tree_params, &mut rng)
+                }
+            }
         });
         RandomForest { trees, n_classes: ds.n_classes() }
     }
@@ -178,6 +217,10 @@ impl TrainAlgorithm for RandomForestTrainer {
         Box::new(RandomForest::fit(ds, &self.params, self.seed))
     }
 
+    fn train_cached(&self, ds: &Dataset, cache: &mut TrainCache) -> Box<dyn Classifier> {
+        Box::new(RandomForest::fit_cached(ds, &self.params, self.seed, cache))
+    }
+
     fn name(&self) -> &str {
         "RF"
     }
@@ -221,6 +264,26 @@ mod tests {
         let pa = a.predict_dataset(&ds);
         let pb = b.predict_dataset(&ds);
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn histogram_forest_is_deterministic_and_learns() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
+        let params = ForestParams {
+            n_trees: 10,
+            tree: TreeParams {
+                max_depth: 3,
+                split_mode: crate::histogram::SplitMode::histogram(),
+                ..Default::default()
+            },
+        };
+        let a = RandomForest::fit(&ds, &params, 5);
+        let mut cache = crate::traits::TrainCache::new();
+        let b = RandomForest::fit_cached(&ds, &params, 5, &mut cache);
+        let pa = a.predict_dataset(&ds);
+        assert_eq!(pa, b.predict_dataset(&ds), "cached and fresh binning agree");
+        let acc = accuracy(&pa, ds.labels());
+        assert!(acc > 0.6, "accuracy {acc}");
     }
 
     #[test]

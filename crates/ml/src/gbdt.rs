@@ -3,12 +3,15 @@
 //! Boosting runs multiclass softmax: each round fits one shallow regression
 //! tree per class to the softmax gradient residuals, with Newton leaf values
 //! (`sum(residual) / sum(p * (1 - p))`) and shrinkage, which is the same
-//! additive-model formulation LightGBM uses (minus the histogram/GOSS
-//! engineering, unnecessary at reproduction scale).
+//! additive-model formulation LightGBM uses. [`SplitMode::Histogram`] opts
+//! into LightGBM's histogram engineering too: the dataset is quantized once
+//! per fit and every tree of every round searches splits over gradient
+//! histograms (see [`crate::histogram`]) instead of per-node sorts.
 
-use frote_data::{Column, Dataset, FeatureMatrix, Value};
+use frote_data::{BinnedCache, BinnedMatrix, Binner, Column, Dataset, FeatureMatrix, Value};
 
-use crate::traits::{argmax, Classifier, TrainAlgorithm, PREDICT_BLOCK};
+use crate::histogram::{HistContext, SplitMode};
+use crate::traits::{argmax, Classifier, TrainAlgorithm, TrainCache, PREDICT_BLOCK};
 use crate::tree::SplitTest;
 
 /// GBDT hyper-parameters.
@@ -22,11 +25,21 @@ pub struct GbdtParams {
     pub max_depth: usize,
     /// Minimum rows per leaf.
     pub min_samples_leaf: usize,
+    /// How splits are searched: exact per-node sorts (default) or the
+    /// quantized histogram engine.
+    pub split_mode: SplitMode,
 }
 
 impl Default for GbdtParams {
     fn default() -> Self {
-        GbdtParams { n_rounds: 50, learning_rate: 0.2, max_depth: 3, min_samples_leaf: 5 }
+        GbdtParams {
+            n_rounds: 50,
+            learning_rate: 0.2,
+            max_depth: 3,
+            min_samples_leaf: 5,
+            // Exact unless the process-wide `--split-mode` override is set.
+            split_mode: crate::histogram::default_split_mode(),
+        }
     }
 }
 
@@ -99,6 +112,87 @@ impl RegressionTree {
                 let (li, ri) = indices.split_at_mut(mid);
                 let left = self.grow(ds, li, targets, hessians, depth + 1, params);
                 let right = self.grow(ds, ri, targets, hessians, depth + 1, params);
+                self.nodes.push(RegNode::Split { test, left, right });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Histogram-mode twin of [`RegressionTree::fit`]: gradient/count
+    /// histograms per node, sibling subtraction, raw-value thresholds from
+    /// the bin edges. Regression trees never subsample features, so
+    /// subtraction always applies.
+    fn fit_hist(
+        ctx: &HistContext,
+        indices: &mut [usize],
+        targets: &[f64],
+        hessians: &[f64],
+        params: &GbdtParams,
+    ) -> Self {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow_hist(ctx, indices, targets, hessians, 0, params, None);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors `grow` plus the carried histogram
+    fn grow_hist(
+        &mut self,
+        ctx: &HistContext,
+        indices: &mut [usize],
+        targets: &[f64],
+        hessians: &[f64],
+        depth: usize,
+        params: &GbdtParams,
+        hist: Option<Vec<f64>>,
+    ) -> usize {
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+            return self.nodes.len() - 1;
+        }
+        let hist = hist.unwrap_or_else(|| ctx.reg_hist(targets, indices));
+        let n = indices.len() as f64;
+        let total: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let best = ctx.find_best_regression_split(&hist, n, total, params.min_samples_leaf);
+        match best {
+            None => {
+                self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                self.nodes.len() - 1
+            }
+            Some(split) => {
+                let mut mid = 0;
+                for i in 0..indices.len() {
+                    if ctx.goes_left(indices[i], split) {
+                        indices.swap(i, mid);
+                        mid += 1;
+                    }
+                }
+                if mid == 0 || mid == indices.len() {
+                    self.nodes
+                        .push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                    return self.nodes.len() - 1;
+                }
+                let test = ctx.to_split_test(split);
+                let (li, ri) = indices.split_at_mut(mid);
+                // Build the smaller child's histogram directly; derive the
+                // larger sibling's by subtraction from the parent's — but
+                // only when the children can still split (`depth + 1` below
+                // the cap), else they leaf out without reading a histogram.
+                let (lh, rh) = if depth + 1 < params.max_depth {
+                    let mut sibling = hist;
+                    if li.len() <= ri.len() {
+                        let lh = ctx.reg_hist(targets, li);
+                        HistContext::subtract_hist(&mut sibling, &lh);
+                        (Some(lh), Some(sibling))
+                    } else {
+                        let rh = ctx.reg_hist(targets, ri);
+                        HistContext::subtract_hist(&mut sibling, &rh);
+                        (Some(sibling), Some(rh))
+                    }
+                } else {
+                    (None, None)
+                };
+                let left = self.grow_hist(ctx, li, targets, hessians, depth + 1, params, lh);
+                let right = self.grow_hist(ctx, ri, targets, hessians, depth + 1, params, rh);
                 self.nodes.push(RegNode::Split { test, left, right });
                 self.nodes.len() - 1
             }
@@ -205,13 +299,43 @@ pub struct Gbdt {
 }
 
 impl Gbdt {
-    /// Fits a boosted model to `ds`.
+    /// Fits a boosted model to `ds`. In [`SplitMode::Histogram`] the dataset
+    /// is quantized once and every tree of every round shares the codes —
+    /// the biggest win of the mode, since boosting fits
+    /// `n_rounds × n_classes` trees over one fixed dataset.
     ///
     /// # Panics
     ///
     /// Panics if `ds` is empty.
     pub fn fit(ds: &Dataset, params: &GbdtParams) -> Self {
+        match params.split_mode {
+            SplitMode::Exact => Self::fit_impl(ds, params, None),
+            SplitMode::Histogram { max_bins } => {
+                let binned = BinnedCache::fit(ds, max_bins);
+                Self::fit_impl(ds, params, Some((binned.binner(), binned.codes())))
+            }
+        }
+    }
+
+    /// [`Gbdt::fit`] with the binning reused from a caller-held
+    /// [`TrainCache`] (FROTE's retrain loop bins only the appended rows).
+    pub fn fit_cached(ds: &Dataset, params: &GbdtParams, cache: &mut TrainCache) -> Self {
+        match params.split_mode {
+            SplitMode::Exact => Self::fit_impl(ds, params, None),
+            SplitMode::Histogram { max_bins } => {
+                let binned = cache.binned(ds, max_bins);
+                Self::fit_impl(ds, params, Some((binned.binner(), binned.codes())))
+            }
+        }
+    }
+
+    fn fit_impl(
+        ds: &Dataset,
+        params: &GbdtParams,
+        binned: Option<(&Binner, &BinnedMatrix)>,
+    ) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let ctx = binned.map(|(binner, codes)| HistContext::new(binner, codes));
         let n = ds.n_rows();
         let k = ds.n_classes();
         // Base score: log prior per class.
@@ -242,7 +366,18 @@ impl Gbdt {
             let classes: Vec<usize> = (0..k).collect();
             let round_trees = frote_par::par_map(&classes, |&c| {
                 let mut idx: Vec<usize> = (0..n).collect();
-                RegressionTree::fit(ds, &mut idx, residuals.row(c), hessians.row(c), params)
+                match &ctx {
+                    None => {
+                        RegressionTree::fit(ds, &mut idx, residuals.row(c), hessians.row(c), params)
+                    }
+                    Some(ctx) => RegressionTree::fit_hist(
+                        ctx,
+                        &mut idx,
+                        residuals.row(c),
+                        hessians.row(c),
+                        params,
+                    ),
+                }
             });
             for (c, tree) in round_trees.iter().enumerate() {
                 for i in 0..n {
@@ -386,6 +521,10 @@ impl TrainAlgorithm for GbdtTrainer {
         Box::new(Gbdt::fit(ds, &self.params))
     }
 
+    fn train_cached(&self, ds: &Dataset, cache: &mut TrainCache) -> Box<dyn Classifier> {
+        Box::new(Gbdt::fit_cached(ds, &self.params, cache))
+    }
+
     fn name(&self) -> &str {
         "LGBM"
     }
@@ -446,6 +585,40 @@ mod tests {
         let a_large = accuracy(&large.predict_dataset(&ds), ds.labels());
         assert!(a_large + 1e-9 >= a_small, "{a_small} -> {a_large}");
         assert_eq!(large.n_rounds(), 40);
+    }
+
+    #[test]
+    fn histogram_mode_matches_exact_quality() {
+        for kind in [DatasetKind::Car, DatasetKind::WineQuality] {
+            let ds = kind.generate(&SynthConfig { n_rows: 500, ..Default::default() });
+            let hist_params = GbdtParams {
+                n_rounds: 10,
+                split_mode: SplitMode::histogram(),
+                ..Default::default()
+            };
+            let exact_params = GbdtParams { n_rounds: 10, ..Default::default() };
+            let hist = Gbdt::fit(&ds, &hist_params);
+            let exact = Gbdt::fit(&ds, &exact_params);
+            let acc_hist = accuracy(&hist.predict_dataset(&ds), ds.labels());
+            let acc_exact = accuracy(&exact.predict_dataset(&ds), ds.labels());
+            assert!(
+                acc_hist + 0.05 >= acc_exact,
+                "{}: histogram {acc_hist} vs exact {acc_exact}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_mode_cached_matches_fresh() {
+        let ds =
+            DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+        let params =
+            GbdtParams { n_rounds: 5, split_mode: SplitMode::histogram(), ..Default::default() };
+        let mut cache = crate::traits::TrainCache::new();
+        let cached = Gbdt::fit_cached(&ds, &params, &mut cache);
+        let fresh = Gbdt::fit(&ds, &params);
+        assert_eq!(cached.predict_dataset(&ds), fresh.predict_dataset(&ds));
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Histogram split search over quantized bin codes.
+//!
+//! The training-side counterpart of [`frote_data::binned`]: instead of
+//! sorting raw `f64` columns at every node, trees in
+//! [`SplitMode::Histogram`] build per-feature class/gradient histograms with
+//! one linear pass over the node's rows (in parallel over fixed row blocks,
+//! reduced in block order so results are bit-identical at any
+//! `FROTE_THREADS`), scan bin boundaries for the best split, and derive each
+//! larger sibling's histogram by subtraction from its parent. Split tests
+//! are emitted as raw-value [`SplitTest`]s (bin edges double as thresholds),
+//! so histogram-trained models predict on unbinned rows exactly like
+//! exact-mode models.
+//!
+//! With a bin budget at least as large as the number of distinct values,
+//! the histogram search evaluates the same candidate partitions in the same
+//! order as the exact search and therefore reproduces its decisions node for
+//! node (pinned by `tests/prop_hist_split.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use frote_data::{BinnedMatrix, Binner};
+
+use crate::tree::SplitTest;
+
+/// Rows per parallel block when building node histograms. Partial
+/// histograms are reduced in block order, so boundaries never affect the
+/// result, only the schedule.
+const HIST_BLOCK: usize = 1024;
+
+/// Default bin budget of [`SplitMode::histogram`]: double the exact search's
+/// per-node threshold cap, and small enough for `u8` codes.
+pub const DEFAULT_MAX_BINS: usize = 64;
+
+/// How tree trainers search for splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SplitMode {
+    /// Per-node sorts of raw values with quantile-thinned thresholds — the
+    /// seed behaviour, and the default (golden pins depend on it).
+    #[default]
+    Exact,
+    /// Quantized histogram search over a shared [`BinnedMatrix`].
+    Histogram {
+        /// Per-feature bin budget (at least 2).
+        max_bins: usize,
+    },
+}
+
+impl SplitMode {
+    /// Histogram mode with the [`DEFAULT_MAX_BINS`] budget.
+    pub fn histogram() -> SplitMode {
+        SplitMode::Histogram { max_bins: DEFAULT_MAX_BINS }
+    }
+
+    /// Whether this is a histogram mode.
+    pub fn is_histogram(self) -> bool {
+        matches!(self, SplitMode::Histogram { .. })
+    }
+
+    /// Parses `"exact"`, `"histogram"`, or `"histogram:<max_bins>"`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<SplitMode> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "exact" => Some(SplitMode::Exact),
+            "histogram" => Some(SplitMode::histogram()),
+            _ => {
+                let bins: usize = lower.strip_prefix("histogram:")?.parse().ok()?;
+                (bins >= 2).then_some(SplitMode::Histogram { max_bins: bins })
+            }
+        }
+    }
+
+    /// Display form accepted back by [`SplitMode::parse`].
+    pub fn name(self) -> String {
+        match self {
+            SplitMode::Exact => "exact".to_string(),
+            SplitMode::Histogram { max_bins } => format!("histogram:{max_bins}"),
+        }
+    }
+}
+
+/// Process-wide default split mode picked up by `TreeParams::default` /
+/// `GbdtParams::default` (0 = exact, n >= 2 = histogram with `max_bins` n) —
+/// the `--split-mode` counterpart of `frote_par::set_threads`.
+static SPLIT_MODE_DEFAULT: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default [`SplitMode`] that freshly constructed
+/// `TreeParams` / `GbdtParams` (and everything built from their defaults)
+/// pick up — how the repro binaries' `--split-mode` flag reaches trainers
+/// constructed deep inside the experiment harness. Explicitly constructed
+/// params are unaffected.
+pub fn set_default_split_mode(mode: SplitMode) {
+    let encoded = match mode {
+        SplitMode::Exact => 0,
+        SplitMode::Histogram { max_bins } => {
+            assert!(max_bins >= 2, "max_bins must be at least 2");
+            max_bins
+        }
+    };
+    SPLIT_MODE_DEFAULT.store(encoded, Ordering::Relaxed);
+}
+
+/// The process-wide default [`SplitMode`] (see [`set_default_split_mode`]);
+/// [`SplitMode::Exact`] unless overridden.
+pub fn default_split_mode() -> SplitMode {
+    match SPLIT_MODE_DEFAULT.load(Ordering::Relaxed) {
+        0 => SplitMode::Exact,
+        n => SplitMode::Histogram { max_bins: n },
+    }
+}
+
+/// A chosen split in bin space. Converted to a raw-value [`SplitTest`] for
+/// the stored tree via [`HistContext::to_split_test`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum BinSplit {
+    /// Go left when `code(row, feature) <= bin` (numeric boundary).
+    NumLe { feature: usize, bin: usize },
+    /// Go left when `code(row, feature) == bin` (categorical one-vs-rest).
+    CatEq { feature: usize, bin: usize },
+}
+
+/// Shared per-fit view of the quantized plane: the fitted binner, the code
+/// matrix, and the flat histogram layout (per-feature bin offsets).
+pub(crate) struct HistContext<'a> {
+    binner: &'a Binner,
+    codes: &'a BinnedMatrix,
+    /// `offsets[f]` = first flat bin slot of feature `f`.
+    offsets: Vec<usize>,
+    /// Total bin slots across all features.
+    total_bins: usize,
+}
+
+impl<'a> HistContext<'a> {
+    /// Builds the layout for one fit. The codes must come from `binner`.
+    pub(crate) fn new(binner: &'a Binner, codes: &'a BinnedMatrix) -> Self {
+        assert_eq!(binner.n_features(), codes.width(), "binner/codes width mismatch");
+        let mut offsets = Vec::with_capacity(binner.n_features());
+        let mut total = 0usize;
+        for f in 0..binner.n_features() {
+            offsets.push(total);
+            total += binner.n_bins(f);
+        }
+        HistContext { binner, codes, offsets, total_bins: total }
+    }
+
+    pub(crate) fn n_features(&self) -> usize {
+        self.binner.n_features()
+    }
+
+    pub(crate) fn n_bins(&self, f: usize) -> usize {
+        self.binner.n_bins(f)
+    }
+
+    #[inline]
+    fn slot(&self, i: usize, f: usize) -> usize {
+        self.offsets[f] + self.codes.code(i, f)
+    }
+
+    /// Whether the row goes to the left child of `split`.
+    #[inline]
+    pub(crate) fn goes_left(&self, i: usize, split: BinSplit) -> bool {
+        match split {
+            BinSplit::NumLe { feature, bin } => self.codes.code(i, feature) <= bin,
+            BinSplit::CatEq { feature, bin } => self.codes.code(i, feature) == bin,
+        }
+    }
+
+    /// Converts a bin-space split into the raw-value test stored in trees.
+    pub(crate) fn to_split_test(&self, split: BinSplit) -> SplitTest {
+        match split {
+            BinSplit::NumLe { feature, bin } => {
+                SplitTest::NumLe { feature, threshold: self.binner.threshold(feature, bin) }
+            }
+            BinSplit::CatEq { feature, bin } => SplitTest::CatEq { feature, category: bin as u32 },
+        }
+    }
+
+    /// Per-(feature, bin, class) counts for the node's rows over
+    /// `features`, as one flat `total_bins * n_classes` buffer. Built in
+    /// parallel over fixed row blocks and reduced in block order
+    /// (bit-identical at any thread count; counts are exact integers).
+    pub(crate) fn class_hist(
+        &self,
+        labels: &[u32],
+        indices: &[usize],
+        features: &[usize],
+        n_classes: usize,
+    ) -> Vec<f64> {
+        let size = self.total_bins * n_classes;
+        self.build_hist(indices, size, |i, h| {
+            let y = labels[i] as usize;
+            for &f in features {
+                h[self.slot(i, f) * n_classes + y] += 1.0;
+            }
+        })
+    }
+
+    /// Per-(feature, bin) `(count, target-sum)` pairs for the node's rows,
+    /// as one flat `total_bins * 2` buffer (stride 2), built like
+    /// [`HistContext::class_hist`]. Gradient sums are floats, so the
+    /// fixed-order block reduction is what keeps them thread-count-invariant.
+    pub(crate) fn reg_hist(&self, targets: &[f64], indices: &[usize]) -> Vec<f64> {
+        let size = self.total_bins * 2;
+        self.build_hist(indices, size, |i, h| {
+            let t = targets[i];
+            for f in 0..self.n_features() {
+                let s = self.slot(i, f) * 2;
+                h[s] += 1.0;
+                h[s + 1] += t;
+            }
+        })
+    }
+
+    fn build_hist(
+        &self,
+        indices: &[usize],
+        size: usize,
+        accumulate: impl Fn(usize, &mut [f64]) + Sync,
+    ) -> Vec<f64> {
+        let parts = frote_par::par_chunks_map(indices, HIST_BLOCK, |_, chunk| {
+            let mut h = vec![0.0; size];
+            for &i in chunk {
+                accumulate(i, &mut h);
+            }
+            vec![h]
+        });
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next().unwrap_or_else(|| vec![0.0; size]);
+        for part in parts {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+        }
+        acc
+    }
+
+    /// `parent -= child` elementwise: after the call, `parent` holds the
+    /// sibling's histogram. Counts stay exact; gradient sums stay
+    /// deterministic (both operands are).
+    pub(crate) fn subtract_hist(parent: &mut [f64], child: &[f64]) {
+        for (p, c) in parent.iter_mut().zip(child) {
+            *p -= c;
+        }
+    }
+
+    /// Gini-optimal split over `features` read from a class histogram —
+    /// the quantized mirror of the exact `find_best_split`: same candidate
+    /// order (features as given; boundaries ascending), same strict-`<`
+    /// tie-breaking, same `min_leaf` and minimum-gain filters.
+    pub(crate) fn find_best_split(
+        &self,
+        hist: &[f64],
+        features: &[usize],
+        parent_counts: &[f64],
+        n_classes: usize,
+        min_leaf: usize,
+    ) -> Option<BinSplit> {
+        let n: f64 = parent_counts.iter().sum();
+        let parent_gini = gini(parent_counts, n);
+        let mut best: Option<(f64, BinSplit)> = None;
+        let mut left_counts = vec![0.0; n_classes];
+        for &f in features {
+            let bins = self.n_bins(f);
+            let base = self.offsets[f];
+            let feature_best = if self.binner.is_numeric(f) {
+                self.best_numeric(hist, f, base, bins, parent_counts, &mut left_counts, min_leaf, n)
+            } else {
+                self.best_categorical(hist, f, base, bins, parent_counts, min_leaf, n)
+            };
+            if let Some((child_gini, split)) = feature_best {
+                let gain = parent_gini - child_gini;
+                if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _)| child_gini < *bg) {
+                    best = Some((child_gini, split));
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Scans the numeric boundaries of feature `f` left to right,
+    /// accumulating per-class counts — one pass over `bins * n_classes`
+    /// histogram slots instead of a sort of the node's rows.
+    #[allow(clippy::too_many_arguments)] // flat hot-loop state, called from one site
+    fn best_numeric(
+        &self,
+        hist: &[f64],
+        feature: usize,
+        base: usize,
+        bins: usize,
+        parent_counts: &[f64],
+        left_counts: &mut [f64],
+        min_leaf: usize,
+        n: f64,
+    ) -> Option<(f64, BinSplit)> {
+        let n_classes = parent_counts.len();
+        left_counts.fill(0.0);
+        let mut left_total = 0.0;
+        let mut best: Option<(f64, BinSplit)> = None;
+        for b in 0..bins.saturating_sub(1) {
+            let row = &hist[(base + b) * n_classes..(base + b + 1) * n_classes];
+            for (l, &c) in left_counts.iter_mut().zip(row) {
+                *l += c;
+                left_total += c;
+            }
+            if (left_total as usize) < min_leaf || ((n - left_total) as usize) < min_leaf {
+                continue;
+            }
+            let right_total = n - left_total;
+            let right_counts: Vec<f64> =
+                parent_counts.iter().zip(left_counts.iter()).map(|(p, l)| p - l).collect();
+            let child = (left_total * gini(left_counts, left_total)
+                + right_total * gini(&right_counts, right_total))
+                / n;
+            if best.as_ref().is_none_or(|(bg, _)| child < *bg) {
+                best = Some((child, BinSplit::NumLe { feature, bin: b }));
+            }
+        }
+        best
+    }
+
+    /// One-vs-rest scan over categorical bins — identical arithmetic to the
+    /// exact categorical search (categories are already bins).
+    #[allow(clippy::too_many_arguments)] // flat hot-loop state, called from one site
+    fn best_categorical(
+        &self,
+        hist: &[f64],
+        feature: usize,
+        base: usize,
+        bins: usize,
+        parent_counts: &[f64],
+        min_leaf: usize,
+        n: f64,
+    ) -> Option<(f64, BinSplit)> {
+        let n_classes = parent_counts.len();
+        let mut best: Option<(f64, BinSplit)> = None;
+        for b in 0..bins {
+            let row = &hist[(base + b) * n_classes..(base + b + 1) * n_classes];
+            let left_total: f64 = row.iter().sum();
+            let right_total = n - left_total;
+            if (left_total as usize) < min_leaf || (right_total as usize) < min_leaf {
+                continue;
+            }
+            let right_counts: Vec<f64> =
+                parent_counts.iter().zip(row).map(|(p, l)| p - l).collect();
+            let child = (left_total * gini(row, left_total)
+                + right_total * gini(&right_counts, right_total))
+                / n;
+            if best.as_ref().is_none_or(|(bg, _)| child < *bg) {
+                best = Some((child, BinSplit::CatEq { feature, bin: b }));
+            }
+        }
+        best
+    }
+
+    /// Variance-reduction split from a regression histogram — the quantized
+    /// mirror of the exact `best_regression_split`: maximize
+    /// `left² / left_n + right² / right_n`, strict-`>` first-wins
+    /// tie-breaking, and the same `base + 1e-9` improvement filter.
+    pub(crate) fn find_best_regression_split(
+        &self,
+        hist: &[f64],
+        n: f64,
+        total: f64,
+        min_leaf: usize,
+    ) -> Option<BinSplit> {
+        let mut best: Option<(f64, BinSplit)> = None;
+        for f in 0..self.n_features() {
+            let bins = self.n_bins(f);
+            let base = self.offsets[f];
+            if self.binner.is_numeric(f) {
+                let mut left_n = 0.0;
+                let mut left_sum = 0.0;
+                for b in 0..bins.saturating_sub(1) {
+                    left_n += hist[(base + b) * 2];
+                    left_sum += hist[(base + b) * 2 + 1];
+                    if (left_n as usize) < min_leaf || ((n - left_n) as usize) < min_leaf {
+                        continue;
+                    }
+                    let right_sum = total - left_sum;
+                    let score = left_sum * left_sum / left_n + right_sum * right_sum / (n - left_n);
+                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                        best = Some((score, BinSplit::NumLe { feature: f, bin: b }));
+                    }
+                }
+            } else {
+                for b in 0..bins {
+                    let bin_n = hist[(base + b) * 2];
+                    let bin_sum = hist[(base + b) * 2 + 1];
+                    if (bin_n as usize) < min_leaf || ((n - bin_n) as usize) < min_leaf {
+                        continue;
+                    }
+                    let right_sum = total - bin_sum;
+                    let score = bin_sum * bin_sum / bin_n + right_sum * right_sum / (n - bin_n);
+                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                        best = Some((score, BinSplit::CatEq { feature: f, bin: b }));
+                    }
+                }
+            }
+        }
+        let base_score = total * total / n;
+        best.filter(|(s, _)| *s > base_score + 1e-9).map(|(_, s)| s)
+    }
+}
+
+/// Gini impurity of a count vector with the given total (0 for empty sets) —
+/// shared with the exact search so both modes score identically.
+pub(crate) fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+    use frote_data::{Dataset, Schema, Value};
+
+    fn two_feature_ds() -> Dataset {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("k", vec!["p".into(), "q".into(), "r".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        for i in 0..30 {
+            let label = u32::from(i >= 15);
+            ds.push_row(&[Value::Num(i as f64), Value::Cat(i % 3)], label).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn split_mode_parse_round_trip() {
+        assert_eq!(SplitMode::parse("exact"), Some(SplitMode::Exact));
+        assert_eq!(SplitMode::parse("HISTOGRAM"), Some(SplitMode::histogram()));
+        assert_eq!(SplitMode::parse("histogram:128"), Some(SplitMode::Histogram { max_bins: 128 }));
+        assert_eq!(SplitMode::parse("histogram:1"), None, "budget below 2 rejected");
+        assert_eq!(SplitMode::parse("sorted"), None);
+        for mode in [SplitMode::Exact, SplitMode::Histogram { max_bins: 77 }] {
+            assert_eq!(SplitMode::parse(&mode.name()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn class_hist_counts_every_row_once() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 16);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let hist = ctx.class_hist(ds.labels(), &indices, &features, 2);
+        // Every feature's bins partition the rows.
+        for f in 0..ctx.n_features() {
+            let total: f64 = (0..ctx.n_bins(f))
+                .flat_map(|b| (0..2).map(move |c| (b, c)))
+                .map(|(b, c)| hist[(ctx.offsets[f] + b) * 2 + c])
+                .sum();
+            assert_eq!(total, ds.n_rows() as f64, "feature {f}");
+        }
+    }
+
+    #[test]
+    fn hist_build_is_thread_count_invariant() {
+        let ds =
+            DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 3000, ..Default::default() });
+        let binner = Binner::fit(&ds, 32);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let targets: Vec<f64> = (0..ds.n_rows()).map(|i| (i as f64) * 0.1 - 3.0).collect();
+        let serial = frote_par::test_support::with_threads(1, || ctx.reg_hist(&targets, &indices));
+        for t in [2usize, 4] {
+            let par = frote_par::test_support::with_threads(t, || ctx.reg_hist(&targets, &indices));
+            let bitwise_equal = serial.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bitwise_equal, "gradient histogram drifted at FROTE_THREADS={t}");
+        }
+    }
+
+    #[test]
+    fn sibling_subtraction_recovers_the_complement() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 16);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let all: Vec<usize> = (0..ds.n_rows()).collect();
+        let (left, right): (Vec<usize>, Vec<usize>) = all.iter().partition(|&&i| i < 10);
+        let mut parent = ctx.class_hist(ds.labels(), &all, &features, 2);
+        let left_h = ctx.class_hist(ds.labels(), &left, &features, 2);
+        let right_h = ctx.class_hist(ds.labels(), &right, &features, 2);
+        HistContext::subtract_hist(&mut parent, &left_h);
+        assert_eq!(parent, right_h, "counts are exact integers: subtraction is lossless");
+    }
+
+    #[test]
+    fn best_split_finds_the_planted_boundary() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 64);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let hist = ctx.class_hist(ds.labels(), &indices, &features, 2);
+        let split = ctx
+            .find_best_split(&hist, &features, &[15.0, 15.0], 2, 1)
+            .expect("clean boundary exists");
+        let test = ctx.to_split_test(split);
+        match test {
+            SplitTest::NumLe { feature, threshold } => {
+                assert_eq!(feature, 0);
+                assert!((threshold - 14.5).abs() < 1e-12, "threshold {threshold}");
+            }
+            other => panic!("expected the numeric boundary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_nodes_yield_no_split() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 16);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..10).collect(); // all label 0
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let hist = ctx.class_hist(ds.labels(), &indices, &features, 2);
+        assert_eq!(ctx.find_best_split(&hist, &features, &[10.0, 0.0], 2, 1), None);
+    }
+
+    #[test]
+    fn regression_split_prefers_the_value_step() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 64);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let targets: Vec<f64> = (0..ds.n_rows()).map(|i| if i < 15 { -1.0 } else { 1.0 }).collect();
+        let hist = ctx.reg_hist(&targets, &indices);
+        let split =
+            ctx.find_best_regression_split(&hist, 30.0, 0.0, 1).expect("step target has a split");
+        assert_eq!(split, BinSplit::NumLe { feature: 0, bin: 14 });
+    }
+
+    // The set/get round trip of the process-wide default lives in
+    // `frote-bench`'s CliOptions tests: flipping the global here would race
+    // the trainer tests of this binary, which read it via
+    // `TreeParams::default`.
+}

@@ -15,6 +15,8 @@
 //! - [`tree`] / [`forest`] — CART decision trees and random forests (paper
 //!   setting: `max_depth = 3`),
 //! - [`gbdt`] — gradient-boosted trees, the LightGBM stand-in,
+//! - [`histogram`] — the quantized histogram split search shared by the
+//!   tree families (opt-in per trainer via [`SplitMode`]),
 //! - [`knn`] / [`balltree`] / [`distance`] — mixed-type nearest neighbours
 //!   (scikit-learn `ball_tree` stand-in),
 //! - [`metrics`] — accuracy, confusion matrices, and F1 scores.
@@ -37,6 +39,7 @@ pub mod distance;
 mod error;
 pub mod forest;
 pub mod gbdt;
+pub mod histogram;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;
@@ -46,4 +49,5 @@ pub mod tree;
 pub mod validate;
 
 pub use error::MlError;
-pub use traits::{Classifier, TrainAlgorithm};
+pub use histogram::{default_split_mode, set_default_split_mode, SplitMode};
+pub use traits::{Classifier, TrainAlgorithm, TrainCache};

@@ -7,7 +7,7 @@
 //! buffers, in parallel across `frote_par::threads()` threads. Results are
 //! bit-identical to a serial per-row loop at any thread count.
 
-use frote_data::{Dataset, Value};
+use frote_data::{BinnedCache, Dataset, Value};
 
 /// Rows per parallel block when batch-predicting. Boundaries only affect the
 /// schedule, never the result.
@@ -74,6 +74,45 @@ pub trait Classifier: Send + Sync {
     }
 }
 
+/// Reusable training state shared across repeated [`TrainAlgorithm`] calls
+/// on an append-only dataset — FROTE's retrain loop hands each run one of
+/// these so histogram-mode tree trainers bin the base rows once and only
+/// bin what each iteration appends (mirroring how the selection proxy's
+/// [`frote_data::EncodedCache`] treats encoded rows). Exact-mode trainers
+/// ignore it.
+#[derive(Debug, Default)]
+pub struct TrainCache {
+    binned: Option<BinnedCache>,
+}
+
+impl TrainCache {
+    /// An empty cache (nothing binned yet).
+    pub fn new() -> Self {
+        TrainCache::default()
+    }
+
+    /// The binned view of `ds` at the given bin budget — fitted on first
+    /// use, then kept in sync incrementally (appended rows are binned;
+    /// a changed fit or a different budget re-bins from scratch).
+    pub fn binned(&mut self, ds: &Dataset, max_bins: usize) -> &BinnedCache {
+        let reusable = self.binned.as_ref().is_some_and(|c| c.binner().max_bins() == max_bins);
+        if reusable {
+            self.binned.as_mut().expect("checked above").sync(ds);
+        } else {
+            self.binned = Some(BinnedCache::fit(ds, max_bins));
+        }
+        self.binned.as_ref().expect("just filled")
+    }
+
+    /// Drops cached rows past the first `rows` (a rejected candidate batch
+    /// is un-binned without touching the surviving prefix).
+    pub fn truncate(&mut self, rows: usize) {
+        if let Some(c) = &mut self.binned {
+            c.truncate(rows);
+        }
+    }
+}
+
 /// A training algorithm: dataset in, classifier out (paper §3.2 treats it as
 /// a black box, possibly proprietary).
 pub trait TrainAlgorithm: Send + Sync {
@@ -84,6 +123,17 @@ pub trait TrainAlgorithm: Send + Sync {
     /// Implementations panic on empty datasets — FROTE never trains on an
     /// empty `D̂` by construction.
     fn train(&self, ds: &Dataset) -> Box<dyn Classifier>;
+
+    /// Trains on `ds`, reusing `cache` across calls on the same append-only
+    /// dataset. The default ignores the cache and defers to
+    /// [`TrainAlgorithm::train`]; histogram-mode tree trainers override it
+    /// (and implement `train` by calling this with a throwaway cache — an
+    /// override must therefore never call the default `train_cached`).
+    /// Results are bit-identical to `train` either way.
+    fn train_cached(&self, ds: &Dataset, cache: &mut TrainCache) -> Box<dyn Classifier> {
+        let _ = cache;
+        self.train(ds)
+    }
 
     /// Short display name ("LR", "RF", "LGBM" in the paper's tables).
     fn name(&self) -> &str;

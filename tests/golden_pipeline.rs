@@ -1,14 +1,20 @@
 //! Golden pipeline pin: the FROTE loop's full output (augmented dataset +
 //! report) is byte-identical to the seed implementation, at 1 and 4 threads.
 //!
-//! The hashes below were captured from the pre-refactor (PR 2) tree; the
-//! dense-data-plane refactor must not move them. FNV-1a is used because its
-//! value is defined by the algorithm alone (unlike `DefaultHasher`, which is
-//! only stable within one std release).
+//! The exact-mode hashes below were captured from the pre-refactor (PR 2)
+//! tree; neither the dense-data-plane refactor nor the quantized training
+//! plane may move them. Histogram mode (`SplitMode::Histogram`, opt-in) is
+//! pinned separately at 1, 2, and 4 threads — its outputs legitimately
+//! differ from exact mode, but must be bit-identical across thread counts
+//! and across PRs. FNV-1a is used because its value is defined by the
+//! algorithm alone (unlike `DefaultHasher`, which is only stable within one
+//! std release).
 
 use frote::{Frote, FroteConfig, SelectionStrategy};
 use frote_data::synth::{DatasetKind, SynthConfig};
 use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_ml::tree::TreeParams;
+use frote_ml::SplitMode;
 use frote_par::test_support::with_threads;
 use frote_rules::parse::parse_rule;
 use frote_rules::FeedbackRuleSet;
@@ -60,9 +66,58 @@ fn run_online() -> u64 {
     fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
 }
 
+/// The mixed Car scenario again, but retraining through the quantized
+/// histogram plane (RF trees over shared bin codes, binned incrementally by
+/// the loop's `TrainCache`). Car is pure-categorical, and categorical
+/// histogram search is arithmetically identical to the exact search — so
+/// this run must reproduce the *exact-mode* golden byte for byte.
+fn run_hist_categorical() -> u64 {
+    let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 300, ..Default::default() });
+    let rule = parse_rule("safety = low AND buying = low => acc", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let tree =
+        TreeParams { max_depth: 3, split_mode: SplitMode::histogram(), ..Default::default() };
+    let trainer = RandomForestTrainer::new(ForestParams { n_trees: 10, tree }, 42);
+    let config = FroteConfig {
+        iteration_limit: 4,
+        instances_per_iteration: Some(15),
+        selection: SelectionStrategy::Random,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
+    fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
+}
+
+/// The numeric WineQuality scenario through a coarse 16-bin histogram RF —
+/// quantization genuinely differs from the exact search here, so this run
+/// carries its own golden.
+fn run_hist_numeric() -> u64 {
+    let ds = DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 250, ..Default::default() });
+    let rule = parse_rule("alcohol >= 12 => 8", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let tree = TreeParams {
+        max_depth: 3,
+        split_mode: SplitMode::Histogram { max_bins: 16 },
+        ..Default::default()
+    };
+    let trainer = RandomForestTrainer::new(ForestParams { n_trees: 8, tree }, 7);
+    let config = FroteConfig {
+        iteration_limit: 3,
+        instances_per_iteration: Some(12),
+        selection: SelectionStrategy::OnlineProxy,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let out = Frote::new(config).run(&ds, &trainer, &frs, &mut rng).unwrap();
+    fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
+}
+
 /// Captured from the seed (pre-refactor) tree; see the module docs.
 const GOLDEN_RANDOM: u64 = 0x3d16_ce7c_f8d3_ed96;
 const GOLDEN_ONLINE: u64 = 0x95e7_5f49_4078_f82e;
+/// Captured at PR 4 (first histogram-mode release).
+const GOLDEN_HIST_NUMERIC: u64 = 0x53e4_4701_4ba3_c2e6;
 
 #[test]
 fn pipeline_output_pinned_at_1_and_4_threads() {
@@ -70,5 +125,20 @@ fn pipeline_output_pinned_at_1_and_4_threads() {
         let (a, b) = with_threads(t, || (run_random(), run_online()));
         assert_eq!(a, GOLDEN_RANDOM, "random-strategy pipeline drifted at {t} threads");
         assert_eq!(b, GOLDEN_ONLINE, "online-proxy pipeline drifted at {t} threads");
+    }
+}
+
+#[test]
+fn histogram_pipeline_pinned_at_1_2_and_4_threads() {
+    for t in [1usize, 2, 4] {
+        let (cat, num) = with_threads(t, || (run_hist_categorical(), run_hist_numeric()));
+        assert_eq!(
+            cat, GOLDEN_RANDOM,
+            "categorical histogram run must equal the exact-mode golden at {t} threads"
+        );
+        assert_eq!(
+            num, GOLDEN_HIST_NUMERIC,
+            "histogram-mode pipeline drifted at {t} threads: {num:#018x}"
+        );
     }
 }

@@ -92,6 +92,40 @@ proptest! {
         prop_assert_eq!(grown, full);
     }
 
+    /// The quantized plane mirrors the encoded one: batch binning is
+    /// thread-count-invariant, codes round-trip through `bin_value`, and
+    /// binning base rows then appending the tail equals binning the
+    /// concatenated dataset when the fitted edges are unchanged.
+    #[test]
+    fn binned_matrix_batch_and_append_equivalence(
+        ds in arb_dataset(),
+        max_bins in 2usize..32,
+    ) {
+        let binner = frote_data::Binner::fit(&ds, max_bins);
+        let full = binner.bin_dataset(&ds);
+        prop_assert_eq!(full.n_rows(), ds.n_rows());
+        for t in [1usize, 4] {
+            let m = frote_par::test_support::with_threads(t, || binner.bin_dataset(&ds));
+            prop_assert_eq!(&m, &full, "binning drifted at {} threads", t);
+        }
+        for i in 0..ds.n_rows() {
+            for j in 0..ds.n_features() {
+                prop_assert_eq!(
+                    full.code(i, j),
+                    binner.bin_value(j, ds.cell(i, j)) as usize,
+                    "cell ({}, {})", i, j
+                );
+            }
+        }
+        // Append equivalence over a prefix (the binner was fitted on the
+        // full dataset, so its edges are unchanged by construction).
+        let prefix_rows: Vec<usize> = (0..ds.n_rows() / 2).collect();
+        let prefix = ds.gather(&prefix_rows);
+        let mut grown = binner.bin_dataset(&prefix);
+        binner.append(&ds, &mut grown);
+        prop_assert_eq!(grown, full);
+    }
+
     /// Splits partition the index set with the requested sizes.
     #[test]
     fn split_partition(n in 2usize..200, frac in 0.0..1.0f64, seed in 0u64..100) {

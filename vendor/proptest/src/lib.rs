@@ -227,7 +227,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// A length specification for [`vec`]: an exact size or a half-open
+    /// A length specification for [`vec()`](fn@vec): an exact size or a half-open
     /// range, as in real proptest.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -260,7 +260,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
