@@ -1,16 +1,23 @@
 //! Perf smoke: times the parallelized hot paths at 1 and N threads and
-//! writes a `BENCH_*.json` record (default `BENCH_pr4.json` at the
+//! writes a `BENCH_*.json` record (default `BENCH_pr5.json` at the
 //! repository root; override with `--out <path>`).
 //!
 //! Probes cover the `frote-par` runtime (kNN batch query, SMOTE generation,
 //! rule-coverage scan, one full FROTE iteration), the dense data plane
 //! (batch encoding into `FeatureMatrix`, batch `predict_dataset` scoring for
-//! the RF / LGBM / LR families), and the quantized training plane (DT / GBDT
-//! fits in exact vs histogram split mode). Every serial/parallel pair
-//! cross-checks the determinism contract — the outputs must match exactly —
-//! and records a *stable* FNV-1a output digest so `benchdiff` can gate later
-//! runs against this one. Timings are recorded, not gated: single-core CI
-//! hosts will legitimately report ~1× speedups.
+//! the RF / LGBM / LR families), the quantized training plane (DT / GBDT
+//! fits in exact vs histogram split mode), and the numeric kernel layer
+//! (`lr_fit` blocked logistic-regression training, `knn_batch` brute
+//! mixed-distance scans, `rf_hist_subsample` compact candidate histograms —
+//! each with a measured pre-kernel baseline in `mode_comparisons`). Every
+//! serial/parallel pair cross-checks the determinism contract — the outputs
+//! must match exactly — and records a *stable* FNV-1a output digest so
+//! `benchdiff` can gate later runs against this one. Timings are recorded,
+//! not gated: single-core CI hosts will legitimately report ~1× speedups,
+//! and the reduction kernels are chain-bound by the byte-identical contract
+//! (`f64` sums cannot be reassociated), so their single-thread gains are
+//! modest by design — the parallel gradient and the cache reuse are where
+//! the training-loop time goes.
 
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -20,17 +27,21 @@ use frote_bench::benchgate::{default_bench_file, FnvHasher};
 use frote_bench::CliOptions;
 use frote_data::encode::Encoder;
 use frote_data::synth::{DatasetKind, SynthConfig};
-use frote_data::Value;
+use frote_data::{Binner, Dataset, FeatureMatrix, Value};
 use frote_ml::balltree::BallTree;
+use frote_ml::distance::{MixedDistance, MixedMetric};
 use frote_ml::forest::{ForestParams, RandomForestTrainer};
 use frote_ml::gbdt::{Gbdt, GbdtParams, GbdtTrainer};
-use frote_ml::logreg::LogisticRegressionTrainer;
+use frote_ml::histogram::subsample_hist_probe;
+use frote_ml::knn::k_nearest_of_rows;
+use frote_ml::logreg::{LogRegParams, LogisticRegression, LogisticRegressionTrainer};
 use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
-use frote_ml::{SplitMode, TrainAlgorithm};
+use frote_ml::{Classifier, SplitMode, TrainAlgorithm};
 use frote_rules::parse::parse_rule;
 use frote_rules::{Clause, FeedbackRuleSet, Op, Predicate};
 use frote_smote::{Smote, SmoteParams};
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
@@ -48,13 +59,26 @@ struct BenchRecord {
     output_fnv: String,
 }
 
-/// One exact-vs-histogram training comparison (timings of the serial legs).
+/// One baseline-vs-optimized comparison of serial (single-thread) legs:
+/// exact vs histogram training, the pre-kernel scalar LR loop vs the
+/// kernel/blocked fit, the full-layout vs compact candidate histograms.
 #[derive(Debug, Serialize)]
 struct ModeComparison {
     name: String,
-    exact_ms: f64,
-    histogram_ms: f64,
+    baseline_ms: f64,
+    optimized_ms: f64,
     speedup: f64,
+}
+
+impl ModeComparison {
+    fn new(name: &str, baseline_ms: f64, optimized_ms: f64) -> Self {
+        ModeComparison {
+            name: name.to_string(),
+            baseline_ms,
+            optimized_ms,
+            speedup: baseline_ms / optimized_ms,
+        }
+    }
 }
 
 /// The whole perf-smoke report.
@@ -105,6 +129,95 @@ fn hash_f64s(values: &[f64]) -> u64 {
     let mut h = FnvHasher::new();
     for v in values {
         v.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The pre-kernel (PR 3/4 era) logistic-regression training loop, verbatim:
+/// scalar dot products and one sequential gradient chain over all rows.
+/// Kept only as the measured baseline of the `lr_fit` mode comparison —
+/// production training lives in `frote_ml::logreg` on the kernel layer.
+/// Ends with the same encode + whole-dataset scoring pass the optimized
+/// leg's `predict_dataset` performs, so the two legs time identical work.
+fn naive_scalar_lr_fit(ds: &Dataset, params: &LogRegParams) -> u64 {
+    let encoder = Encoder::fit(ds);
+    let x = encoder.encode_dataset(ds);
+    let labels = ds.labels();
+    let (n, d, k) = (x.n_rows(), encoder.width(), ds.n_classes());
+    let mut weights = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
+    let mut probs = vec![0.0; k];
+    let mut grads = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
+    for _ in 0..params.max_iter {
+        grads.as_mut_slice().fill(0.0);
+        for (xi, &yi) in x.rows().zip(labels) {
+            for (o, w) in probs.iter_mut().zip(weights.rows()) {
+                let mut z = w[d];
+                for (wj, xj) in w[..d].iter().zip(xi) {
+                    z += wj * xj;
+                }
+                *o = z;
+            }
+            let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for o in probs.iter_mut() {
+                *o = (*o - max).exp();
+                sum += *o;
+            }
+            for o in probs.iter_mut() {
+                *o /= sum;
+            }
+            for (c, &p) in probs.iter().enumerate() {
+                let g = grads.row_mut(c);
+                let err = p - f64::from(c as u32 == yi);
+                for (gj, &xj) in g.iter_mut().zip(xi) {
+                    *gj += err * xj;
+                }
+                g[d] += err;
+            }
+        }
+        let inv_n = 1.0 / n as f64;
+        let mut max_grad: f64 = 0.0;
+        for c in 0..k {
+            let (w, g) = (weights.row_mut(c), grads.row(c));
+            for (j, (wj, &gj)) in w.iter_mut().zip(g).enumerate() {
+                let reg = if j < d { params.l2 * *wj } else { 0.0 };
+                let step = gj * inv_n + reg;
+                max_grad = max_grad.max(step.abs());
+                *wj -= params.learning_rate * step;
+            }
+        }
+        if max_grad < params.tol {
+            break;
+        }
+    }
+    // The scoring pass of the optimized leg, scalar-style: encode once,
+    // softmax-argmax every row.
+    let x = encoder.encode_dataset(ds);
+    let mut h = FnvHasher::new();
+    for xi in x.rows() {
+        for (o, w) in probs.iter_mut().zip(weights.rows()) {
+            let mut z = w[d];
+            for (wj, xj) in w[..d].iter().zip(xi) {
+                z += wj * xj;
+            }
+            *o = z;
+        }
+        let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for o in probs.iter_mut() {
+            *o = (*o - max).exp();
+            sum += *o;
+        }
+        for o in probs.iter_mut() {
+            *o /= sum;
+        }
+        let mut best = 0usize;
+        for (c, &p) in probs.iter().enumerate().skip(1) {
+            if p > probs[best] {
+                best = c;
+            }
+        }
+        (best as u32).hash(&mut h);
     }
     h.finish()
 }
@@ -193,26 +306,101 @@ fn main() {
     };
     let dt_exact = record("dt_fit_exact", threads, 2, || dt_fit(SplitMode::Exact));
     let dt_hist = record("dt_fit_hist", threads, 2, || dt_fit(SplitMode::histogram()));
-    mode_comparisons.push(ModeComparison {
-        name: "dt_fit".to_string(),
-        exact_ms: dt_exact.serial_ms,
-        histogram_ms: dt_hist.serial_ms,
-        speedup: dt_exact.serial_ms / dt_hist.serial_ms,
-    });
+    mode_comparisons.push(ModeComparison::new("dt_fit", dt_exact.serial_ms, dt_hist.serial_ms));
     benches.push(dt_exact);
     benches.push(dt_hist);
     let gbdt_exact = record("gbdt_fit_exact", threads, 2, || gbdt_fit(SplitMode::Exact));
     let gbdt_hist = record("gbdt_fit_hist", threads, 2, || gbdt_fit(SplitMode::histogram()));
-    mode_comparisons.push(ModeComparison {
-        name: "gbdt_fit".to_string(),
-        exact_ms: gbdt_exact.serial_ms,
-        histogram_ms: gbdt_hist.serial_ms,
-        speedup: gbdt_exact.serial_ms / gbdt_hist.serial_ms,
-    });
+    mode_comparisons.push(ModeComparison::new(
+        "gbdt_fit",
+        gbdt_exact.serial_ms,
+        gbdt_hist.serial_ms,
+    ));
     benches.push(gbdt_exact);
     benches.push(gbdt_hist);
 
-    // 7. One FROTE iteration end to end (select → generate → retrain).
+    // 7. The PR 5 kernel layer. `lr_fit`: the blocked/kernel logistic-
+    // regression fit, gated on its prediction digest and compared against
+    // the pre-kernel scalar gradient loop (reimplemented below as the
+    // measured baseline). The two arrange their f64 sums differently
+    // (blocked fixed-order vs one sequential chain), so only timings are
+    // compared here — the kernel path's own thread-determinism is what the
+    // serial/parallel digest pair pins.
+    let lr_params = LogRegParams { max_iter: 60, ..Default::default() };
+    let lr_fit = record("lr_fit", threads, 3, || {
+        let model = LogisticRegression::fit(&fit_ds, &lr_params);
+        hash_of(&model.predict_dataset(&fit_ds))
+    });
+    frote_par::set_threads(1);
+    let (naive_lr_ms, _) = time_best(3, || naive_scalar_lr_fit(&fit_ds, &lr_params));
+    mode_comparisons.push(ModeComparison::new("lr_fit", naive_lr_ms, lr_fit.serial_ms));
+    benches.push(lr_fit);
+
+    // 8. `knn_batch`: brute-force mixed-distance kNN over the columnar
+    // store — the block distance kernel under a parallel query fan-out.
+    let knn_rows: Vec<usize> = (0..scoring.n_rows()).step_by(16).collect();
+    let knn_cands: Vec<usize> = (0..scoring.n_rows()).collect();
+    let dist = MixedDistance::fit(&scoring, MixedMetric::SmoteNc);
+    benches.push(record("knn_batch", threads, 2, || {
+        let hits = k_nearest_of_rows(&scoring, &knn_rows, &knn_cands, 10, &dist);
+        let mut h = FnvHasher::new();
+        for n in hits.iter().flatten() {
+            (n.index as u64).hash(&mut h);
+            n.distance.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }));
+
+    // 9. `rf_hist_subsample`: per-node candidate-feature class histograms
+    // for forest-like nodes (√F sampled features, 500-row nodes — the
+    // deep-node regime where the full buffer's zero/reduce cost dominates
+    // the accumulate) on the wide Adult table, compact layout vs the
+    // pre-compact full-buffer baseline. Both layouts must produce identical
+    // counts, so the digests double as a correctness cross-check.
+    let binner = Binner::fit(&scoring, 64);
+    let codes = binner.bin_dataset(&scoring);
+    let mut node_rng = StdRng::seed_from_u64(99);
+    let m = (scoring.n_features() as f64).sqrt().round().max(1.0) as usize;
+    let nodes: Vec<(Vec<usize>, Vec<usize>)> = (0..400)
+        .map(|_| {
+            let indices: Vec<usize> =
+                (0..500).map(|_| node_rng.random_range(0..scoring.n_rows())).collect();
+            let mut features: Vec<usize> = (0..scoring.n_features()).collect();
+            features.shuffle(&mut node_rng);
+            features.truncate(m);
+            (indices, features)
+        })
+        .collect();
+    let hist_nodes = |compact: bool| {
+        let mut h = FnvHasher::new();
+        for (indices, features) in &nodes {
+            let hist = subsample_hist_probe(
+                &binner,
+                &codes,
+                scoring.labels(),
+                indices,
+                features,
+                scoring.n_classes(),
+                compact,
+            );
+            for v in &hist {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    };
+    let rf_hist = record("rf_hist_subsample", threads, 3, || hist_nodes(true));
+    frote_par::set_threads(1);
+    let (full_ms, full_digest) = time_best(3, || hist_nodes(false));
+    assert_eq!(
+        format!("{full_digest:016x}"),
+        rf_hist.output_fnv,
+        "compact and full-layout candidate histograms diverged"
+    );
+    mode_comparisons.push(ModeComparison::new("rf_hist_subsample", full_ms, rf_hist.serial_ms));
+    benches.push(rf_hist);
+
+    // 10. One FROTE iteration end to end (select → generate → retrain).
     let car = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
     let rule = parse_rule("safety = low AND buying = low => acc", car.schema()).expect("rule");
     let frs = FeedbackRuleSet::new(vec![rule]);
@@ -234,8 +422,8 @@ fn main() {
     }
     for m in &mode_comparisons {
         println!(
-            "  {:<22} exact {:>8.2} ms | histogram {:>8.2} ms | speedup {:>5.2}x",
-            m.name, m.exact_ms, m.histogram_ms, m.speedup
+            "  {:<22} baseline {:>8.2} ms | optimized {:>8.2} ms | speedup {:>5.2}x",
+            m.name, m.baseline_ms, m.optimized_ms, m.speedup
         );
     }
 

@@ -375,6 +375,10 @@ impl BinnedMatrix {
 pub struct BinnedCache {
     binner: Binner,
     codes: BinnedMatrix,
+    /// Set by [`BinnedCache::truncate`]: the stored binner may have been
+    /// fitted on since-dropped rows, so the next [`BinnedCache::sync`] must
+    /// re-check the fit even when the row counts already match.
+    stale_fit: bool,
 }
 
 impl BinnedCache {
@@ -382,7 +386,7 @@ impl BinnedCache {
     pub fn fit(ds: &Dataset, max_bins: usize) -> BinnedCache {
         let binner = Binner::fit(ds, max_bins);
         let codes = binner.bin_dataset(ds);
-        BinnedCache { binner, codes }
+        BinnedCache { binner, codes, stale_fit: false }
     }
 
     /// Brings the cache in sync with `ds`, whose leading `codes().n_rows()`
@@ -390,9 +394,10 @@ impl BinnedCache {
     /// update was incremental (edges unchanged — only new rows were binned)
     /// and `false` when a full re-bin was required.
     pub fn sync(&mut self, ds: &Dataset) -> bool {
-        if ds.n_rows() == self.codes.n_rows() {
+        if !self.stale_fit && ds.n_rows() == self.codes.n_rows() {
             return true; // unchanged dataset: even the refit can be skipped
         }
+        self.stale_fit = false;
         let refit = Binner::fit(ds, self.binner.max_bins());
         if refit == self.binner {
             self.binner.append(ds, &mut self.codes);
@@ -405,8 +410,14 @@ impl BinnedCache {
     }
 
     /// Drops cached codes past the first `rows` rows (rejecting a candidate
-    /// batch without re-binning the survivors).
+    /// batch without re-binning the survivors). The surviving codes stay
+    /// valid — a row's codes depend only on the binner — but the binner
+    /// itself may have been refitted on the dropped rows, so the next
+    /// [`BinnedCache::sync`] re-checks the fit.
     pub fn truncate(&mut self, rows: usize) {
+        if rows < self.codes.n_rows() {
+            self.stale_fit = true;
+        }
         self.codes.truncate_rows(rows);
     }
 
@@ -554,6 +565,23 @@ mod tests {
         cache.truncate(5);
         assert_eq!(cache.codes().n_rows(), 5);
         assert!(cache.sync(&ds));
+        assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
+    }
+
+    #[test]
+    fn truncate_after_rebin_restores_the_original_fit() {
+        // A candidate row moves the bin edges (full re-bin), then is
+        // rejected: truncate must leave the cache able to recover the
+        // original binner on the next sync, even though the row counts
+        // already match.
+        let ds = mixed();
+        let mut cache = BinnedCache::fit(&ds, 16);
+        let mut candidate = ds.clone();
+        candidate.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
+        assert!(!cache.sync(&candidate), "edges moved: full re-bin");
+        cache.truncate(ds.n_rows());
+        cache.sync(&ds);
+        assert_eq!(cache.binner(), &Binner::fit(&ds, 16), "fit restored after rollback");
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
     }
 

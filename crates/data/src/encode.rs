@@ -171,6 +171,10 @@ impl Encoder {
 pub struct EncodedCache {
     encoder: Encoder,
     matrix: FeatureMatrix,
+    /// Set by [`EncodedCache::truncate`]: the stored encoder may have been
+    /// fitted on since-dropped rows, so the next [`EncodedCache::sync`] must
+    /// re-check the fit even when the row counts already match.
+    stale_fit: bool,
 }
 
 impl EncodedCache {
@@ -178,7 +182,7 @@ impl EncodedCache {
     pub fn fit(ds: &Dataset) -> EncodedCache {
         let encoder = Encoder::fit(ds);
         let matrix = encoder.encode_dataset(ds);
-        EncodedCache { encoder, matrix }
+        EncodedCache { encoder, matrix, stale_fit: false }
     }
 
     /// Brings the cache in sync with `ds`, whose leading `matrix().n_rows()`
@@ -187,9 +191,10 @@ impl EncodedCache {
     /// parameters unchanged — only new rows were encoded) and `false` when a
     /// full re-encode was required.
     pub fn sync(&mut self, ds: &Dataset) -> bool {
-        if ds.n_rows() == self.matrix.n_rows() {
+        if !self.stale_fit && ds.n_rows() == self.matrix.n_rows() {
             return true; // unchanged dataset: even the refit can be skipped
         }
+        self.stale_fit = false;
         let refit = Encoder::fit(ds);
         if refit == self.encoder {
             self.encoder.encode_append(ds, &mut self.matrix);
@@ -202,8 +207,14 @@ impl EncodedCache {
     }
 
     /// Drops cached encodings past the first `rows` rows (rejecting a
-    /// candidate batch without re-encoding the survivors).
+    /// candidate batch without re-encoding the survivors). The surviving
+    /// rows stay valid — cell encodings depend only on the encoder — but the
+    /// encoder itself may have been refitted on the dropped rows, so the
+    /// next [`EncodedCache::sync`] re-checks the fit.
     pub fn truncate(&mut self, rows: usize) {
+        if rows < self.matrix.n_rows() {
+            self.stale_fit = true;
+        }
         self.matrix.truncate_rows(rows);
     }
 
@@ -322,6 +333,23 @@ mod tests {
         cache.truncate(1);
         assert_eq!(cache.matrix().n_rows(), 1);
         assert!(cache.sync(&ds));
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+    }
+
+    #[test]
+    fn truncate_after_refit_restores_the_original_fit() {
+        // A candidate row moves the numeric stats (full re-encode), then is
+        // rejected: truncate must leave the cache able to recover the
+        // original encoder on the next sync, even though the row counts
+        // already match.
+        let ds = demo();
+        let mut cache = EncodedCache::fit(&ds);
+        let mut candidate = ds.clone();
+        candidate.push_row(&[Value::Num(100.0), Value::Cat(1)], 0).unwrap();
+        assert!(!cache.sync(&candidate), "stats moved: full re-encode");
+        cache.truncate(ds.n_rows());
+        cache.sync(&ds);
+        assert_eq!(cache.encoder(), &Encoder::fit(&ds), "fit restored after rollback");
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
     }
 

@@ -22,6 +22,7 @@ use std::collections::BinaryHeap;
 
 use frote_data::FeatureMatrix;
 
+use crate::kernels;
 use crate::knn::Neighbor;
 
 const LEAF_SIZE: usize = 16;
@@ -207,9 +208,7 @@ fn centroid(points: &FeatureMatrix, order: &[usize]) -> Vec<f64> {
     let dim = points.width();
     let mut c = vec![0.0; dim];
     for &i in order {
-        for (acc, &x) in c.iter_mut().zip(points.row(i)) {
-            *acc += x;
-        }
+        kernels::add_assign(&mut c, points.row(i));
     }
     let n = order.len() as f64;
     for x in &mut c {
@@ -262,8 +261,11 @@ impl Ord for HeapItem {
     }
 }
 
+/// Euclidean distance via the shared squared-distance kernel — both the
+/// pruning bounds and the leaf scans run on it. Bit-identical to the naive
+/// `Σ (a[i]−b[i])²` fold this file used before the kernel layer existed.
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    kernels::sq_dist(a, b).sqrt()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! penalty degenerates to 0).
 
 use frote_data::stats::DatasetStats;
-use frote_data::{Dataset, Value};
+use frote_data::{Column, Dataset, Value};
 
 /// Which mixed-distance formula to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,13 +24,24 @@ pub enum MixedMetric {
     Heom,
 }
 
+/// One feature's step of the fitted distance plan, in schema order.
+/// Splitting the plan by kind at fit time lets the hot loops read typed
+/// column slices directly instead of matching a [`Value`] per cell.
+#[derive(Debug, Clone, Copy)]
+enum FeatStep {
+    /// Numeric feature: accumulate `((x − y) / scale)²`.
+    Num { feature: usize, scale: f64 },
+    /// Categorical feature: accumulate `penalty²` on mismatch.
+    Cat { feature: usize },
+}
+
 /// A fitted mixed-type distance.
 #[derive(Debug, Clone)]
 pub struct MixedDistance {
     metric: MixedMetric,
-    /// Per-feature scale: numeric features get `Some(scale)` (divisor for
-    /// differences under HEOM, 1.0 under SMOTE-NC), categorical get `None`.
-    numeric_scale: Vec<Option<f64>>,
+    /// Per-feature steps in schema order — the accumulation order is part
+    /// of the byte-identical contract, so the plan never reorders features.
+    plan: Vec<FeatStep>,
     nominal_penalty: f64,
 }
 
@@ -38,18 +49,24 @@ impl MixedDistance {
     /// Fits the distance to `ds` under `metric`.
     pub fn fit(ds: &Dataset, metric: MixedMetric) -> Self {
         let stats = DatasetStats::of(ds);
-        let mut numeric_scale = Vec::with_capacity(ds.n_features());
+        let mut plan = Vec::with_capacity(ds.n_features());
         for j in 0..ds.n_features() {
-            numeric_scale.push(stats.numeric(j).map(|s| match metric {
-                MixedMetric::SmoteNc => 1.0,
-                MixedMetric::Heom => {
-                    if s.range() > 0.0 {
-                        s.range()
-                    } else {
-                        1.0
-                    }
+            plan.push(match stats.numeric(j) {
+                Some(s) => {
+                    let scale = match metric {
+                        MixedMetric::SmoteNc => 1.0,
+                        MixedMetric::Heom => {
+                            if s.range() > 0.0 {
+                                s.range()
+                            } else {
+                                1.0
+                            }
+                        }
+                    };
+                    FeatStep::Num { feature: j, scale }
                 }
-            }));
+                None => FeatStep::Cat { feature: j },
+            });
         }
         let nominal_penalty = match metric {
             MixedMetric::SmoteNc => {
@@ -62,7 +79,7 @@ impl MixedDistance {
             }
             MixedMetric::Heom => 1.0,
         };
-        MixedDistance { metric, numeric_scale, nominal_penalty }
+        MixedDistance { metric, plan, nominal_penalty }
     }
 
     /// The metric this instance was fitted with.
@@ -81,21 +98,27 @@ impl MixedDistance {
     ///
     /// Panics if the rows' arity or kinds do not match the fitted dataset.
     pub fn distance(&self, a: &[Value], b: &[Value]) -> f64 {
-        assert_eq!(a.len(), self.numeric_scale.len(), "row arity mismatch");
-        assert_eq!(b.len(), self.numeric_scale.len(), "row arity mismatch");
+        assert_eq!(a.len(), self.plan.len(), "row arity mismatch");
+        assert_eq!(b.len(), self.plan.len(), "row arity mismatch");
+        let pp = self.nominal_penalty * self.nominal_penalty;
         let mut acc = 0.0;
-        for (j, scale) in self.numeric_scale.iter().enumerate() {
-            match (scale, a[j], b[j]) {
-                (Some(s), Value::Num(x), Value::Num(y)) => {
-                    let d = (x - y) / s;
-                    acc += d * d;
-                }
-                (None, Value::Cat(x), Value::Cat(y)) => {
-                    if x != y {
-                        acc += self.nominal_penalty * self.nominal_penalty;
+        for step in &self.plan {
+            match *step {
+                FeatStep::Num { feature, scale } => match (a[feature], b[feature]) {
+                    (Value::Num(x), Value::Num(y)) => {
+                        let d = (x - y) / scale;
+                        acc += d * d;
                     }
-                }
-                _ => panic!("row kind mismatch at feature {j}"),
+                    _ => panic!("row kind mismatch at feature {feature}"),
+                },
+                FeatStep::Cat { feature } => match (a[feature], b[feature]) {
+                    (Value::Cat(x), Value::Cat(y)) => {
+                        if x != y {
+                            acc += pp;
+                        }
+                    }
+                    _ => panic!("row kind mismatch at feature {feature}"),
+                },
             }
         }
         acc.sqrt()
@@ -109,20 +132,30 @@ impl MixedDistance {
     ///
     /// Panics if `query`'s arity or kinds do not match the fitted dataset.
     pub fn distance_to_row(&self, query: &[Value], ds: &Dataset, i: usize) -> f64 {
-        assert_eq!(query.len(), self.numeric_scale.len(), "row arity mismatch");
+        assert_eq!(query.len(), self.plan.len(), "row arity mismatch");
+        let pp = self.nominal_penalty * self.nominal_penalty;
         let mut acc = 0.0;
-        for (j, scale) in self.numeric_scale.iter().enumerate() {
-            match (scale, query[j], ds.cell(i, j)) {
-                (Some(s), Value::Num(x), Value::Num(y)) => {
-                    let d = (x - y) / s;
+        for step in &self.plan {
+            match *step {
+                FeatStep::Num { feature, scale } => {
+                    let (Value::Num(x), Column::Numeric(col)) =
+                        (query[feature], ds.column(feature))
+                    else {
+                        panic!("row kind mismatch at feature {feature}");
+                    };
+                    let d = (x - col[i]) / scale;
                     acc += d * d;
                 }
-                (None, Value::Cat(x), Value::Cat(y)) => {
-                    if x != y {
-                        acc += self.nominal_penalty * self.nominal_penalty;
+                FeatStep::Cat { feature } => {
+                    let (Value::Cat(x), Column::Categorical(col)) =
+                        (query[feature], ds.column(feature))
+                    else {
+                        panic!("row kind mismatch at feature {feature}");
+                    };
+                    if x != col[i] {
+                        acc += pp;
                     }
                 }
-                _ => panic!("row kind mismatch at feature {j}"),
             }
         }
         acc.sqrt()
@@ -131,22 +164,127 @@ impl MixedDistance {
     /// Distance between two rows of `ds` by index (avoids materializing
     /// rows).
     pub fn distance_between(&self, ds: &Dataset, i: usize, j: usize) -> f64 {
+        let pp = self.nominal_penalty * self.nominal_penalty;
         let mut acc = 0.0;
-        for (f, scale) in self.numeric_scale.iter().enumerate() {
-            match (scale, ds.value(i, f), ds.value(j, f)) {
-                (Some(s), Value::Num(x), Value::Num(y)) => {
-                    let d = (x - y) / s;
-                    acc += d * d;
-                }
-                (None, Value::Cat(x), Value::Cat(y)) => {
-                    if x != y {
-                        acc += self.nominal_penalty * self.nominal_penalty;
+        for step in &self.plan {
+            match *step {
+                FeatStep::Num { feature, scale } => match ds.column(feature) {
+                    Column::Numeric(col) => {
+                        let d = (col[i] - col[j]) / scale;
+                        acc += d * d;
                     }
-                }
-                _ => unreachable!("dataset columns are internally consistent"),
+                    Column::Categorical(_) => {
+                        unreachable!("dataset columns are internally consistent")
+                    }
+                },
+                FeatStep::Cat { feature } => match ds.column(feature) {
+                    Column::Categorical(col) => {
+                        if col[i] != col[j] {
+                            acc += pp;
+                        }
+                    }
+                    Column::Numeric(_) => {
+                        unreachable!("dataset columns are internally consistent")
+                    }
+                },
             }
         }
         acc.sqrt()
+    }
+
+    /// Squared distances from `query` to every candidate row, written into
+    /// `out` (`out[p]` for `candidates[p]`) — the block form of
+    /// [`MixedDistance::distance_to_row`] the kNN scans run on. One pass per
+    /// feature streams the typed column while the candidate accumulators
+    /// stay contiguous, so the numeric passes autovectorize; categorical
+    /// passes compare codes scalar-wise. Each accumulator folds features in
+    /// schema order, making every `out[p]` bit-identical to
+    /// `distance_to_row(query, ds, candidates[p])²` before its square root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query`'s arity or kinds do not match the fitted dataset.
+    pub fn mixed_sq_dist_block(
+        &self,
+        ds: &Dataset,
+        query: &[Value],
+        candidates: &[usize],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(query.len(), self.plan.len(), "row arity mismatch");
+        let pp = self.nominal_penalty * self.nominal_penalty;
+        out.clear();
+        out.resize(candidates.len(), 0.0);
+        for step in &self.plan {
+            match *step {
+                FeatStep::Num { feature, scale } => {
+                    let (Value::Num(x), Column::Numeric(col)) =
+                        (query[feature], ds.column(feature))
+                    else {
+                        panic!("row kind mismatch at feature {feature}");
+                    };
+                    for (acc, &c) in out.iter_mut().zip(candidates) {
+                        let d = (x - col[c]) / scale;
+                        *acc += d * d;
+                    }
+                }
+                FeatStep::Cat { feature } => {
+                    let (Value::Cat(x), Column::Categorical(col)) =
+                        (query[feature], ds.column(feature))
+                    else {
+                        panic!("row kind mismatch at feature {feature}");
+                    };
+                    for (acc, &c) in out.iter_mut().zip(candidates) {
+                        if x != col[c] {
+                            *acc += pp;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`MixedDistance::mixed_sq_dist_block`] with row `i` of `ds` as the
+    /// query — the block form of [`MixedDistance::distance_between`].
+    pub fn mixed_sq_dist_block_rows(
+        &self,
+        ds: &Dataset,
+        i: usize,
+        candidates: &[usize],
+        out: &mut Vec<f64>,
+    ) {
+        let pp = self.nominal_penalty * self.nominal_penalty;
+        out.clear();
+        out.resize(candidates.len(), 0.0);
+        for step in &self.plan {
+            match *step {
+                FeatStep::Num { feature, scale } => match ds.column(feature) {
+                    Column::Numeric(col) => {
+                        let x = col[i];
+                        for (acc, &c) in out.iter_mut().zip(candidates) {
+                            let d = (x - col[c]) / scale;
+                            *acc += d * d;
+                        }
+                    }
+                    Column::Categorical(_) => {
+                        unreachable!("dataset columns are internally consistent")
+                    }
+                },
+                FeatStep::Cat { feature } => match ds.column(feature) {
+                    Column::Categorical(col) => {
+                        let x = col[i];
+                        for (acc, &c) in out.iter_mut().zip(candidates) {
+                            if x != col[c] {
+                                *acc += pp;
+                            }
+                        }
+                    }
+                    Column::Numeric(_) => {
+                        unreachable!("dataset columns are internally consistent")
+                    }
+                },
+            }
+        }
     }
 }
 
@@ -237,5 +375,37 @@ mod tests {
         let ds = mixed_ds();
         let d = MixedDistance::fit(&ds, MixedMetric::Heom);
         d.distance(&[Value::Num(0.0)], &[Value::Num(1.0)]);
+    }
+
+    #[test]
+    fn block_kernels_match_per_pair_distances_bit_for_bit() {
+        let ds = mixed_ds();
+        let all: Vec<usize> = (0..ds.n_rows()).collect();
+        let mut sq = Vec::new();
+        for metric in [MixedMetric::SmoteNc, MixedMetric::Heom] {
+            let d = MixedDistance::fit(&ds, metric);
+            for i in 0..ds.n_rows() {
+                d.mixed_sq_dist_block_rows(&ds, i, &all, &mut sq);
+                for (&j, &dd) in all.iter().zip(&sq) {
+                    let single = d.distance_between(&ds, i, j);
+                    assert_eq!(dd.sqrt().to_bits(), single.to_bits(), "rows {i},{j} {metric:?}");
+                }
+                let query = ds.row(i);
+                d.mixed_sq_dist_block(&ds, &query, &all, &mut sq);
+                for (&j, &dd) in all.iter().zip(&sq) {
+                    let single = d.distance_to_row(&query, &ds, j);
+                    assert_eq!(dd.sqrt().to_bits(), single.to_bits(), "query {i} row {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch at feature 0")]
+    fn block_query_kind_mismatch_panics() {
+        let ds = mixed_ds();
+        let d = MixedDistance::fit(&ds, MixedMetric::SmoteNc);
+        let mut out = Vec::new();
+        d.mixed_sq_dist_block(&ds, &[Value::Cat(0), Value::Cat(0)], &[0], &mut out);
     }
 }

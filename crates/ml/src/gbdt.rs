@@ -11,6 +11,7 @@
 use frote_data::{BinnedCache, BinnedMatrix, Binner, Column, Dataset, FeatureMatrix, Value};
 
 use crate::histogram::{HistContext, SplitMode};
+use crate::kernels;
 use crate::traits::{argmax, Classifier, TrainAlgorithm, TrainCache, PREDICT_BLOCK};
 use crate::tree::SplitTest;
 
@@ -151,7 +152,7 @@ impl RegressionTree {
         }
         let hist = hist.unwrap_or_else(|| ctx.reg_hist(targets, indices));
         let n = indices.len() as f64;
-        let total: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let total = kernels::gather_sum(targets, indices);
         let best = ctx.find_best_regression_split(&hist, n, total, params.min_samples_leaf);
         match best {
             None => {
@@ -213,8 +214,8 @@ impl RegressionTree {
 }
 
 fn newton_value(indices: &[usize], targets: &[f64], hessians: &[f64]) -> f64 {
-    let g: f64 = indices.iter().map(|&i| targets[i]).sum();
-    let h: f64 = indices.iter().map(|&i| hessians[i]).sum();
+    let g = kernels::gather_sum(targets, indices);
+    let h = kernels::gather_sum(hessians, indices);
     if h.abs() < 1e-12 {
         0.0
     } else {
@@ -231,7 +232,7 @@ fn best_regression_split(
     min_leaf: usize,
 ) -> Option<SplitTest> {
     let n = indices.len() as f64;
-    let total: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let total = kernels::gather_sum(targets, indices);
     let mut best: Option<(f64, SplitTest)> = None;
     for f in 0..ds.n_features() {
         match ds.column(f) {
@@ -352,7 +353,7 @@ impl Gbdt {
         let mut hessians = FeatureMatrix::from_raw(n, vec![0.0; n * k]);
         for _ in 0..params.n_rounds {
             for i in 0..n {
-                softmax_into(scores.row(i), &mut probs);
+                kernels::softmax_into(scores.row(i), &mut probs);
                 let y = ds.label(i) as usize;
                 for (c, &p) in probs.iter().enumerate() {
                     residuals.row_mut(c)[i] = f64::from(c == y) - p;
@@ -440,18 +441,6 @@ impl RegressionTree {
     }
 }
 
-fn softmax_into(scores: &[f64], out: &mut [f64]) {
-    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut sum = 0.0;
-    for (o, &s) in out.iter_mut().zip(scores) {
-        *o = (s - max).exp();
-        sum += *o;
-    }
-    for o in out.iter_mut() {
-        *o /= sum;
-    }
-}
-
 impl Classifier for Gbdt {
     fn n_classes(&self) -> usize {
         self.n_classes
@@ -462,7 +451,7 @@ impl Classifier for Gbdt {
         self.raw_scores_into(row, &mut s);
         out.clear();
         out.resize(self.n_classes, 0.0);
-        softmax_into(&s, out);
+        kernels::softmax_into(&s, out);
     }
 
     fn predict(&self, row: &[Value]) -> u32 {

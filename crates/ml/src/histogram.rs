@@ -175,10 +175,38 @@ impl<'a> HistContext<'a> {
         }
     }
 
-    /// Per-(feature, bin, class) counts for the node's rows over
-    /// `features`, as one flat `total_bins * n_classes` buffer. Built in
-    /// parallel over fixed row blocks and reduced in block order
-    /// (bit-identical at any thread count; counts are exact integers).
+    /// Compact candidate layout for a node's sampled `features`: the flat
+    /// bin offset of each candidate (parallel to `features`, in the given —
+    /// possibly shuffled — order) and the total candidate slot count. Under
+    /// RF's √F per-node subsampling this is what lets a node allocate, zero,
+    /// and reduce only the sampled features' bins instead of the full
+    /// `total_bins × n_classes` buffer; with `features = 0..n_features()`
+    /// it degenerates to the full layout (`offsets() == candidate offsets`),
+    /// which is what keeps sibling subtraction valid.
+    pub(crate) fn candidate_layout(&self, features: &[usize]) -> (Vec<usize>, usize) {
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.n_features()];
+                features.iter().all(|&f| !std::mem::replace(&mut seen[f], true))
+            },
+            "candidate features must be distinct"
+        );
+        let mut offsets = Vec::with_capacity(features.len());
+        let mut total = 0usize;
+        for &f in features {
+            offsets.push(total);
+            total += self.n_bins(f);
+        }
+        (offsets, total)
+    }
+
+    /// Per-(candidate-feature, bin, class) counts for the node's rows over
+    /// `features`, as one flat compact buffer laid out by
+    /// [`HistContext::candidate_layout`] — only the sampled features'
+    /// `Σ n_bins(f) × n_classes` slots exist, so nothing is allocated,
+    /// zeroed, or reduced for unsampled features. Built in parallel over
+    /// fixed row blocks and reduced in block order (bit-identical at any
+    /// thread count; counts are exact integers).
     pub(crate) fn class_hist(
         &self,
         labels: &[u32],
@@ -186,13 +214,26 @@ impl<'a> HistContext<'a> {
         features: &[usize],
         n_classes: usize,
     ) -> Vec<f64> {
-        let size = self.total_bins * n_classes;
-        self.build_hist(indices, size, |i, h| {
+        let (offsets, total) = self.candidate_layout(features);
+        let size = total * n_classes;
+        let hist = self.build_hist(indices, size, |i, h| {
             let y = labels[i] as usize;
-            for &f in features {
-                h[self.slot(i, f) * n_classes + y] += 1.0;
+            for (p, &f) in features.iter().enumerate() {
+                h[(offsets[p] + self.codes.code(i, f)) * n_classes + y] += 1.0;
             }
-        })
+        });
+        // Every sampled feature's bins partition the node's rows; together
+        // with the compact allocation this proves no slot outside the
+        // sampled features' blocks was ever written (there are none).
+        debug_assert!(
+            features.iter().enumerate().all(|(p, &f)| {
+                let block =
+                    &hist[offsets[p] * n_classes..(offsets[p] + self.n_bins(f)) * n_classes];
+                block.iter().sum::<f64>() == indices.len() as f64
+            }),
+            "candidate histogram blocks must each count every node row exactly once"
+        );
+        hist
     }
 
     /// Per-(feature, bin) `(count, target-sum)` pairs for the node's rows,
@@ -243,10 +284,13 @@ impl<'a> HistContext<'a> {
         }
     }
 
-    /// Gini-optimal split over `features` read from a class histogram —
-    /// the quantized mirror of the exact `find_best_split`: same candidate
-    /// order (features as given; boundaries ascending), same strict-`<`
-    /// tie-breaking, same `min_leaf` and minimum-gain filters.
+    /// Gini-optimal split over `features` read from a compact candidate
+    /// histogram (the [`HistContext::class_hist`] layout) — the quantized
+    /// mirror of the exact `find_best_split`: same candidate order (features
+    /// as given; boundaries ascending), same strict-`<` tie-breaking, same
+    /// `min_leaf` and minimum-gain filters. The layout remap cannot move a
+    /// decision: each feature's block holds the same counts at the same
+    /// within-feature positions as the full layout did.
     pub(crate) fn find_best_split(
         &self,
         hist: &[f64],
@@ -255,13 +299,15 @@ impl<'a> HistContext<'a> {
         n_classes: usize,
         min_leaf: usize,
     ) -> Option<BinSplit> {
+        let (offsets, total) = self.candidate_layout(features);
+        debug_assert_eq!(hist.len(), total * n_classes, "histogram/layout size mismatch");
         let n: f64 = parent_counts.iter().sum();
         let parent_gini = gini(parent_counts, n);
         let mut best: Option<(f64, BinSplit)> = None;
         let mut left_counts = vec![0.0; n_classes];
-        for &f in features {
+        for (p, &f) in features.iter().enumerate() {
             let bins = self.n_bins(f);
-            let base = self.offsets[f];
+            let base = offsets[p];
             let feature_best = if self.binner.is_numeric(f) {
                 self.best_numeric(hist, f, base, bins, parent_counts, &mut left_counts, min_leaf, n)
             } else {
@@ -411,6 +457,47 @@ pub(crate) fn gini(counts: &[f64], total: f64) -> f64 {
     1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
 }
 
+/// Builds one node's candidate-feature class histogram and returns it in
+/// candidate order (one `n_bins(f) × n_classes` block per entry of
+/// `features`). With `compact = true` this is the production
+/// [`HistContext::class_hist`] path; with `compact = false` it reproduces
+/// the pre-compact baseline — allocate, zero, and reduce the **full**
+/// `total_bins × n_classes` buffer even though only the sampled features'
+/// slots are written — and then gathers the sampled blocks so both modes
+/// return identical values. Kept (hidden) as the measured baseline of the
+/// `rf_hist_subsample` perfsmoke probe and the layout-equivalence tests.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)] // bench-harness entry point, not API
+pub fn subsample_hist_probe(
+    binner: &Binner,
+    codes: &BinnedMatrix,
+    labels: &[u32],
+    indices: &[usize],
+    features: &[usize],
+    n_classes: usize,
+    compact: bool,
+) -> Vec<f64> {
+    let ctx = HistContext::new(binner, codes);
+    if compact {
+        return ctx.class_hist(labels, indices, features, n_classes);
+    }
+    // The pre-compact full layout, verbatim: every feature's slots exist
+    // and the whole buffer is zeroed and block-reduced.
+    let size = ctx.total_bins * n_classes;
+    let full = ctx.build_hist(indices, size, |i, h| {
+        let y = labels[i] as usize;
+        for &f in features {
+            h[ctx.slot(i, f) * n_classes + y] += 1.0;
+        }
+    });
+    let mut gathered = Vec::new();
+    for &f in features {
+        let base = ctx.offsets[f];
+        gathered.extend_from_slice(&full[base * n_classes..(base + ctx.n_bins(f)) * n_classes]);
+    }
+    gathered
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +627,118 @@ mod tests {
         let split =
             ctx.find_best_regression_split(&hist, 30.0, 0.0, 1).expect("step target has a split");
         assert_eq!(split, BinSplit::NumLe { feature: 0, bin: 14 });
+    }
+
+    /// The pre-compact split search, verbatim: scan `features` against the
+    /// full-layout histogram with `offsets[f]` bases. The compact search
+    /// must reproduce its decisions exactly.
+    fn full_layout_best_split(
+        ctx: &HistContext,
+        full: &[f64],
+        features: &[usize],
+        parent_counts: &[f64],
+        min_leaf: usize,
+    ) -> Option<BinSplit> {
+        let n_classes = parent_counts.len();
+        let n: f64 = parent_counts.iter().sum();
+        let parent_gini = gini(parent_counts, n);
+        let mut best: Option<(f64, BinSplit)> = None;
+        let mut left_counts = vec![0.0; n_classes];
+        for &f in features {
+            let bins = ctx.n_bins(f);
+            let base = ctx.offsets[f];
+            let feature_best = if ctx.binner.is_numeric(f) {
+                ctx.best_numeric(full, f, base, bins, parent_counts, &mut left_counts, min_leaf, n)
+            } else {
+                ctx.best_categorical(full, f, base, bins, parent_counts, min_leaf, n)
+            };
+            if let Some((child_gini, split)) = feature_best {
+                let gain = parent_gini - child_gini;
+                if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _)| child_gini < *bg) {
+                    best = Some((child_gini, split));
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    #[test]
+    fn compact_candidate_hist_matches_full_layout() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        for kind in [DatasetKind::WineQuality, DatasetKind::Adult] {
+            let ds = kind.generate(&SynthConfig { n_rows: 800, ..Default::default() });
+            let binner = Binner::fit(&ds, 32);
+            let codes = binner.bin_dataset(&ds);
+            let mut rng = StdRng::seed_from_u64(17);
+            for node in 0..25 {
+                // A forest-like node: a bootstrap row sample and a shuffled
+                // √F candidate feature subset.
+                let indices: Vec<usize> =
+                    (0..400).map(|_| rng.random_range(0..ds.n_rows())).collect();
+                let mut features: Vec<usize> = (0..ds.n_features()).collect();
+                features.shuffle(&mut rng);
+                features.truncate((ds.n_features() as f64).sqrt().round().max(1.0) as usize);
+                let compact = subsample_hist_probe(
+                    &binner,
+                    &codes,
+                    ds.labels(),
+                    &indices,
+                    &features,
+                    ds.n_classes(),
+                    true,
+                );
+                let full = subsample_hist_probe(
+                    &binner,
+                    &codes,
+                    ds.labels(),
+                    &indices,
+                    &features,
+                    ds.n_classes(),
+                    false,
+                );
+                assert_eq!(compact, full, "{}: node {node} layouts disagree", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compact_split_search_matches_full_layout_on_seeded_forest_nodes() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        for kind in [DatasetKind::WineQuality, DatasetKind::Car, DatasetKind::Adult] {
+            let ds = kind.generate(&SynthConfig { n_rows: 600, ..Default::default() });
+            let k = ds.n_classes();
+            let binner = Binner::fit(&ds, 32);
+            let codes = binner.bin_dataset(&ds);
+            let ctx = HistContext::new(&binner, &codes);
+            let mut rng = StdRng::seed_from_u64(29);
+            for node in 0..40 {
+                let indices: Vec<usize> =
+                    (0..300).map(|_| rng.random_range(0..ds.n_rows())).collect();
+                let mut features: Vec<usize> = (0..ds.n_features()).collect();
+                features.shuffle(&mut rng);
+                features.truncate(rng.random_range(1..=ds.n_features()));
+                let mut parent_counts = vec![0.0; k];
+                for &i in &indices {
+                    parent_counts[ds.label(i) as usize] += 1.0;
+                }
+                let compact_hist = ctx.class_hist(ds.labels(), &indices, &features, k);
+                let compact = ctx.find_best_split(&compact_hist, &features, &parent_counts, k, 2);
+                // Full-layout reference: pre-compact build + pre-compact scan.
+                let size = ctx.total_bins * k;
+                let full_hist = ctx.build_hist(&indices, size, |i, h| {
+                    let y = ds.label(i) as usize;
+                    for &f in &features {
+                        h[ctx.slot(i, f) * k + y] += 1.0;
+                    }
+                });
+                let full = full_layout_best_split(&ctx, &full_hist, &features, &parent_counts, 2);
+                assert_eq!(compact, full, "{}: node {node} split drifted", kind.name());
+            }
+        }
     }
 
     // The set/get round trip of the process-wide default lives in

@@ -46,6 +46,12 @@ impl Ord for HeapItem {
     }
 }
 
+/// Candidates per distance block: squared distances for a whole block are
+/// computed feature-major by [`MixedDistance::mixed_sq_dist_block`] before
+/// any heap bookkeeping. Block boundaries never affect results — every
+/// candidate's accumulator folds features in the same order regardless.
+const SCAN_BLOCK: usize = 256;
+
 /// Finds the `k` nearest rows to `query` among `candidates` (row indices of
 /// `ds`), excluding any candidate equal to `exclude` (pass `usize::MAX` to
 /// keep all).
@@ -60,9 +66,9 @@ pub fn k_nearest(
     exclude: usize,
     dist: &MixedDistance,
 ) -> Vec<Neighbor> {
-    // Candidate rows are read straight from the columnar store
-    // (`distance_to_row`); neither side of the comparison materializes a row.
-    scan(candidates, k, exclude, |c| dist.distance_to_row(query, ds, c))
+    // Candidate rows are read straight from the columnar store by the block
+    // kernel; neither side of the comparison materializes a row.
+    scan(candidates, k, exclude, |chunk, out| dist.mixed_sq_dist_block(ds, query, chunk, out))
 }
 
 /// Convenience: neighbours of row `i` of `ds` among `candidates`, excluding
@@ -74,27 +80,34 @@ pub fn k_nearest_of_row(
     k: usize,
     dist: &MixedDistance,
 ) -> Vec<Neighbor> {
-    scan(candidates, k, i, |c| dist.distance_between(ds, i, c))
+    scan(candidates, k, i, |chunk, out| dist.mixed_sq_dist_block_rows(ds, i, chunk, out))
 }
 
-/// The shared bounded-heap linear scan.
+/// The shared bounded-heap scan: squared distances arrive per block from
+/// the mixed-distance kernel, take their square root (so ordering and ties
+/// match the historical per-candidate scan bit for bit), and feed the
+/// max-heap in candidate order.
 fn scan(
     candidates: &[usize],
     k: usize,
     exclude: usize,
-    distance_to: impl Fn(usize) -> f64,
+    mut block_sq_dists: impl FnMut(&[usize], &mut Vec<f64>),
 ) -> Vec<Neighbor> {
     if k == 0 {
         return Vec::new();
     }
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-    for &c in candidates {
-        if c == exclude {
-            continue;
-        }
-        heap.push(HeapItem(Neighbor { index: c, distance: distance_to(c) }));
-        if heap.len() > k {
-            heap.pop();
+    let mut sq = Vec::with_capacity(SCAN_BLOCK.min(candidates.len()));
+    for chunk in candidates.chunks(SCAN_BLOCK) {
+        block_sq_dists(chunk, &mut sq);
+        for (&c, &dd) in chunk.iter().zip(&sq) {
+            if c == exclude {
+                continue;
+            }
+            heap.push(HeapItem(Neighbor { index: c, distance: dd.sqrt() }));
+            if heap.len() > k {
+                heap.pop();
+            }
         }
     }
     let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();

@@ -17,6 +17,8 @@
 //! - [`gbdt`] — gradient-boosted trees, the LightGBM stand-in,
 //! - [`histogram`] — the quantized histogram split search shared by the
 //!   tree families (opt-in per trainer via [`SplitMode`]),
+//! - [`kernels`] — the blocked, autovectorizer-friendly `f64` kernels every
+//!   numeric inner loop (distances, softmax, gradients) runs on,
 //! - [`knn`] / [`balltree`] / [`distance`] — mixed-type nearest neighbours
 //!   (scikit-learn `ball_tree` stand-in),
 //! - [`metrics`] — accuracy, confusion matrices, and F1 scores.
@@ -40,6 +42,7 @@ mod error;
 pub mod forest;
 pub mod gbdt;
 pub mod histogram;
+pub mod kernels;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;

@@ -10,7 +10,15 @@
 use frote_data::encode::Encoder;
 use frote_data::{Dataset, FeatureMatrix, Value};
 
-use crate::traits::{argmax, Classifier, TrainAlgorithm, PREDICT_BLOCK};
+use crate::kernels;
+use crate::traits::{argmax, Classifier, TrainAlgorithm, TrainCache, PREDICT_BLOCK};
+
+/// Rows per parallel block of the full-batch gradient pass. The per-block
+/// partial gradients are reduced in block order, so the block size — never
+/// the thread count — defines the summation structure: results are
+/// bit-identical at any `FROTE_THREADS`, and fits of at most one block
+/// reproduce the pre-kernel sequential accumulation exactly.
+const LR_BLOCK: usize = 512;
 
 /// Logistic regression hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,20 +84,28 @@ impl LogisticRegression {
         let d = encoder.width();
         let k = n_classes;
         let mut weights = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
-        let mut probs = vec![0.0; k];
         let mut grads = FeatureMatrix::from_raw(d + 1, vec![0.0; (d + 1) * k]);
         for _ in 0..params.max_iter {
-            grads.as_mut_slice().fill(0.0);
-            for (xi, &yi) in x.rows().zip(labels) {
-                softmax_scores(&weights, xi, &mut probs);
-                for (c, &p) in probs.iter().enumerate() {
-                    let g = grads.row_mut(c);
-                    let err = p - f64::from(c as u32 == yi);
-                    for (gj, &xj) in g.iter_mut().zip(xi) {
-                        *gj += err * xj;
+            // Per-block partial gradients over fixed LR_BLOCK row blocks,
+            // reduced in block order below — the PR 4 histogram pattern, so
+            // the fit is bit-identical at any `FROTE_THREADS`.
+            let parts = frote_par::par_blocks_map(n, LR_BLOCK, |_, rows| {
+                let mut part = vec![0.0; (d + 1) * k];
+                let mut probs = vec![0.0; k];
+                for i in rows {
+                    let xi = x.row(i);
+                    softmax_scores(&weights, xi, &mut probs);
+                    let yi = labels[i];
+                    for (c, &p) in probs.iter().enumerate() {
+                        let err = p - f64::from(c as u32 == yi);
+                        kernels::grad_update(&mut part[c * (d + 1)..(c + 1) * (d + 1)], err, xi);
                     }
-                    g[d] += err; // bias
                 }
+                vec![part]
+            });
+            grads.as_mut_slice().fill(0.0);
+            for part in &parts {
+                kernels::add_assign(grads.as_mut_slice(), part);
             }
             let inv_n = 1.0 / n as f64;
             let mut max_grad: f64 = 0.0;
@@ -147,21 +163,11 @@ impl LogisticRegression {
 fn softmax_scores(weights: &FeatureMatrix, x: &[f64], out: &mut [f64]) {
     let d = x.len();
     for (o, w) in out.iter_mut().zip(weights.rows()) {
-        let mut z = w[d]; // bias
-        for (wj, xj) in w[..d].iter().zip(x) {
-            z += wj * xj;
-        }
-        *o = z;
+        // Fold the bias in as the accumulator's initial value — the same
+        // chain the scalar loop used (`z = w[d]; z += wj * xj; ...`).
+        *o = kernels::dot_from(w[d], &w[..d], x);
     }
-    let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut sum = 0.0;
-    for o in out.iter_mut() {
-        *o = (*o - max).exp();
-        sum += *o;
-    }
-    for o in out.iter_mut() {
-        *o /= sum;
-    }
+    kernels::softmax_in_place(out);
 }
 
 impl Classifier for LogisticRegression {
@@ -235,6 +241,23 @@ impl LogisticRegressionTrainer {
 impl TrainAlgorithm for LogisticRegressionTrainer {
     fn train(&self, ds: &Dataset) -> Box<dyn Classifier> {
         Box::new(LogisticRegression::fit(ds, &self.params))
+    }
+
+    /// Retrains off the loop's [`TrainCache`]: base rows are encoded once
+    /// into the cache's [`frote_data::EncodedCache`] and only appended rows
+    /// are encoded per iteration (a moved numeric fit re-encodes, keeping
+    /// the cache exact by construction) — bit-identical to
+    /// [`LogisticRegressionTrainer::train`] either way.
+    fn train_cached(&self, ds: &Dataset, cache: &mut TrainCache) -> Box<dyn Classifier> {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let encoded = cache.encoded(ds);
+        Box::new(LogisticRegression::fit_encoded(
+            encoded.encoder().clone(),
+            encoded.matrix(),
+            ds.labels(),
+            ds.n_classes(),
+            &self.params,
+        ))
     }
 
     fn name(&self) -> &str {
@@ -313,5 +336,46 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(LogisticRegressionTrainer::default().name(), "LR");
+    }
+
+    #[test]
+    fn cached_training_matches_uncached_across_appends() {
+        use crate::traits::TrainCache;
+        let mut ds = separable();
+        let trainer = LogisticRegressionTrainer::default();
+        let mut cache = TrainCache::new();
+        for round in 0..3 {
+            let cached = trainer.train_cached(&ds, &mut cache);
+            let fresh = trainer.train(&ds);
+            assert_eq!(cached.predict_dataset(&ds), fresh.predict_dataset(&ds), "round {round}");
+            // Probabilities must match bit for bit, not just argmax.
+            for i in (0..ds.n_rows()).step_by(37) {
+                let (a, b) = (cached.predict_proba(&ds.row(i)), fresh.predict_proba(&ds.row(i)));
+                let same = a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "round {round} row {i}: {a:?} vs {b:?}");
+            }
+            // Grow the dataset: numeric stats move, so the cache re-encodes.
+            for i in 0..15 {
+                ds.push_row(&[Value::Num(20.0 + i as f64), Value::Num(i as f64)], i % 2).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn cached_training_rolls_back_rejected_rows() {
+        use crate::traits::TrainCache;
+        let ds = separable();
+        let trainer = LogisticRegressionTrainer::default();
+        let mut cache = TrainCache::new();
+        let _ = trainer.train_cached(&ds, &mut cache);
+        // Candidate rows appear, get encoded, then are rejected (the FROTE
+        // loop trains on a clone and truncates the cache on rejection).
+        let mut candidate = ds.clone();
+        candidate.push_row(&[Value::Num(50.0), Value::Num(50.0)], 1).unwrap();
+        let _ = trainer.train_cached(&candidate, &mut cache);
+        cache.truncate(ds.n_rows());
+        let cached = trainer.train_cached(&ds, &mut cache);
+        let fresh = trainer.train(&ds);
+        assert_eq!(cached.predict_dataset(&ds), fresh.predict_dataset(&ds));
     }
 }

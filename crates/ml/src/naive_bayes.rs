@@ -10,7 +10,7 @@
 
 use frote_data::{Column, Dataset, FeatureMatrix, Value};
 
-use crate::traits::{argmax, Classifier, TrainAlgorithm};
+use crate::traits::{argmax, Classifier, TrainAlgorithm, PREDICT_BLOCK};
 
 /// Naive Bayes hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,10 +28,28 @@ impl Default for NaiveBayesParams {
     }
 }
 
+/// One class's Gaussian likelihood parameters with the normalization
+/// constant `−½·ln(2πσ²)` folded in at fit time, so the scoring loop does a
+/// multiply-add per class instead of recomputing a logarithm per cell.
+/// `log_norm` is the exact negation of the term the scorer used to subtract,
+/// so precomputing it cannot move a single bit.
+#[derive(Debug, Clone, Copy)]
+struct GaussParams {
+    mean: f64,
+    var: f64,
+    log_norm: f64,
+}
+
+impl GaussParams {
+    fn new(mean: f64, var: f64) -> Self {
+        GaussParams { mean, var, log_norm: -0.5 * (2.0 * std::f64::consts::PI * var).ln() }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum FeatureModel {
-    /// Per-class (mean, variance).
-    Gaussian(Vec<(f64, f64)>),
+    /// Per-class Gaussian parameters.
+    Gaussian(Vec<GaussParams>),
     /// Per-class log-probabilities per category: one flat matrix row per
     /// class, one column per category.
     Multinomial(FeatureMatrix),
@@ -69,12 +87,13 @@ impl NaiveBayes {
                         .iter()
                         .map(|rows| {
                             if rows.is_empty() {
-                                return (0.0, 1.0); // unit Gaussian for absent classes
+                                // Unit Gaussian for absent classes.
+                                return GaussParams::new(0.0, 1.0);
                             }
                             let m = rows.iter().map(|&i| v[i]).sum::<f64>() / rows.len() as f64;
                             let var = rows.iter().map(|&i| (v[i] - m) * (v[i] - m)).sum::<f64>()
                                 / rows.len() as f64;
-                            (m, var.max(params.var_floor))
+                            GaussParams::new(m, var.max(params.var_floor))
                         })
                         .collect();
                     FeatureModel::Gaussian(stats)
@@ -111,9 +130,9 @@ impl NaiveBayes {
         for (fm, &cell) in self.features.iter().zip(row) {
             match (fm, cell) {
                 (FeatureModel::Gaussian(stats), Value::Num(x)) => {
-                    for (s, &(m, var)) in scores.iter_mut().zip(stats) {
-                        let d = x - m;
-                        *s += -0.5 * (d * d / var) - 0.5 * (2.0 * std::f64::consts::PI * var).ln();
+                    for (s, g) in scores.iter_mut().zip(stats) {
+                        let d = x - g.mean;
+                        *s += -0.5 * (d * d / g.var) + g.log_norm;
                     }
                 }
                 (FeatureModel::Multinomial(lp), Value::Cat(c)) => {
@@ -125,6 +144,49 @@ impl NaiveBayes {
             }
         }
     }
+
+    /// Log-joint scores for a block of dataset rows, computed column-major:
+    /// one pass per feature streams the typed column into the block's
+    /// contiguous score rows (no [`Value`] is ever materialized). Every
+    /// score cell folds its terms in the same order as
+    /// [`NaiveBayes::log_joint_into`] — priors first, then features in
+    /// schema order — so the block path is bit-identical to per-row scoring.
+    fn log_joint_block(&self, ds: &Dataset, rows: &[usize], scores: &mut FeatureMatrix) {
+        assert_eq!(ds.n_features(), self.features.len(), "row arity mismatch");
+        scores.clear();
+        for _ in rows {
+            scores.push_row(&self.log_priors);
+        }
+        for (j, fm) in self.features.iter().enumerate() {
+            match (fm, ds.column(j)) {
+                (FeatureModel::Gaussian(stats), Column::Numeric(col)) => {
+                    for (r, &i) in rows.iter().enumerate() {
+                        let x = col[i];
+                        for (s, g) in scores.row_mut(r).iter_mut().zip(stats) {
+                            let d = x - g.mean;
+                            *s += -0.5 * (d * d / g.var) + g.log_norm;
+                        }
+                    }
+                }
+                (FeatureModel::Multinomial(lp), Column::Categorical(col)) => {
+                    for (r, &i) in rows.iter().enumerate() {
+                        let c = col[i] as usize;
+                        for (s, class_lp) in scores.row_mut(r).iter_mut().zip(lp.rows()) {
+                            *s += class_lp[c];
+                        }
+                    }
+                }
+                _ => panic!("row cell kind does not match the trained schema"),
+            }
+        }
+    }
+
+    /// Argmax labels for a block of row indices through
+    /// [`NaiveBayes::log_joint_block`], with caller-owned scratch.
+    fn predict_block(&self, ds: &Dataset, rows: &[usize], scores: &mut FeatureMatrix) -> Vec<u32> {
+        self.log_joint_block(ds, rows, scores);
+        scores.rows().map(argmax).collect()
+    }
 }
 
 impl Classifier for NaiveBayes {
@@ -134,21 +196,30 @@ impl Classifier for NaiveBayes {
 
     fn predict_proba_into(&self, row: &[Value], out: &mut Vec<f64>) {
         self.log_joint_into(row, out);
-        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut total = 0.0;
-        for q in out.iter_mut() {
-            *q = (*q - max).exp();
-            total += *q;
-        }
-        for q in out.iter_mut() {
-            *q /= total;
-        }
+        crate::kernels::softmax_in_place(out);
     }
 
     fn predict(&self, row: &[Value]) -> u32 {
         let mut scores = Vec::with_capacity(self.n_classes);
         self.log_joint_into(row, &mut scores);
         argmax(&scores)
+    }
+
+    /// Column-major batch scoring in parallel over row blocks — streams the
+    /// typed columns instead of materializing a `Vec<Value>` per row.
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u32> {
+        frote_par::par_blocks_map(ds.n_rows(), PREDICT_BLOCK, |_, rows| {
+            let mut scores = FeatureMatrix::with_capacity(self.n_classes, PREDICT_BLOCK);
+            let idx: Vec<usize> = rows.collect();
+            self.predict_block(ds, &idx, &mut scores)
+        })
+    }
+
+    fn predict_rows(&self, ds: &Dataset, rows: &[usize]) -> Vec<u32> {
+        frote_par::par_chunks_map(rows, PREDICT_BLOCK, |_, chunk| {
+            let mut scores = FeatureMatrix::with_capacity(self.n_classes, chunk.len());
+            self.predict_block(ds, chunk, &mut scores)
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! buffers, in parallel across `frote_par::threads()` threads. Results are
 //! bit-identical to a serial per-row loop at any thread count.
 
-use frote_data::{BinnedCache, Dataset, Value};
+use frote_data::{BinnedCache, Dataset, EncodedCache, Value};
 
 /// Rows per parallel block when batch-predicting. Boundaries only affect the
 /// schedule, never the result.
@@ -77,16 +77,17 @@ pub trait Classifier: Send + Sync {
 /// Reusable training state shared across repeated [`TrainAlgorithm`] calls
 /// on an append-only dataset — FROTE's retrain loop hands each run one of
 /// these so histogram-mode tree trainers bin the base rows once and only
-/// bin what each iteration appends (mirroring how the selection proxy's
-/// [`frote_data::EncodedCache`] treats encoded rows). Exact-mode trainers
-/// ignore it.
+/// bin what each iteration appends, and the logistic-regression trainer
+/// likewise encodes base rows once and scores straight off the cached
+/// [`frote_data::EncodedCache`] matrix. Exact-mode tree trainers ignore it.
 #[derive(Debug, Default)]
 pub struct TrainCache {
     binned: Option<BinnedCache>,
+    encoded: Option<EncodedCache>,
 }
 
 impl TrainCache {
-    /// An empty cache (nothing binned yet).
+    /// An empty cache (nothing binned or encoded yet).
     pub fn new() -> Self {
         TrainCache::default()
     }
@@ -104,10 +105,28 @@ impl TrainCache {
         self.binned.as_ref().expect("just filled")
     }
 
+    /// The encoded view of `ds` — fitted on first use, then kept in sync
+    /// incrementally (appended rows are encoded; a moved encoder fit
+    /// re-encodes from scratch). Exact by construction: after this call,
+    /// `encoder()` equals `Encoder::fit(ds)` and `matrix()` equals a fresh
+    /// `encode_dataset(ds)` bit for bit.
+    pub fn encoded(&mut self, ds: &Dataset) -> &EncodedCache {
+        match &mut self.encoded {
+            Some(cache) => {
+                cache.sync(ds);
+            }
+            slot @ None => *slot = Some(EncodedCache::fit(ds)),
+        }
+        self.encoded.as_ref().expect("just filled")
+    }
+
     /// Drops cached rows past the first `rows` (a rejected candidate batch
-    /// is un-binned without touching the surviving prefix).
+    /// is un-binned and un-encoded without touching the surviving prefix).
     pub fn truncate(&mut self, rows: usize) {
         if let Some(c) = &mut self.binned {
+            c.truncate(rows);
+        }
+        if let Some(c) = &mut self.encoded {
             c.truncate(rows);
         }
     }

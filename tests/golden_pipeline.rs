@@ -12,9 +12,11 @@
 
 use frote::{Frote, FroteConfig, SelectionStrategy};
 use frote_data::synth::{DatasetKind, SynthConfig};
+use frote_data::Dataset;
 use frote_ml::forest::{ForestParams, RandomForestTrainer};
+use frote_ml::logreg::LogisticRegressionTrainer;
 use frote_ml::tree::TreeParams;
-use frote_ml::SplitMode;
+use frote_ml::{Classifier, SplitMode, TrainAlgorithm};
 use frote_par::test_support::with_threads;
 use frote_rules::parse::parse_rule;
 use frote_rules::FeedbackRuleSet;
@@ -125,6 +127,50 @@ fn pipeline_output_pinned_at_1_and_4_threads() {
         let (a, b) = with_threads(t, || (run_random(), run_online()));
         assert_eq!(a, GOLDEN_RANDOM, "random-strategy pipeline drifted at {t} threads");
         assert_eq!(b, GOLDEN_ONLINE, "online-proxy pipeline drifted at {t} threads");
+    }
+}
+
+/// Forces the default `train_cached` → `train` path, disabling the LR
+/// trainer's [`frote_data::EncodedCache`] reuse — the reference the cached
+/// run must reproduce byte for byte.
+struct UncachedLr(LogisticRegressionTrainer);
+
+impl TrainAlgorithm for UncachedLr {
+    fn train(&self, ds: &Dataset) -> Box<dyn Classifier> {
+        self.0.train(ds)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// The numeric WineQuality scenario with **LR as the training algorithm**
+/// (not just the selection proxy): every retrain goes through
+/// `TrainAlgorithm::train_cached`, so the run exercises the loop's
+/// `EncodedCache` appends and rejection rollbacks end to end.
+fn run_lr(trainer: &dyn TrainAlgorithm) -> u64 {
+    let ds = DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 250, ..Default::default() });
+    let rule = parse_rule("alcohol >= 12 => 8", ds.schema()).unwrap();
+    let frs = FeedbackRuleSet::new(vec![rule]);
+    let config = FroteConfig {
+        iteration_limit: 3,
+        instances_per_iteration: Some(12),
+        selection: SelectionStrategy::OnlineProxy,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let out = Frote::new(config).run(&ds, trainer, &frs, &mut rng).unwrap();
+    fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
+}
+
+#[test]
+fn lr_cached_training_matches_uncached_at_1_and_4_threads() {
+    let cached = LogisticRegressionTrainer::default();
+    let uncached = UncachedLr(LogisticRegressionTrainer::default());
+    for t in [1usize, 4] {
+        let (a, b) = with_threads(t, || (run_lr(&cached), run_lr(&uncached)));
+        assert_eq!(a, b, "LR train_cached drifted from the uncached path at {t} threads");
     }
 }
 
