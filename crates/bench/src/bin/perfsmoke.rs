@@ -1,15 +1,17 @@
 //! Perf smoke: times the parallelized hot paths at 1 and N threads and
-//! writes a `BENCH_*.json` record (default `BENCH_pr5.json` at the
+//! writes a `BENCH_*.json` record (default `BENCH_pr6.json` at the
 //! repository root; override with `--out <path>`).
 //!
 //! Probes cover the `frote-par` runtime (kNN batch query, SMOTE generation,
-//! rule-coverage scan, one full FROTE iteration), the dense data plane
-//! (batch encoding into `FeatureMatrix`, batch `predict_dataset` scoring for
-//! the RF / LGBM / LR families), the quantized training plane (DT / GBDT
-//! fits in exact vs histogram split mode), and the numeric kernel layer
-//! (`lr_fit` blocked logistic-regression training, `knn_batch` brute
-//! mixed-distance scans, `rf_hist_subsample` compact candidate histograms —
-//! each with a measured pre-kernel baseline in `mode_comparisons`). Every
+//! one full FROTE iteration), the dense data plane (batch encoding into
+//! `FeatureMatrix`, batch `predict_dataset` scoring for the RF / LGBM / LR
+//! families), the quantized training plane (DT / GBDT fits in exact vs
+//! histogram split mode), the numeric kernel layer (`lr_fit` blocked
+//! logistic-regression training, `knn_batch` brute mixed-distance scans,
+//! `rf_hist_subsample` compact candidate histograms), and the compiled
+//! columnar rule engine (`rule_coverage` clause scans, `rule_quality_scan`
+//! whole-set quality assessment — each against its row-at-a-time
+//! interpreted twin, with the two sides' digests asserted equal). Every
 //! serial/parallel pair cross-checks the determinism contract — the outputs
 //! must match exactly — and records a *stable* FNV-1a output digest so
 //! `benchdiff` can gate later runs against this one. Timings are recorded,
@@ -38,7 +40,8 @@ use frote_ml::logreg::{LogRegParams, LogisticRegression, LogisticRegressionTrain
 use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
 use frote_ml::{Classifier, SplitMode, TrainAlgorithm};
 use frote_rules::parse::parse_rule;
-use frote_rules::{Clause, FeedbackRuleSet, Op, Predicate};
+use frote_rules::quality::{assess_all, assess_interpreted, RuleQuality};
+use frote_rules::{Clause, FeedbackRule, FeedbackRuleSet, Op, Predicate};
 use frote_smote::{Smote, SmoteParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -258,13 +261,28 @@ fn main() {
         hash_of(&format!("{out:?}"))
     }));
 
-    // 3. Rule-coverage scan over a wide synthetic dataset.
+    // 3. Rule-coverage scan over a wide synthetic dataset: the compiled
+    // columnar engine (`frote_rules::engine`, what `Clause::coverage` now
+    // runs on) against the row-at-a-time interpreter it replaced. Both
+    // scans must return the same rows, so the digests double as a
+    // correctness cross-check.
+    let mut mode_comparisons = Vec::new();
     let big = DatasetKind::Adult.generate(&SynthConfig { n_rows: 40_000, ..Default::default() });
     let clause = Clause::new(vec![
         Predicate::new(0, Op::Ge, Value::Num(30.0)),
         Predicate::new(0, Op::Lt, Value::Num(60.0)),
     ]);
-    benches.push(record("rule_coverage", threads, 5, || hash_of(&clause.coverage(&big))));
+    let rule_cov = record("rule_coverage", threads, 5, || hash_of(&clause.coverage(&big)));
+    frote_par::set_threads(1);
+    let (interp_cov_ms, interp_cov_digest) =
+        time_best(5, || hash_of(&clause.coverage_interpreted(&big)));
+    assert_eq!(
+        format!("{interp_cov_digest:016x}"),
+        rule_cov.output_fnv,
+        "compiled and interpreted rule-coverage scans diverged"
+    );
+    mode_comparisons.push(ModeComparison::new("rule_coverage", interp_cov_ms, rule_cov.serial_ms));
+    benches.push(rule_cov);
 
     // 4. Encode throughput: the whole Adult table into one FeatureMatrix.
     let encoder = Encoder::fit(&big);
@@ -293,7 +311,6 @@ fn main() {
     // additionally pins the histogram engine's thread-determinism.
     let fit_ds =
         DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 6000, ..Default::default() });
-    let mut mode_comparisons = Vec::new();
     let dt_fit = |mode: SplitMode| {
         let params = TreeParams { max_depth: 8, split_mode: mode, ..Default::default() };
         let model = DecisionTreeTrainer::new(params, 42).train(&fit_ds);
@@ -336,7 +353,78 @@ fn main() {
     mode_comparisons.push(ModeComparison::new("lr_fit", naive_lr_ms, lr_fit.serial_ms));
     benches.push(lr_fit);
 
-    // 8. `knn_batch`: brute-force mixed-distance kNN over the columnar
+    // 8. `rule_quality_scan`: whole-set rule quality (support, confidence,
+    // recall, lift) for a multi-rule WineQuality feedback set. Every
+    // coverage scan inside `assess_all` runs on the compiled engine; the
+    // interpreted row-at-a-time twin is the measured baseline. Identical
+    // metrics are required, so the digests double as a correctness
+    // cross-check.
+    let wine_frs = FeedbackRuleSet::new(vec![
+        // High-alcohol, low-volatile-acidity wines score well...
+        FeedbackRule::deterministic(
+            Clause::new(vec![
+                Predicate::new(10, Op::Ge, Value::Num(12.6)),
+                Predicate::new(1, Op::Lt, Value::Num(0.25)),
+            ]),
+            5,
+        ),
+        FeedbackRule::deterministic(
+            Clause::new(vec![
+                Predicate::new(10, Op::Ge, Value::Num(11.5)),
+                Predicate::new(7, Op::Lt, Value::Num(0.994)),
+            ]),
+            4,
+        ),
+        // ...while high volatile acidity and residual sugar drag scores down.
+        FeedbackRule::deterministic(
+            Clause::new(vec![
+                Predicate::new(1, Op::Gt, Value::Num(0.35)),
+                Predicate::new(2, Op::Lt, Value::Num(0.3)),
+            ]),
+            1,
+        ),
+        FeedbackRule::deterministic(
+            Clause::new(vec![
+                Predicate::new(3, Op::Gt, Value::Num(9.0)),
+                Predicate::new(5, Op::Le, Value::Num(40.0)),
+            ]),
+            2,
+        ),
+    ]);
+    wine_frs.validate(fit_ds.schema()).expect("wine rules are valid");
+    let hash_quality = |qs: &[RuleQuality]| {
+        let mut h = FnvHasher::new();
+        for q in qs {
+            (q.support as u64).hash(&mut h);
+            q.coverage.to_bits().hash(&mut h);
+            q.confidence.to_bits().hash(&mut h);
+            q.recall.to_bits().hash(&mut h);
+            q.lift.to_bits().hash(&mut h);
+        }
+        h.finish()
+    };
+    let quality_scan = record("rule_quality_scan", threads, 5, || {
+        hash_quality(&assess_all(wine_frs.rules(), &fit_ds))
+    });
+    frote_par::set_threads(1);
+    let (interp_q_ms, interp_q_digest) = time_best(5, || {
+        let qs: Vec<RuleQuality> =
+            wine_frs.rules().iter().map(|r| assess_interpreted(r, &fit_ds)).collect();
+        hash_quality(&qs)
+    });
+    assert_eq!(
+        format!("{interp_q_digest:016x}"),
+        quality_scan.output_fnv,
+        "compiled and interpreted rule-quality scans diverged"
+    );
+    mode_comparisons.push(ModeComparison::new(
+        "rule_quality_scan",
+        interp_q_ms,
+        quality_scan.serial_ms,
+    ));
+    benches.push(quality_scan);
+
+    // 9. `knn_batch`: brute-force mixed-distance kNN over the columnar
     // store — the block distance kernel under a parallel query fan-out.
     let knn_rows: Vec<usize> = (0..scoring.n_rows()).step_by(16).collect();
     let knn_cands: Vec<usize> = (0..scoring.n_rows()).collect();
@@ -351,7 +439,7 @@ fn main() {
         h.finish()
     }));
 
-    // 9. `rf_hist_subsample`: per-node candidate-feature class histograms
+    // 10. `rf_hist_subsample`: per-node candidate-feature class histograms
     // for forest-like nodes (√F sampled features, 500-row nodes — the
     // deep-node regime where the full buffer's zero/reduce cost dominates
     // the accumulate) on the wide Adult table, compact layout vs the
@@ -400,7 +488,7 @@ fn main() {
     mode_comparisons.push(ModeComparison::new("rf_hist_subsample", full_ms, rf_hist.serial_ms));
     benches.push(rf_hist);
 
-    // 10. One FROTE iteration end to end (select → generate → retrain).
+    // 11. One FROTE iteration end to end (select → generate → retrain).
     let car = DatasetKind::Car.generate(&SynthConfig { n_rows: 400, ..Default::default() });
     let rule = parse_rule("safety = low AND buying = low => acc", car.schema()).expect("rule");
     let frs = FeedbackRuleSet::new(vec![rule]);

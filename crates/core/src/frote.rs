@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use crate::error::FroteError;
 use crate::generate::{Generator, LabelPolicy};
 use crate::modstrategy::ModStrategy;
-use crate::objective::{empirical_j, ObjectiveWeights};
+use crate::objective::{empirical_j_masked, ObjectiveWeights};
 use crate::preselect::BasePopulation;
 use crate::report::{FroteReport, IterationRecord};
 use crate::select::{SelectCache, SelectionStrategy};
@@ -166,10 +166,15 @@ impl Frote {
 
         // Lines 2-4: initial model, objective, base population. The cache
         // is created first: histogram-mode trainers bin the base rows here
-        // and bin only appended rows on every retrain below.
+        // and bin only appended rows on every retrain below, and the rule
+        // set is compiled onto the columnar engine once — every objective
+        // evaluation reads coverage from incrementally synced bitmasks.
         let mut select_cache = SelectCache::new();
         let mut model = algorithm.train_cached(&active, select_cache.train_cache());
-        let initial = empirical_j(model.as_ref(), &active, frs, &cfg.weights);
+        let initial = {
+            let masks = select_cache.rule_masks(frs, &active);
+            empirical_j_masked(model.as_ref(), &active, frs, &cfg.weights, masks)
+        };
         let mut best = initial;
         let mut bp = BasePopulation::pre_select(&active, frs, cfg.k);
 
@@ -210,7 +215,10 @@ impl Frote {
             // rule-covered instances in existence are the synthetic ones in
             // D', so evaluating over the pre-augmentation D̂ would leave the
             // MRA term empty forever and no candidate could be accepted.
-            let candidate_j = empirical_j(candidate_model.as_ref(), &candidate, frs, &cfg.weights);
+            let candidate_j = {
+                let masks = select_cache.rule_masks(frs, &candidate);
+                empirical_j_masked(candidate_model.as_ref(), &candidate, frs, &cfg.weights, masks)
+            };
             let accepted = candidate_j.j > best.j;
             let record = IterationRecord {
                 iteration: i,
@@ -227,15 +235,19 @@ impl Frote {
                 total_added += synthetic.n_rows();
                 bp = BasePopulation::pre_select(&active, frs, cfg.k);
             } else {
-                // Roll the train cache back to the surviving rows so the
-                // next candidate's rows replace the rejected ones.
+                // Roll the train cache and rule-mask plane back to the
+                // surviving rows so the next candidate's rows replace the
+                // rejected ones.
                 select_cache.truncate_train(active.n_rows());
             }
             iterations.push(record);
             i += 1;
         }
 
-        let final_objective = empirical_j(model.as_ref(), &active, frs, &cfg.weights);
+        let final_objective = {
+            let masks = select_cache.rule_masks(frs, &active);
+            empirical_j_masked(model.as_ref(), &active, frs, &cfg.weights, masks)
+        };
         Ok(FroteOutput {
             dataset: active,
             model,

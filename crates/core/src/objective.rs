@@ -16,7 +16,7 @@
 
 use frote_data::Dataset;
 use frote_ml::{metrics, Classifier};
-use frote_rules::FeedbackRuleSet;
+use frote_rules::{FeedbackRuleSet, RuleMaskCache};
 
 /// Weights of the internal `Ĵ` combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +53,34 @@ pub struct ObjectiveValue {
 /// `1{prediction == class}`; for a probabilistic rule it is the probability
 /// `π(prediction)` — the expectation of the 0-1 agreement under `Y ~ π`.
 pub fn mra_opt(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> Option<f64> {
-    let attributed = frs.attributed_coverage(ds);
+    mra_from_attributed(model, ds, frs, &frs.attributed_coverage(ds))
+}
+
+/// [`mra_opt`] reading the first-match attribution from an already-synced
+/// [`RuleMaskCache`] instead of re-scanning every rule — the loop-side fast
+/// path. Values are identical to [`mra_opt`] for a cache compiled from
+/// `frs` and synced to `ds`.
+///
+/// # Panics
+///
+/// Panics if the cache's synced row count differs from `ds.n_rows()`.
+pub fn mra_opt_masked(
+    model: &dyn Classifier,
+    ds: &Dataset,
+    frs: &FeedbackRuleSet,
+    masks: &RuleMaskCache,
+) -> Option<f64> {
+    assert_eq!(masks.rows(), ds.n_rows(), "rule-mask cache is out of sync with the dataset");
+    mra_from_attributed(model, ds, frs, &masks.attributed_coverage())
+}
+
+/// The shared MRA arithmetic over a first-match attribution.
+fn mra_from_attributed(
+    model: &dyn Classifier,
+    ds: &Dataset,
+    frs: &FeedbackRuleSet,
+    attributed: &[Vec<usize>],
+) -> Option<f64> {
     let mut total = 0usize;
     let mut agreement = 0.0;
     for (r, rows) in attributed.iter().enumerate() {
@@ -78,9 +105,25 @@ pub fn mra(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
 /// Macro-F1 of `model` over the rows of `ds` *outside* the rules' coverage,
 /// against the dataset's own labels. Returns 1.0 when empty.
 pub fn outside_f1(model: &dyn Classifier, ds: &Dataset, frs: &FeedbackRuleSet) -> f64 {
-    let outside = frs.outside_coverage(ds);
-    let preds = model.predict_rows(ds, &outside);
-    let labels: Vec<u32> = outside.iter().map(|&i| ds.label(i)).collect();
+    f1_over_rows(model, ds, &frs.outside_coverage(ds))
+}
+
+/// [`outside_f1`] reading the outside-coverage rows from an already-synced
+/// [`RuleMaskCache`] (complement of the union mask, via popcount-friendly
+/// words) instead of re-scanning every rule.
+///
+/// # Panics
+///
+/// Panics if the cache's synced row count differs from `ds.n_rows()`.
+pub fn outside_f1_masked(model: &dyn Classifier, ds: &Dataset, masks: &RuleMaskCache) -> f64 {
+    assert_eq!(masks.rows(), ds.n_rows(), "rule-mask cache is out of sync with the dataset");
+    f1_over_rows(model, ds, &masks.outside_coverage())
+}
+
+/// Macro-F1 of the model over an explicit row list.
+fn f1_over_rows(model: &dyn Classifier, ds: &Dataset, rows: &[usize]) -> f64 {
+    let preds = model.predict_rows(ds, rows);
+    let labels: Vec<u32> = rows.iter().map(|&i| ds.label(i)).collect();
     metrics::macro_f1(&preds, &labels, ds.n_classes())
 }
 
@@ -99,6 +142,31 @@ pub fn empirical_j(
 ) -> ObjectiveValue {
     let mra = mra_opt(model, ds, frs).unwrap_or(0.0);
     let f1 = outside_f1(model, ds, frs);
+    combine(mra, f1, weights)
+}
+
+/// [`empirical_j`] over an already-synced [`RuleMaskCache`] — the loop's
+/// per-iteration objective without re-scanning the rules. Identical values
+/// to [`empirical_j`] (same attributed/outside row lists, so the same
+/// predictions are aggregated).
+///
+/// # Panics
+///
+/// Panics if the cache's synced row count differs from `ds.n_rows()`.
+pub fn empirical_j_masked(
+    model: &dyn Classifier,
+    ds: &Dataset,
+    frs: &FeedbackRuleSet,
+    weights: &ObjectiveWeights,
+    masks: &RuleMaskCache,
+) -> ObjectiveValue {
+    let mra = mra_opt_masked(model, ds, frs, masks).unwrap_or(0.0);
+    let f1 = outside_f1_masked(model, ds, masks);
+    combine(mra, f1, weights)
+}
+
+/// The weighted `Ĵ` combination shared by both estimators.
+fn combine(mra: f64, f1: f64, weights: &ObjectiveWeights) -> ObjectiveValue {
     let wsum = weights.mra + weights.f1;
     let j = if wsum > 0.0 { (weights.mra * mra + weights.f1 * f1) / wsum } else { 0.0 };
     ObjectiveValue { mra, f1, j }
@@ -244,6 +312,30 @@ mod tests {
         let empty = Dataset::new(schema);
         let v = paper_j(&m, &empty, &rule(0));
         assert_eq!(v.j, 1.0);
+    }
+
+    #[test]
+    fn masked_objective_equals_rescanning() {
+        let m = Threshold;
+        let d = ds();
+        for frs in [rule(0), rule(1)] {
+            let mut masks = RuleMaskCache::compile(&frs, d.schema()).unwrap();
+            masks.sync(&d);
+            assert_eq!(mra_opt_masked(&m, &d, &frs, &masks), mra_opt(&m, &d, &frs));
+            assert_eq!(outside_f1_masked(&m, &d, &masks), outside_f1(&m, &d, &frs));
+            let w = ObjectiveWeights::default();
+            assert_eq!(empirical_j_masked(&m, &d, &frs, &w, &masks), empirical_j(&m, &d, &frs, &w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn masked_objective_rejects_stale_cache() {
+        let m = Threshold;
+        let d = ds();
+        let frs = rule(0);
+        let masks = RuleMaskCache::compile(&frs, d.schema()).unwrap(); // never synced
+        empirical_j_masked(&m, &d, &frs, &ObjectiveWeights::default(), &masks);
     }
 
     #[test]

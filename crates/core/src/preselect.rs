@@ -42,7 +42,11 @@ impl BasePopulation {
     pub fn pre_select(ds: &Dataset, frs: &FeedbackRuleSet, k: usize) -> BasePopulation {
         let min_support = k + 1;
         // Per-rule relaxation + coverage scans are independent; run them in
-        // parallel (identical per-rule results, FRS order preserved).
+        // parallel (identical per-rule results, FRS order preserved). Each
+        // scan inside — relaxation's repeated `coverage_count` probes and
+        // the final membership `coverage` — runs on the compiled columnar
+        // engine (`frote_rules::engine`), since every relaxed clause is a
+        // predicate subset of an already-validated clause.
         let rules: Vec<usize> = (0..frs.len()).collect();
         let populations = frote_par::par_map(&rules, |&r| {
             let relaxed = relax_clause(frs.rule(r).clause(), ds, min_support);

@@ -19,7 +19,7 @@ use frote_data::{Dataset, EncodedCache, FeatureMatrix};
 use frote_ml::logreg::{LogRegParams, LogisticRegression};
 use frote_ml::{Classifier, TrainCache};
 use frote_opt::SelectionProblem;
-use frote_rules::FeedbackRuleSet;
+use frote_rules::{FeedbackRuleSet, RuleMaskCache};
 use frote_smote::borderline::borderline_weights;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -42,6 +42,7 @@ pub struct SelectCache {
     encoded: Option<EncodedCache>,
     proxy: Option<(usize, LogisticRegression)>,
     train: TrainCache,
+    rules: Option<RuleMaskCache>,
 }
 
 impl SelectCache {
@@ -58,10 +59,35 @@ impl SelectCache {
 
     /// Drops train-side cached rows past the first `rows` — called when a
     /// candidate batch is rejected, so the next candidate's rows replace
-    /// the rejected ones instead of appending after them. The select-side
-    /// caches never see candidate rows and need no rollback.
+    /// the rejected ones instead of appending after them. The rule-mask
+    /// plane rides along: rejected candidate rows drop out of the compiled
+    /// coverage masks too. The select-side caches never see candidate rows
+    /// and need no rollback.
     pub fn truncate_train(&mut self, rows: usize) {
         self.train.truncate(rows);
+        if let Some(masks) = &mut self.rules {
+            masks.truncate(rows);
+        }
+    }
+
+    /// The compiled rule-mask plane of `frs` over `ds`, synced to the
+    /// dataset's current rows (`frote_rules::RuleMaskCache` semantics: the
+    /// first call evaluates every row, later calls append only the tail;
+    /// rejected rows are rolled back by [`SelectCache::truncate_train`]).
+    ///
+    /// Like the other planes, the cache assumes every call passes the
+    /// *same* rule set and the same append-only dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frs` fails validation against `ds`'s schema — the loop
+    /// validates the rule set before its first iteration.
+    pub fn rule_masks(&mut self, frs: &FeedbackRuleSet, ds: &Dataset) -> &RuleMaskCache {
+        let masks = self.rules.get_or_insert_with(|| {
+            RuleMaskCache::compile(frs, ds.schema()).expect("rule set validated by the loop")
+        });
+        masks.sync(ds);
+        masks
     }
 
     /// The LR proxy of `ds` together with the encoded matrix it was fitted

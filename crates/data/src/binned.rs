@@ -125,17 +125,32 @@ impl Binner {
         }
     }
 
+    /// The fitted numeric bin edges of feature `f` (`None` for categorical
+    /// features). Edges are sorted; code = number of edges `< v`, so
+    /// `bin(v) <= b ⟺ v <= edges[b]` — the contract the columnar rule
+    /// engine's bin-code predicate plans rely on.
+    pub fn numeric_edges(&self, f: usize) -> Option<&[f64]> {
+        match &self.feats[f] {
+            FeatBins::Numeric { edges, .. } => Some(edges),
+            FeatBins::Categorical { .. } => None,
+        }
+    }
+
     /// Bin code of one cell value.
     ///
     /// # Panics
     ///
-    /// Panics if the value's kind does not match the fitted column, or if a
-    /// categorical value lies outside the fitted vocabulary (an
+    /// Panics if the value's kind does not match the fitted column, if a
+    /// numeric value is `NaN` (`partition_point` over the edges would
+    /// silently map it into bin 0, inventing an ordering IEEE comparisons
+    /// deny — [`Binner::fit`] already rejects `NaN` training values), or if
+    /// a categorical value lies outside the fitted vocabulary (an
     /// out-of-range code would silently land in another feature's
     /// histogram range downstream).
     pub fn bin_value(&self, f: usize, v: Value) -> u16 {
         match (&self.feats[f], v) {
             (FeatBins::Numeric { edges, .. }, Value::Num(x)) => {
+                assert!(!x.is_nan(), "cannot bin NaN: the binned plane holds finite values only");
                 edges.partition_point(|&e| e < x) as u16
             }
             (FeatBins::Categorical { cardinality }, Value::Cat(c)) => {
@@ -620,6 +635,29 @@ mod tests {
         let mut other = Dataset::new(wide);
         other.push_row(&[Value::Cat(3)], 0).unwrap();
         binner.bin_dataset(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bin NaN")]
+    fn nan_value_panics_instead_of_landing_in_bin_zero() {
+        // Satellite pin: `partition_point(|e| e < NaN)` is 0 because every
+        // IEEE comparison against NaN is false — without the guard a NaN
+        // cell would silently masquerade as the smallest bin.
+        let ds = mixed();
+        let binner = Binner::fit(&ds, 8);
+        binner.bin_value(0, Value::Num(f64::NAN));
+    }
+
+    #[test]
+    fn numeric_edges_expose_the_fitted_thresholds() {
+        let ds = mixed();
+        let binner = Binner::fit(&ds, 16);
+        let edges = binner.numeric_edges(0).unwrap();
+        assert_eq!(edges.len(), binner.n_bins(0) - 1);
+        for (b, &e) in edges.iter().enumerate() {
+            assert_eq!(e, binner.threshold(0, b));
+        }
+        assert!(binner.numeric_edges(1).is_none(), "categorical features have no edges");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use frote_data::{Dataset, FeatureKind, Schema, Value};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::CompiledClause;
 use crate::error::RuleError;
 use crate::predicate::{Op, Predicate};
 
@@ -62,10 +63,58 @@ impl Clause {
 
     /// Row indices of `ds` covered by this clause (paper Eq. 1).
     ///
+    /// Valid clauses are evaluated by the columnar engine
+    /// ([`CompiledClause`]): compiled bitmask sweeps over the typed column
+    /// slices, bit-identical to [`Clause::coverage_interpreted`] at any
+    /// thread count. Clauses that fail schema validation fall back to the
+    /// interpreter, preserving its documented panic behavior; use
+    /// [`Clause::try_coverage`] for a `Result` instead.
+    pub fn coverage(&self, ds: &Dataset) -> Vec<usize> {
+        match CompiledClause::compile(self, ds.schema()) {
+            Ok(compiled) => compiled.coverage(ds),
+            Err(_) => self.coverage_interpreted(ds),
+        }
+    }
+
+    /// Number of covered rows, without materializing indices — compiled
+    /// popcount for valid clauses, interpreter fallback otherwise (see
+    /// [`Clause::coverage`]).
+    pub fn coverage_count(&self, ds: &Dataset) -> usize {
+        match CompiledClause::compile(self, ds.schema()) {
+            Ok(compiled) => compiled.coverage_count(ds),
+            Err(_) => self.coverage_count_interpreted(ds),
+        }
+    }
+
+    /// Pre-validated coverage: compiles the clause against the dataset's
+    /// schema once, then scans — never panics mid-scan on malformed
+    /// (parsed/expert-submitted) clauses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] of [`Clause::validate`].
+    pub fn try_coverage(&self, ds: &Dataset) -> Result<Vec<usize>, RuleError> {
+        Ok(CompiledClause::compile(self, ds.schema())?.coverage(ds))
+    }
+
+    /// Pre-validated twin of [`Clause::coverage_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] of [`Clause::validate`].
+    pub fn try_coverage_count(&self, ds: &Dataset) -> Result<usize, RuleError> {
+        Ok(CompiledClause::compile(self, ds.schema())?.coverage_count(ds))
+    }
+
+    /// The row-at-a-time reference implementation of [`Clause::coverage`]:
+    /// evaluates boxed [`Value`] cells predicate by predicate. Kept as the
+    /// differential-testing oracle for the columnar engine (and as the
+    /// fallback for clauses that fail validation).
+    ///
     /// Large datasets are scanned in parallel over fixed row blocks
     /// (`frote_par`); the concatenated result is identical to the serial
     /// scan at any thread count.
-    pub fn coverage(&self, ds: &Dataset) -> Vec<usize> {
+    pub fn coverage_interpreted(&self, ds: &Dataset) -> Vec<usize> {
         let n = ds.n_rows();
         if n < PAR_SCAN_MIN || frote_par::threads() <= 1 {
             return (0..n).filter(|&i| self.covers_row(ds, i)).collect();
@@ -75,8 +124,9 @@ impl Clause {
         })
     }
 
-    /// Number of covered rows, without materializing indices.
-    pub fn coverage_count(&self, ds: &Dataset) -> usize {
+    /// Row-at-a-time reference implementation of
+    /// [`Clause::coverage_count`] (see [`Clause::coverage_interpreted`]).
+    pub fn coverage_count_interpreted(&self, ds: &Dataset) -> usize {
         let n = ds.n_rows();
         if n < PAR_SCAN_MIN || frote_par::threads() <= 1 {
             return (0..n).filter(|&i| self.covers_row(ds, i)).count();
@@ -403,6 +453,49 @@ mod tests {
             Predicate::new(1, Op::Ne, Value::Cat(2)),
         ]);
         assert!(!c.satisfiable(&s));
+    }
+
+    #[test]
+    fn try_coverage_returns_error_for_mismatched_parsed_rule() {
+        // Regression: a rule parsed against one schema but evaluated
+        // against a dataset with a different layout used to panic inside
+        // `Predicate::eval` mid-scan. The pre-validated scans surface a
+        // `RuleError` instead.
+        let other = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("age", vec!["young".into(), "old".into()])
+            .numeric("job")
+            .build();
+        let clause = crate::parse::parse_clause("age < 30", &schema()).unwrap();
+        let mut ds = Dataset::new(other);
+        ds.push_row(&[Value::Cat(0), Value::Num(1.0)], 0).unwrap();
+        assert!(matches!(
+            clause.try_coverage(&ds),
+            Err(RuleError::ValueKindMismatch { .. } | RuleError::OperatorNotAllowed { .. })
+        ));
+        assert!(clause.try_coverage_count(&ds).is_err());
+        // The valid-schema path goes through the compiled engine.
+        let good = demo_dataset();
+        assert_eq!(clause.try_coverage(&good).unwrap(), clause.coverage_interpreted(&good));
+        assert_eq!(clause.try_coverage_count(&good).unwrap(), 2);
+    }
+
+    #[test]
+    fn nan_cells_are_never_covered_by_any_numeric_operator() {
+        // Pinned NaN semantics: IEEE comparisons against NaN are false, so
+        // a NaN cell is outside every numeric predicate's coverage — in
+        // the interpreter and the compiled engine alike.
+        let mut ds = Dataset::new(schema());
+        ds.push_row(&[Value::Num(f64::NAN), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(24.0), Value::Cat(0)], 0).unwrap();
+        for op in [Op::Eq, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+            let c = Clause::new(vec![Predicate::new(0, op, Value::Num(24.0))]);
+            assert!(!c.coverage(&ds).contains(&0), "{op:?} covered the NaN row");
+            assert!(!c.coverage_interpreted(&ds).contains(&0), "{op:?} interpreter");
+        }
+        // A NaN *threshold* likewise covers nothing.
+        let c = Clause::new(vec![Predicate::new(0, Op::Ge, Value::Num(f64::NAN))]);
+        assert!(c.coverage(&ds).is_empty());
+        assert!(c.coverage_interpreted(&ds).is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 mod clause;
 mod dist;
+pub mod engine;
 mod error;
 pub mod parse;
 pub mod perturb;
@@ -50,6 +51,7 @@ mod ruleset;
 
 pub use clause::Clause;
 pub use dist::LabelDist;
+pub use engine::{CompiledClause, CompiledRuleSet, RowMask, RuleMaskCache};
 pub use error::RuleError;
 pub use predicate::{Op, Predicate};
 pub use rule::FeedbackRule;

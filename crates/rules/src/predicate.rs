@@ -99,11 +99,20 @@ impl Predicate {
 
     /// Evaluates the predicate against a cell value of the same feature.
     ///
+    /// Numeric comparisons follow IEEE 754: any comparison involving a
+    /// `NaN` cell (or a `NaN` predicate value) is `false`, so a `NaN` row
+    /// is never covered by any numeric operator. This is pinned by tests
+    /// and mirrored exactly by the columnar engine
+    /// ([`crate::CompiledClause`]).
+    ///
     /// # Panics
     ///
     /// Panics if the cell/predicate value kinds mismatch (e.g. numeric
     /// comparison against a categorical cell). Use [`Predicate::validate`]
-    /// up-front to surface such errors as `Result`s.
+    /// up-front to surface such errors as `Result`s — the pre-validated
+    /// scans ([`crate::Clause::try_coverage`],
+    /// [`crate::CompiledClause::compile`]) do this once per ruleset so
+    /// parsed/expert-submitted rules cannot panic mid-scan.
     pub fn eval(&self, cell: Value) -> bool {
         match (self.op, cell, self.value) {
             (Op::Eq, Value::Num(a), Value::Num(b)) => a == b,
@@ -207,6 +216,26 @@ mod tests {
         assert!(Predicate::new(1, Op::Eq, Value::Cat(0)).eval(Value::Cat(0)));
         assert!(Predicate::new(1, Op::Ne, Value::Cat(0)).eval(Value::Cat(1)));
         assert!(!Predicate::new(1, Op::Ne, Value::Cat(0)).eval(Value::Cat(0)));
+    }
+
+    #[test]
+    fn nan_cell_fails_every_numeric_operator() {
+        // Pinned IEEE semantics: NaN cells (and NaN predicate values) make
+        // every numeric comparison false — the row is never covered.
+        for op in [Op::Eq, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+            assert!(
+                !Predicate::new(0, op, Value::Num(1.0)).eval(Value::Num(f64::NAN)),
+                "{op:?} on a NaN cell must be false"
+            );
+            assert!(
+                !Predicate::new(0, op, Value::Num(f64::NAN)).eval(Value::Num(1.0)),
+                "{op:?} with a NaN value must be false"
+            );
+            assert!(
+                !Predicate::new(0, op, Value::Num(f64::NAN)).eval(Value::Num(f64::NAN)),
+                "{op:?} NaN vs NaN must be false"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use frote_data::Dataset;
 
+use crate::error::RuleError;
 use crate::rule::FeedbackRule;
 
 /// Quality measures of one rule over one dataset.
@@ -32,13 +33,26 @@ pub struct RuleQuality {
 /// Computes [`RuleQuality`] for `rule` over `ds`.
 ///
 /// Empty datasets and zero-coverage rules yield zeroed metrics rather than
-/// NaNs.
+/// NaNs. Coverage is scanned by the columnar engine (see
+/// [`crate::Clause::coverage`]); [`assess_interpreted`] is the
+/// row-at-a-time reference twin.
 pub fn assess(rule: &FeedbackRule, ds: &Dataset) -> RuleQuality {
+    assess_covered(rule, ds, &rule.coverage(ds))
+}
+
+/// [`assess`] over the row-at-a-time interpreter's coverage scan — the
+/// reference twin used by differential tests and perf baselines. Metrics
+/// are identical to [`assess`] on valid rules.
+pub fn assess_interpreted(rule: &FeedbackRule, ds: &Dataset) -> RuleQuality {
+    assess_covered(rule, ds, &rule.clause().coverage_interpreted(ds))
+}
+
+/// The shared metric math over an already-computed covered-row list.
+fn assess_covered(rule: &FeedbackRule, ds: &Dataset, covered: &[usize]) -> RuleQuality {
     let n = ds.n_rows();
     if n == 0 {
         return RuleQuality { support: 0, coverage: 0.0, confidence: 0.0, recall: 0.0, lift: 0.0 };
     }
-    let covered = rule.coverage(ds);
     let support = covered.len();
     let coverage = support as f64 / n as f64;
     let confidence = if support == 0 {
@@ -61,6 +75,18 @@ pub fn assess(rule: &FeedbackRule, ds: &Dataset) -> RuleQuality {
 /// to a serial [`assess`] call.
 pub fn assess_all(rules: &[FeedbackRule], ds: &Dataset) -> Vec<RuleQuality> {
     frote_par::par_map(rules, |r| assess(r, ds))
+}
+
+/// Pre-validated [`assess_all`]: validates every rule against the
+/// dataset's schema once up front, so malformed (parsed/expert-submitted)
+/// rules surface a [`RuleError`] instead of panicking mid-scan.
+///
+/// # Errors
+///
+/// Returns the first [`RuleError`] found.
+pub fn try_assess_all(rules: &[FeedbackRule], ds: &Dataset) -> Result<Vec<RuleQuality>, RuleError> {
+    rules.iter().try_for_each(|r| r.validate(ds.schema()))?;
+    Ok(assess_all(rules, ds))
 }
 
 #[cfg(test)]
@@ -154,5 +180,27 @@ mod tests {
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[0].support, 4);
         assert_eq!(qs[1].support, 6);
+    }
+
+    #[test]
+    fn interpreted_twin_matches_compiled_assess() {
+        let d = ds();
+        for r in [rule(4.0, 1), rule(6.0, 0), rule(-5.0, 1)] {
+            assert_eq!(assess(&r, &d), assess_interpreted(&r, &d));
+        }
+    }
+
+    #[test]
+    fn try_assess_all_pre_validates() {
+        let d = ds();
+        // Ne on numeric parses programmatically but fails validation; the
+        // scan must error up front, not panic.
+        let bad = FeedbackRule::new(
+            Clause::new(vec![Predicate::new(0, Op::Ne, Value::Num(1.0))]),
+            LabelDist::Deterministic(1),
+        );
+        assert!(try_assess_all(&[rule(4.0, 1), bad], &d).is_err());
+        let qs = try_assess_all(&[rule(4.0, 1)], &d).unwrap();
+        assert_eq!(qs[0].support, 4);
     }
 }

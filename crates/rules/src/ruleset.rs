@@ -3,6 +3,7 @@
 use frote_data::{Dataset, Schema, Value};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::CompiledRuleSet;
 use crate::error::RuleError;
 use crate::rule::FeedbackRule;
 
@@ -78,19 +79,74 @@ impl FeedbackRuleSet {
 
     /// Union coverage over `ds` (paper Eq. 2): sorted, deduplicated row
     /// indices covered by at least one rule.
+    ///
+    /// Valid sets are scanned by the columnar engine ([`CompiledRuleSet`]:
+    /// per-rule bitmasks OR-ed word by word); sets that fail validation
+    /// fall back to [`FeedbackRuleSet::coverage_interpreted`], preserving
+    /// the interpreter's documented panic behavior. Use
+    /// [`FeedbackRuleSet::try_coverage`] for a `Result` instead.
     pub fn coverage(&self, ds: &Dataset) -> Vec<usize> {
+        match CompiledRuleSet::compile(self, ds.schema()) {
+            Ok(compiled) => compiled.coverage(ds),
+            Err(_) => self.coverage_interpreted(ds),
+        }
+    }
+
+    /// Complement of [`FeedbackRuleSet::coverage`] over `ds`.
+    pub fn outside_coverage(&self, ds: &Dataset) -> Vec<usize> {
+        match CompiledRuleSet::compile(self, ds.schema()) {
+            Ok(compiled) => compiled.outside_coverage(ds),
+            Err(_) => self.outside_coverage_interpreted(ds),
+        }
+    }
+
+    /// Pre-validated union coverage: validates the whole set (clauses and
+    /// label distributions) against the dataset's schema once, then scans —
+    /// never panics mid-scan on malformed rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] of [`FeedbackRuleSet::validate`].
+    pub fn try_coverage(&self, ds: &Dataset) -> Result<Vec<usize>, RuleError> {
+        Ok(CompiledRuleSet::compile(self, ds.schema())?.coverage(ds))
+    }
+
+    /// Pre-validated twin of [`FeedbackRuleSet::outside_coverage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] of [`FeedbackRuleSet::validate`].
+    pub fn try_outside_coverage(&self, ds: &Dataset) -> Result<Vec<usize>, RuleError> {
+        Ok(CompiledRuleSet::compile(self, ds.schema())?.outside_coverage(ds))
+    }
+
+    /// Pre-validated twin of [`FeedbackRuleSet::attributed_coverage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuleError`] of [`FeedbackRuleSet::validate`].
+    pub fn try_attributed_coverage(&self, ds: &Dataset) -> Result<Vec<Vec<usize>>, RuleError> {
+        Ok(CompiledRuleSet::compile(self, ds.schema())?.attributed_coverage(ds))
+    }
+
+    /// The row-at-a-time reference implementation of
+    /// [`FeedbackRuleSet::coverage`] — kept as the differential-testing
+    /// oracle for the columnar engine (and as the fallback for sets that
+    /// fail validation).
+    pub fn coverage_interpreted(&self, ds: &Dataset) -> Vec<usize> {
         let mut covered = vec![false; ds.n_rows()];
         for rule in &self.rules {
-            for i in rule.coverage(ds) {
+            for i in rule.clause().coverage_interpreted(ds) {
                 covered[i] = true;
             }
         }
         covered.iter().enumerate().filter_map(|(i, &c)| c.then_some(i)).collect()
     }
 
-    /// Complement of [`FeedbackRuleSet::coverage`] over `ds`.
-    pub fn outside_coverage(&self, ds: &Dataset) -> Vec<usize> {
-        let covered = self.coverage(ds);
+    /// Row-at-a-time reference implementation of
+    /// [`FeedbackRuleSet::outside_coverage`].
+    pub fn outside_coverage_interpreted(&self, ds: &Dataset) -> Vec<usize> {
+        let covered = self.coverage_interpreted(ds);
         let mut mask = vec![true; ds.n_rows()];
         for i in covered {
             mask[i] = false;
@@ -280,7 +336,22 @@ impl FeedbackRuleSet {
     /// Effective (first-match) coverage attribution per rule over `ds`:
     /// `out[r]` lists the rows whose *first* covering rule is `r`. The
     /// resulting sets are disjoint, matching §3.2's assumption.
+    ///
+    /// Valid sets attribute via compiled bitmasks (`mask_r AND NOT` the
+    /// union of earlier masks — see
+    /// [`CompiledRuleSet::attributed_coverage`]); invalid sets fall back to
+    /// the row-at-a-time reference.
     pub fn attributed_coverage(&self, ds: &Dataset) -> Vec<Vec<usize>> {
+        match CompiledRuleSet::compile(self, ds.schema()) {
+            Ok(compiled) => compiled.attributed_coverage(ds),
+            Err(_) => self.attributed_coverage_interpreted(ds),
+        }
+    }
+
+    /// Row-at-a-time reference implementation of
+    /// [`FeedbackRuleSet::attributed_coverage`]: materializes each row and
+    /// asks [`FeedbackRuleSet::first_covering`].
+    pub fn attributed_coverage_interpreted(&self, ds: &Dataset) -> Vec<Vec<usize>> {
         let mut out = vec![Vec::new(); self.rules.len()];
         let mut row = Vec::new();
         for i in 0..ds.n_rows() {
@@ -498,5 +569,32 @@ mod tests {
         let s = schema();
         let bad = FeedbackRuleSet::new(vec![FeedbackRule::deterministic(Clause::always_true(), 7)]);
         assert!(bad.validate(&s).is_err());
+    }
+
+    #[test]
+    fn try_scans_pre_validate_instead_of_panicking() {
+        let d = ds();
+        // A kind-mismatched rule (numeric comparison against the
+        // categorical feature) errors up front instead of panicking
+        // mid-scan.
+        let bad = FeedbackRuleSet::new(vec![FeedbackRule::deterministic(
+            Clause::new(vec![Predicate::new(1, Op::Lt, Value::Num(1.0))]),
+            0,
+        )]);
+        assert!(bad.try_coverage(&d).is_err());
+        assert!(bad.try_outside_coverage(&d).is_err());
+        assert!(bad.try_attributed_coverage(&d).is_err());
+
+        // Valid sets produce exactly the interpreted reference results.
+        let good = FeedbackRuleSet::new(vec![
+            FeedbackRule::deterministic(lt(4.0), 1),
+            FeedbackRule::deterministic(lt(6.0), 1),
+        ]);
+        assert_eq!(good.try_coverage(&d).unwrap(), good.coverage_interpreted(&d));
+        assert_eq!(good.try_outside_coverage(&d).unwrap(), good.outside_coverage_interpreted(&d));
+        assert_eq!(
+            good.try_attributed_coverage(&d).unwrap(),
+            good.attributed_coverage_interpreted(&d)
+        );
     }
 }

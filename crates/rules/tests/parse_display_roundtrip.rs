@@ -103,6 +103,69 @@ fn shortest_float_printing_is_exact() {
     }
 }
 
+/// Textual rules are authored against one schema but may later be applied
+/// to a dataset whose schema drifted (columns dropped, vocabularies
+/// shrunk, a categorical re-encoded as numeric). Such predicates *parse*
+/// fine — the parser only knows the authoring schema — but must be caught
+/// by `validate` / `CompiledClause::compile` / `try_coverage` instead of
+/// panicking inside `Predicate::eval` at scan time.
+#[test]
+fn parsed_rules_can_fail_validation_against_a_drifted_schema() {
+    use frote_data::Dataset;
+    use frote_rules::{CompiledClause, RuleError};
+
+    let authoring = schema();
+    // Serving schema drift: "job" became numeric (a seniority score),
+    // "region" lost its "south" category, and "income" was dropped —
+    // renumbering features after it.
+    let serving = Schema::builder("approved", vec!["no".into(), "yes".into(), "review".into()])
+        .numeric("age")
+        .numeric("income")
+        .numeric("job")
+        .build();
+    let shrunk = Schema::builder("approved", vec!["no".into(), "yes".into(), "review".into()])
+        .numeric("age")
+        .numeric("income")
+        .categorical("job", vec!["eng".into(), "teacher".into(), "retired".into()])
+        .categorical("region", vec!["north".into()])
+        .build();
+
+    // Unknown feature: "region" (index 3) does not exist in `serving`.
+    let clause = parse_clause("region = north", &authoring).unwrap();
+    assert!(matches!(clause.validate(&serving), Err(RuleError::UnknownFeature { index: 3 })));
+    assert!(CompiledClause::compile(&clause, &serving).is_err());
+
+    // Operator drift: Ne parsed on categorical "job" is not allowed once
+    // the serving schema holds it as numeric.
+    let clause = parse_clause("job != eng", &authoring).unwrap();
+    assert!(matches!(clause.validate(&serving), Err(RuleError::OperatorNotAllowed { .. })));
+    assert!(CompiledClause::compile(&clause, &serving).is_err());
+
+    // Out-of-vocabulary category: "south" (code 1) parsed fine but the
+    // shrunk vocabulary only holds "north".
+    let clause = parse_clause("region = south", &authoring).unwrap();
+    assert!(matches!(clause.validate(&shrunk), Err(RuleError::ValueKindMismatch { .. })));
+    assert!(CompiledClause::compile(&clause, &shrunk).is_err());
+
+    // The scan layer surfaces the same error as a Result instead of the
+    // interpreter's panic: try_coverage on a dataset built on the drifted
+    // schema refuses the mismatched clause.
+    let mut ds = Dataset::new(serving.clone());
+    ds.push_row(&[Value::Num(30.0), Value::Num(50_000.0), Value::Num(3.0)], 1).unwrap();
+    let clause = parse_clause("job = teacher", &authoring).unwrap();
+    assert!(clause.try_coverage(&ds).is_err());
+    assert!(clause.try_coverage_count(&ds).is_err());
+
+    // And the same clauses validate (and compile) cleanly against the
+    // schema they were authored for — the failures above are drift, not
+    // over-strictness.
+    for text in ["region = north", "job != eng", "region = south", "job = teacher"] {
+        let clause = parse_clause(text, &authoring).unwrap();
+        assert!(clause.validate(&authoring).is_ok(), "`{text}`");
+        assert!(CompiledClause::compile(&clause, &authoring).is_ok(), "`{text}`");
+    }
+}
+
 #[test]
 fn parse_rejects_what_display_never_produces() {
     let s = schema();
