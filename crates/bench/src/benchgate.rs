@@ -5,7 +5,16 @@
 //! whose serial/parallel outputs diverged, fails the job) while **timings
 //! are warn-only** — shared CI runners make wall-clock too noisy to gate,
 //! so the delta table is printed for humans instead.
+//!
+//! Since PR 7 the record also carries a `metrics` section (the `frote-obs`
+//! snapshot taken at the end of the perfsmoke run). Its **thread-invariant
+//! counters are gated like output hashes** — they count interior work
+//! (cache appends, FROTE accepts, histogram nodes) that is pinned by the
+//! determinism contract, so a moved count is a behaviour change. Counters
+//! tagged `thread_variant`, gauges, and latency histograms are
+//! timing-adjacent and stay warn-only.
 
+use frote_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// FNV-1a as a [`std::hash::Hasher`] — the canonical stable digest shared
@@ -46,7 +55,7 @@ impl std::hash::Hasher for FnvHasher {
 /// committed default. Shared by `perfsmoke` (writer) and `benchdiff`
 /// (reader) so the name is wired in exactly one place.
 pub fn default_bench_file() -> String {
-    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr6.json".to_string())
+    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr7.json".to_string())
 }
 
 /// The per-probe fields the gate reads (a subset of perfsmoke's record, so
@@ -70,6 +79,8 @@ pub struct GateRecord {
 pub struct GateFile {
     /// All probe records.
     pub benches: Vec<GateRecord>,
+    /// The `frote-obs` snapshot of the run (absent in pre-PR 7 baselines).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// The gate's verdict: a human delta table, warn-only notes, and the
@@ -150,7 +161,69 @@ pub fn compare(old: &GateFile, new: &GateFile) -> GateOutcome {
             outcome.notes.push(format!("{}: probe removed since the baseline", o.name));
         }
     }
+    match (&old.metrics, &new.metrics) {
+        (_, None) => outcome
+            .notes
+            .push("fresh run carries no metrics section; interior counters not gated".to_string()),
+        (None, Some(_)) => outcome
+            .notes
+            .push("baseline has no metrics section; metric gating starts next run".to_string()),
+        (Some(o), Some(n)) => compare_metrics(o, n, &mut outcome),
+    }
     outcome
+}
+
+/// Diffs the two runs' metric snapshots into `outcome`. Thread-invariant
+/// counter mismatches are hard failures (same contract as the output
+/// hashes); everything timing-adjacent — `thread_variant` counters, gauges,
+/// latency histograms — lands in the warn-only notes.
+fn compare_metrics(old: &MetricsSnapshot, new: &MetricsSnapshot, outcome: &mut GateOutcome) {
+    for c in &new.counters {
+        let Some(o) = old.counters.iter().find(|o| o.name == c.name) else {
+            outcome.notes.push(format!("{}: new counter (no baseline)", c.name));
+            continue;
+        };
+        if o.value == c.value {
+            continue;
+        }
+        if o.variance == "invariant" && c.variance == "invariant" {
+            outcome.failures.push(format!(
+                "{}: invariant counter changed ({} -> {}) — behaviour regression, or an \
+                 intentional change that needs a regenerated baseline",
+                c.name, o.value, c.value
+            ));
+        } else {
+            outcome.notes.push(format!(
+                "{}: thread-variant counter moved ({} -> {}); warn-only",
+                c.name, o.value, c.value
+            ));
+        }
+    }
+    for o in &old.counters {
+        if !new.counters.iter().any(|c| c.name == o.name) {
+            outcome.notes.push(format!("{}: counter removed since the baseline", o.name));
+        }
+    }
+    for g in &new.gauges {
+        if let Some(o) = old.gauges.iter().find(|o| o.name == g.name) {
+            if o.value.to_bits() != g.value.to_bits() {
+                outcome.notes.push(format!(
+                    "{}: gauge moved ({} -> {}); warn-only",
+                    g.name, o.value, g.value
+                ));
+            }
+        }
+    }
+    for h in &new.histograms {
+        if let Some(o) = old.histograms.iter().find(|o| o.name == h.name) {
+            if o.count != h.count {
+                outcome.notes.push(format!(
+                    "{}: histogram span count moved ({} -> {}); warn-only",
+                    h.name, o.count, h.count
+                ));
+            }
+        }
+    }
 }
 
 /// Picks the baseline `BENCH_*.json` in `dir`: the highest-numbered
@@ -197,8 +270,8 @@ mod tests {
 
     #[test]
     fn clean_run_passes() {
-        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { benches: vec![rec("a", Some("1"), true)] };
+        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed(), "{:?}", out.failures);
         assert_eq!(out.table.len(), 2, "header + one probe");
@@ -206,8 +279,8 @@ mod tests {
 
     #[test]
     fn hash_mismatch_fails() {
-        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { benches: vec![rec("a", Some("2"), true)] };
+        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { metrics: None, benches: vec![rec("a", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(!out.passed());
         assert!(out.failures[0].contains("output hash changed"), "{}", out.failures[0]);
@@ -215,8 +288,8 @@ mod tests {
 
     #[test]
     fn determinism_break_fails_even_without_baseline() {
-        let old = GateFile { benches: Vec::new() };
-        let new = GateFile { benches: vec![rec("a", Some("1"), false)] };
+        let old = GateFile { metrics: None, benches: Vec::new() };
+        let new = GateFile { metrics: None, benches: vec![rec("a", Some("1"), false)] };
         let out = compare(&old, &new);
         assert!(!out.passed());
         assert!(out.failures[0].contains("diverged"));
@@ -224,8 +297,8 @@ mod tests {
 
     #[test]
     fn missing_baseline_hash_warns_only() {
-        let old = GateFile { benches: vec![rec("a", None, true)] };
-        let new = GateFile { benches: vec![rec("a", Some("2"), true)] };
+        let old = GateFile { metrics: None, benches: vec![rec("a", None, true)] };
+        let new = GateFile { metrics: None, benches: vec![rec("a", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed(), "pre-gate baselines must not fail the job");
         assert!(out.notes.iter().any(|n| n.contains("gating starts next run")));
@@ -233,8 +306,8 @@ mod tests {
 
     #[test]
     fn added_and_removed_probes_are_notes() {
-        let old = GateFile { benches: vec![rec("gone", Some("1"), true)] };
-        let new = GateFile { benches: vec![rec("fresh", Some("2"), true)] };
+        let old = GateFile { metrics: None, benches: vec![rec("gone", Some("1"), true)] };
+        let new = GateFile { metrics: None, benches: vec![rec("fresh", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed());
         assert!(out.notes.iter().any(|n| n.contains("new probe")));
@@ -246,11 +319,80 @@ mod tests {
         let mut slow = rec("a", Some("1"), true);
         slow.serial_ms = 1000.0;
         slow.parallel_ms = 900.0;
-        let old = GateFile { benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { benches: vec![slow] };
+        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { metrics: None, benches: vec![slow] };
         let out = compare(&old, &new);
         assert!(out.passed(), "timings are warn-only");
         assert!(out.table[1].contains('%'));
+    }
+
+    fn counter(name: &str, variance: &str, value: u64) -> frote_obs::CounterSnapshot {
+        frote_obs::CounterSnapshot { name: name.to_string(), variance: variance.to_string(), value }
+    }
+
+    fn with_metrics(counters: Vec<frote_obs::CounterSnapshot>) -> GateFile {
+        GateFile {
+            benches: vec![rec("a", Some("1"), true)],
+            metrics: Some(MetricsSnapshot { counters, ..Default::default() }),
+        }
+    }
+
+    #[test]
+    fn invariant_counter_change_fails() {
+        let old = with_metrics(vec![counter("frote.accepted", "invariant", 3)]);
+        let new = with_metrics(vec![counter("frote.accepted", "invariant", 2)]);
+        let out = compare(&old, &new);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("invariant counter changed"), "{}", out.failures[0]);
+    }
+
+    #[test]
+    fn thread_variant_counter_change_warns_only() {
+        let old = with_metrics(vec![counter("par.tasks", "thread_variant", 100)]);
+        let new = with_metrics(vec![counter("par.tasks", "thread_variant", 250)]);
+        let out = compare(&old, &new);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("warn-only")), "{:?}", out.notes);
+    }
+
+    #[test]
+    fn matching_metrics_pass_silently() {
+        let old = with_metrics(vec![counter("frote.accepted", "invariant", 3)]);
+        let new = with_metrics(vec![counter("frote.accepted", "invariant", 3)]);
+        let out = compare(&old, &new);
+        assert!(out.passed());
+        assert!(out.notes.is_empty(), "{:?}", out.notes);
+    }
+
+    #[test]
+    fn missing_baseline_metrics_warns_only() {
+        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = with_metrics(vec![counter("frote.accepted", "invariant", 3)]);
+        let out = compare(&old, &new);
+        assert!(out.passed(), "pre-PR 7 baselines must not fail the job");
+        assert!(out.notes.iter().any(|n| n.contains("metric gating starts next run")));
+    }
+
+    #[test]
+    fn added_and_removed_counters_are_notes() {
+        let old = with_metrics(vec![counter("gone", "invariant", 1)]);
+        let new = with_metrics(vec![counter("fresh", "invariant", 2)]);
+        let out = compare(&old, &new);
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("new counter")));
+        assert!(out.notes.iter().any(|n| n.contains("counter removed")));
+    }
+
+    #[test]
+    fn gate_file_parses_with_metrics_section() {
+        let parsed: GateFile = serde_json::from_str(
+            r#"{"benches":[{"name":"a","serial_ms":1.0,"parallel_ms":2.0,"identical":true}],
+                "metrics":{"counters":[{"name":"frote.accepted","variance":"invariant",
+                "value":3}],"gauges":[],"histograms":[]}}"#,
+        )
+        .expect("parses with metrics");
+        let metrics = parsed.metrics.expect("metrics present");
+        assert_eq!(metrics.counter("frote.accepted"), Some(3));
     }
 
     #[test]

@@ -69,4 +69,5 @@ fn main() {
             &rows,
         )
     );
+    opts.emit_metrics();
 }

@@ -40,4 +40,5 @@ fn main() {
             &rows,
         )
     );
+    opts.emit_metrics();
 }

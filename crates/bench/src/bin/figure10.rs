@@ -13,4 +13,5 @@ fn main() {
         let cells = rule_count::run_dataset(kind, opts.scale, &rule_count::SIZE_GRID);
         println!("{}", rule_count::render_cells(kind, &cells));
     }
+    opts.emit_metrics();
 }

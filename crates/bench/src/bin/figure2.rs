@@ -31,4 +31,5 @@ fn main() {
         let cells = benefit::run_dataset(kind, opts.scale, opts.mod_strategy, tcf_grid);
         println!("{}", benefit::render_cells(kind, opts.mod_strategy, &cells));
     }
+    opts.emit_metrics();
 }

@@ -19,4 +19,5 @@ fn main() {
     };
     let curves = progress::run_dataset(kind, opts.scale, tcf_grid);
     print!("{}", progress::render_curves(kind, &curves));
+    opts.emit_metrics();
 }

@@ -1,6 +1,8 @@
 //! Perf smoke: times the parallelized hot paths at 1 and N threads and
-//! writes a `BENCH_*.json` record (default `BENCH_pr6.json` at the
-//! repository root; override with `--out <path>`).
+//! writes a `BENCH_*.json` record (default `BENCH_pr7.json` at the
+//! repository root; override with `--out <path>`), including an end-of-run
+//! `frote-obs` metrics snapshot whose thread-invariant counters `benchdiff`
+//! gates like output hashes.
 //!
 //! Probes cover the `frote-par` runtime (kNN batch query, SMOTE generation,
 //! one full FROTE iteration), the dense data plane (batch encoding into
@@ -24,7 +26,7 @@
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
-use frote::{Frote, FroteConfig};
+use frote::{Frote, FroteConfig, SelectionStrategy};
 use frote_bench::benchgate::{default_bench_file, FnvHasher};
 use frote_bench::CliOptions;
 use frote_data::encode::Encoder;
@@ -91,6 +93,10 @@ struct PerfSmoke {
     threads_compared: Vec<usize>,
     benches: Vec<BenchRecord>,
     mode_comparisons: Vec<ModeComparison>,
+    /// End-of-run `frote-obs` snapshot: the interior counters (cache
+    /// appends, FROTE accepts, histogram nodes, …) behind the timings.
+    /// `benchdiff` gates the thread-invariant counters like output hashes.
+    metrics: frote_obs::MetricsSnapshot,
     note: String,
 }
 
@@ -230,6 +236,10 @@ fn main() {
     // pin both sides of every comparison; this binary owns its thread count.
     std::env::remove_var("FROTE_THREADS");
     let opts = CliOptions::from_env();
+    // Interior counters feed the record's `metrics` section. Recording is
+    // observation-only — every digest asserted below is pinned by the
+    // determinism contract whether the registry is on or off.
+    frote_obs::set_metrics_enabled(true);
     let threads = opts.threads.unwrap_or(4);
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("perfsmoke: serial vs {threads} threads (host parallelism {host})");
@@ -501,6 +511,38 @@ fn main() {
         hash_of(&format!("{:?}{:?}", out.dataset, out.report))
     }));
 
+    // 12. Three FROTE iterations with the online-proxy selector under
+    // histogram-mode RF retrains on the categorical Car table — the
+    // configuration that drives all three incremental caches (encoded,
+    // binned, rule-mask) through their *append* paths (categorical
+    // encoder/binner fits don't move when rows are appended, so syncs
+    // stay incremental instead of rebuilding), giving the `metrics`
+    // section below nonzero `*.sync.append` counters for `benchdiff`
+    // to gate.
+    let hist_trainer = RandomForestTrainer::new(
+        ForestParams {
+            n_trees: 8,
+            tree: TreeParams {
+                max_depth: 6,
+                split_mode: SplitMode::histogram(),
+                ..Default::default()
+            },
+        },
+        42,
+    );
+    let online_config = FroteConfig {
+        iteration_limit: 3,
+        instances_per_iteration: Some(30),
+        selection: SelectionStrategy::OnlineProxy,
+        ..Default::default()
+    };
+    benches.push(record("frote_loop_online_hist", threads, 2, || {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out =
+            Frote::new(online_config).run(&car, &hist_trainer, &frs, &mut rng).expect("frote runs");
+        hash_of(&format!("{:?}{:?}", out.dataset, out.report))
+    }));
+
     for b in &benches {
         println!(
             "  {:<22} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {} | fnv {}",
@@ -520,6 +562,7 @@ fn main() {
         threads_compared: vec![1, threads],
         benches,
         mode_comparisons,
+        metrics: frote_obs::snapshot(),
         note: "speedups are recorded, not gated; single-core hosts report ~1x parallel speedups"
             .to_string(),
     };

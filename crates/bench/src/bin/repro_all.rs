@@ -60,4 +60,5 @@ fn main() {
     };
     let curves = progress::run_dataset(fig9_kind, scale, &[0.0, 0.2]);
     print!("{}", progress::render_curves(fig9_kind, &curves));
+    opts.emit_metrics();
 }

@@ -6,4 +6,5 @@ use frote_eval::experiments::table1;
 fn main() {
     let opts = CliOptions::from_env();
     print!("{}", table1::run(opts.scale));
+    opts.emit_metrics();
 }

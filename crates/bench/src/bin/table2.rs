@@ -13,4 +13,5 @@ fn main() {
         "{}",
         overlay_cmp::render_delta_j("Table 2: ΔJ̄ vs Overlay on binary datasets", &cells)
     );
+    opts.emit_metrics();
 }

@@ -32,4 +32,5 @@ fn main() {
     } else {
         println!("{}", selection_cmp::render_table3(&kinds, &cells));
     }
+    opts.emit_metrics();
 }

@@ -15,4 +15,5 @@ fn main() {
     };
     let cells = selection_cmp::run_datasets(&kinds, opts.scale);
     println!("{}", selection_cmp::render_table4(&kinds, &cells));
+    opts.emit_metrics();
 }

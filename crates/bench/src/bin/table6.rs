@@ -10,4 +10,5 @@ fn main() {
     let kinds = [DatasetKind::Mushroom, DatasetKind::WineQuality, DatasetKind::BreastCancer];
     let cells = probabilistic::run_datasets(&kinds, opts.scale);
     println!("{}", probabilistic::render_cells(&cells));
+    opts.emit_metrics();
 }

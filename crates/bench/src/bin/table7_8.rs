@@ -12,4 +12,5 @@ fn main() {
     let kinds = [DatasetKind::BreastCancer, DatasetKind::Mushroom, DatasetKind::Adult];
     let cells = overlay_cmp::run_datasets(&kinds, opts.scale);
     println!("{}", overlay_cmp::render_mra_f(&cells));
+    opts.emit_metrics();
 }

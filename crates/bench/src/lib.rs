@@ -15,201 +15,6 @@
 #![warn(missing_docs)]
 
 pub mod benchgate;
+pub mod cli;
 
-use frote_eval::Scale;
-
-/// Parsed command-line options shared by all experiment binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliOptions {
-    /// Experiment scale (default smoke).
-    pub scale: Scale,
-    /// Run on all applicable datasets rather than the paper's headline
-    /// subset (`--all-datasets`).
-    pub all_datasets: bool,
-    /// Modification strategy override (`--mod-strategy none|relabel|drop`).
-    pub mod_strategy: frote::ModStrategy,
-    /// Emit machine-readable JSON (via `frote_eval::export`) instead of the
-    /// text table, where the binary supports it (`--json`).
-    pub json: bool,
-    /// Worker-thread override for the `frote-par` runtime (`--threads N`).
-    /// `None` leaves the `frote_par::threads()` resolution untouched
-    /// (`FROTE_THREADS` env var → available parallelism). Results are
-    /// bit-identical at any setting; only wall-clock changes.
-    pub threads: Option<usize>,
-    /// Tree split-search override
-    /// (`--split-mode exact|histogram|histogram:<bins>`). `None` leaves the
-    /// process-wide default (exact) untouched; `Some` installs the mode via
-    /// [`frote_ml::set_default_split_mode`] so every tree trainer the
-    /// experiment harness constructs picks it up.
-    pub split_mode: Option<frote_ml::SplitMode>,
-    /// Output-path override for binaries that write a report file
-    /// (`--out <path>`, currently `perfsmoke`).
-    pub out: Option<String>,
-}
-
-impl Default for CliOptions {
-    fn default() -> Self {
-        CliOptions {
-            scale: Scale::Smoke,
-            all_datasets: false,
-            mod_strategy: frote::ModStrategy::Relabel,
-            json: false,
-            threads: None,
-            split_mode: None,
-            out: None,
-        }
-    }
-}
-
-impl CliOptions {
-    /// Parses options from an argument iterator (excluding `argv[0]`).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown arguments — appropriate for
-    /// the small experiment binaries this serves.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
-        let mut opts = CliOptions::default();
-        let mut iter = args.into_iter();
-        while let Some(arg) = iter.next() {
-            match arg.as_str() {
-                "--scale" => {
-                    let v = iter.next().expect("--scale requires a value");
-                    opts.scale = Scale::parse(&v)
-                        .unwrap_or_else(|| panic!("unknown scale {v:?} (smoke|paper)"));
-                }
-                "--all-datasets" => opts.all_datasets = true,
-                "--json" => opts.json = true,
-                "--threads" => {
-                    let v = iter.next().expect("--threads requires a value");
-                    let n: usize =
-                        v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                            panic!("--threads wants a positive integer, got {v:?}")
-                        });
-                    opts.threads = Some(n);
-                }
-                "--split-mode" => {
-                    let v = iter.next().expect("--split-mode requires a value");
-                    let mode = frote_ml::SplitMode::parse(&v).unwrap_or_else(|| {
-                        panic!("unknown split mode {v:?} (exact|histogram|histogram:<bins>)")
-                    });
-                    opts.split_mode = Some(mode);
-                }
-                "--out" => {
-                    let v = iter.next().expect("--out requires a value");
-                    opts.out = Some(v);
-                }
-                "--mod-strategy" => {
-                    let v = iter.next().expect("--mod-strategy requires a value");
-                    opts.mod_strategy = match v.as_str() {
-                        "none" => frote::ModStrategy::None,
-                        "relabel" => frote::ModStrategy::Relabel,
-                        "drop" => frote::ModStrategy::Drop,
-                        other => panic!("unknown mod strategy {other:?}"),
-                    };
-                }
-                other => panic!("unknown argument {other:?}"),
-            }
-        }
-        opts
-    }
-
-    /// Parses from the process arguments and applies side-effect options
-    /// (currently `--threads` → [`frote_par::set_threads`]).
-    pub fn from_env() -> CliOptions {
-        let opts = CliOptions::parse(std::env::args().skip(1));
-        opts.apply();
-        opts
-    }
-
-    /// Applies side-effect options: installs the `--threads` override into
-    /// the `frote-par` resolver (the `FROTE_THREADS` env var still wins, by
-    /// the resolver's documented precedence) and the `--split-mode` override
-    /// into the `frote-ml` split-mode default.
-    pub fn apply(&self) {
-        if let Some(n) = self.threads {
-            frote_par::set_threads(n);
-        }
-        if let Some(mode) = self.split_mode {
-            frote_ml::set_default_split_mode(mode);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(args: &[&str]) -> CliOptions {
-        CliOptions::parse(args.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults() {
-        let o = parse(&[]);
-        assert_eq!(o.scale, Scale::Smoke);
-        assert!(!o.all_datasets);
-    }
-
-    #[test]
-    fn full_parse() {
-        let o = parse(&[
-            "--scale",
-            "paper",
-            "--all-datasets",
-            "--mod-strategy",
-            "drop",
-            "--json",
-            "--threads",
-            "8",
-            "--split-mode",
-            "histogram:128",
-            "--out",
-            "BENCH_custom.json",
-        ]);
-        assert_eq!(o.scale, Scale::Paper);
-        assert!(o.all_datasets);
-        assert_eq!(o.mod_strategy, frote::ModStrategy::Drop);
-        assert!(o.json);
-        assert_eq!(o.threads, Some(8));
-        assert_eq!(o.split_mode, Some(frote_ml::SplitMode::Histogram { max_bins: 128 }));
-        assert_eq!(o.out.as_deref(), Some("BENCH_custom.json"));
-    }
-
-    #[test]
-    fn split_mode_applies_to_the_process_default() {
-        // Safe to flip here: this test binary trains no models.
-        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
-        parse(&["--split-mode", "histogram"]).apply();
-        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::histogram());
-        parse(&["--split-mode", "exact"]).apply();
-        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
-        // No flag: the default is left untouched.
-        parse(&[]).apply();
-        assert_eq!(frote_ml::default_split_mode(), frote_ml::SplitMode::Exact);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown split mode")]
-    fn bad_split_mode_rejected() {
-        parse(&["--split-mode", "sorted"]);
-    }
-
-    #[test]
-    #[should_panic(expected = "positive integer")]
-    fn zero_threads_rejected() {
-        parse(&["--threads", "0"]);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn unknown_argument_panics() {
-        parse(&["--wat"]);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown scale")]
-    fn unknown_scale_panics() {
-        parse(&["--scale", "galactic"]);
-    }
-}
+pub use cli::CliOptions;

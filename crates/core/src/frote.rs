@@ -2,6 +2,7 @@
 
 use frote_data::Dataset;
 use frote_ml::{Classifier, TrainAlgorithm};
+use frote_obs::{trace, Counter, Gauge, Histogram};
 use frote_rules::FeedbackRuleSet;
 use rand::rngs::StdRng;
 
@@ -12,6 +13,19 @@ use crate::objective::{empirical_j_masked, ObjectiveWeights};
 use crate::preselect::BasePopulation;
 use crate::report::{FroteReport, IterationRecord};
 use crate::select::{SelectCache, SelectionStrategy};
+
+// Loop metrics (see frote-obs). The counters and the objective gauge are
+// thread-invariant: accept/reject decisions and `Ĵ` are pinned bit-identical
+// at any `FROTE_THREADS` by the determinism contract. Only the span timings
+// vary run to run.
+static ITERATIONS: Counter = Counter::new("frote.iterations");
+static ACCEPTED: Counter = Counter::new("frote.accepted");
+static REJECTED: Counter = Counter::new("frote.rejected");
+static SYNTHETIC_ROWS: Counter = Counter::new("frote.synthetic_rows");
+static ROWS_APPENDED: Counter = Counter::new("frote.rows_appended");
+static ROWS_TRUNCATED: Counter = Counter::new("frote.rows_truncated");
+static OBJECTIVE: Gauge = Gauge::new("frote.objective");
+static ITERATION_SPAN: Histogram = Histogram::new("frote.iteration_ns");
 
 /// Configuration of a FROTE run. Defaults mirror the paper's experimental
 /// setup (§5.1): `q = 0.5`, `τ = 200`, `k = 5`, `random` selection,
@@ -187,6 +201,7 @@ impl Frote {
         let mut total_added = 0usize;
         let mut i = 0usize;
         while i < cfg.iteration_limit && total_added <= quota {
+            let _span = ITERATION_SPAN.span();
             let base = cfg.selection.select(
                 &active,
                 frs,
@@ -228,18 +243,35 @@ impl Frote {
                 total_added: total_added + if accepted { synthetic.n_rows() } else { 0 },
             };
             observer(candidate_model.as_ref(), &record);
+            ITERATIONS.inc();
+            SYNTHETIC_ROWS.add(synthetic.n_rows() as u64);
             if accepted {
+                ACCEPTED.inc();
+                ROWS_APPENDED.add(synthetic.n_rows() as u64);
+                OBJECTIVE.set(candidate_j.j);
                 active = candidate;
                 model = candidate_model;
                 best = candidate_j;
                 total_added += synthetic.n_rows();
                 bp = BasePopulation::pre_select(&active, frs, cfg.k);
             } else {
+                REJECTED.inc();
+                ROWS_TRUNCATED.add(synthetic.n_rows() as u64);
                 // Roll the train cache and rule-mask plane back to the
                 // surviving rows so the next candidate's rows replace the
                 // rejected ones.
                 select_cache.truncate_train(active.n_rows());
             }
+            trace::emit(
+                "frote.iteration",
+                &[
+                    ("iteration", i as f64),
+                    ("accepted", f64::from(u8::from(accepted))),
+                    ("proposed", synthetic.n_rows() as f64),
+                    ("objective", candidate_j.j),
+                    ("total_added", total_added as f64),
+                ],
+            );
             iterations.push(record);
             i += 1;
         }

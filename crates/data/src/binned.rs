@@ -13,13 +13,21 @@
 //! `b`, `bin(v) <= b` holds iff `v <= edges[b]` — so a tree trained on codes
 //! routes raw rows identically at predict time.
 
+use std::sync::OnceLock;
+
 use crate::column::Column;
 use crate::dataset::Dataset;
+use crate::sync::{CacheCounters, RebuildReason, SyncOutcome};
 use crate::value::{FeatureKind, Value};
 
 /// Rows per parallel block when batch-binning. Block boundaries never affect
 /// the codes, only the schedule.
 const BIN_BLOCK: usize = 1024;
+
+fn counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters::new("binned_cache"))
+}
 
 /// Per-feature binning rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -405,22 +413,35 @@ impl BinnedCache {
     }
 
     /// Brings the cache in sync with `ds`, whose leading `codes().n_rows()`
-    /// rows must be unchanged since the last sync. Returns `true` when the
-    /// update was incremental (edges unchanged — only new rows were binned)
-    /// and `false` when a full re-bin was required.
-    pub fn sync(&mut self, ds: &Dataset) -> bool {
+    /// rows must be unchanged since the last sync. Returns how the cache was
+    /// updated: [`SyncOutcome::Appended`] when the fitted edges held and only
+    /// new rows were binned, [`SyncOutcome::Rebuilt`] (with the reason) when
+    /// a full re-bin was required.
+    pub fn sync(&mut self, ds: &Dataset) -> SyncOutcome {
+        let outcome = self.sync_inner(ds);
+        counters().record_sync(&outcome);
+        outcome
+    }
+
+    fn sync_inner(&mut self, ds: &Dataset) -> SyncOutcome {
         if !self.stale_fit && ds.n_rows() == self.codes.n_rows() {
-            return true; // unchanged dataset: even the refit can be skipped
+            return SyncOutcome::Unchanged; // even the refit can be skipped
         }
+        let was_stale = self.stale_fit;
         self.stale_fit = false;
         let refit = Binner::fit(ds, self.binner.max_bins());
         if refit == self.binner {
+            let appended = ds.n_rows() - self.codes.n_rows();
             self.binner.append(ds, &mut self.codes);
-            true
+            SyncOutcome::Appended { rows: appended }
         } else {
             self.binner = refit;
             self.codes = self.binner.bin_dataset(ds);
-            false
+            SyncOutcome::Rebuilt(if was_stale {
+                RebuildReason::StaleFit
+            } else {
+                RebuildReason::FitChanged
+            })
         }
     }
 
@@ -432,6 +453,7 @@ impl BinnedCache {
     pub fn truncate(&mut self, rows: usize) {
         if rows < self.codes.n_rows() {
             self.stale_fit = true;
+            counters().record_truncate(self.codes.n_rows() - rows);
         }
         self.codes.truncate_rows(rows);
     }
@@ -559,7 +581,11 @@ mod tests {
         ds.push_row(&[Value::Cat(0)], 0).unwrap();
         let mut cache = BinnedCache::fit(&ds, 16);
         ds.push_row(&[Value::Cat(1)], 1).unwrap();
-        assert!(cache.sync(&ds), "categorical bins never change: append path");
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Appended { rows: 1 },
+            "categorical bins never change: append path"
+        );
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
     }
 
@@ -568,7 +594,11 @@ mod tests {
         let mut ds = mixed();
         let mut cache = BinnedCache::fit(&ds, 16);
         ds.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
-        assert!(!cache.sync(&ds), "new distinct value: edges move, full re-bin");
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Rebuilt(RebuildReason::FitChanged),
+            "new distinct value: edges move, full re-bin"
+        );
         assert_eq!(cache.binner(), &Binner::fit(&ds, 16));
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
     }
@@ -579,7 +609,11 @@ mod tests {
         let mut cache = BinnedCache::fit(&ds, 16);
         cache.truncate(5);
         assert_eq!(cache.codes().n_rows(), 5);
-        assert!(cache.sync(&ds));
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Appended { rows: 7 },
+            "unchanged edges survive the stale-fit re-check: append path"
+        );
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
     }
 
@@ -593,9 +627,17 @@ mod tests {
         let mut cache = BinnedCache::fit(&ds, 16);
         let mut candidate = ds.clone();
         candidate.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
-        assert!(!cache.sync(&candidate), "edges moved: full re-bin");
+        assert_eq!(
+            cache.sync(&candidate),
+            SyncOutcome::Rebuilt(RebuildReason::FitChanged),
+            "edges moved: full re-bin"
+        );
         cache.truncate(ds.n_rows());
-        cache.sync(&ds);
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Rebuilt(RebuildReason::StaleFit),
+            "rollback left edges fitted on dropped rows"
+        );
         assert_eq!(cache.binner(), &Binner::fit(&ds, 16), "fit restored after rollback");
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
     }

@@ -13,15 +13,23 @@
 //! with a dataset's trailing rows so growing datasets (FROTE's `D̂`) encode
 //! only what is new. [`EncodedCache`] packages that incremental discipline.
 
+use std::sync::OnceLock;
+
 use crate::column::Column;
 use crate::dataset::Dataset;
 use crate::matrix::FeatureMatrix;
 use crate::stats::NumericStats;
+use crate::sync::{CacheCounters, RebuildReason, SyncOutcome};
 use crate::value::{FeatureKind, Value};
 
 /// Rows per parallel block when batch-encoding. Block boundaries never
 /// affect results, only the schedule.
 const ENCODE_BLOCK: usize = 512;
+
+fn counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters::new("encoded_cache"))
+}
 
 /// A fitted feature encoder. See the [module docs](self).
 ///
@@ -187,22 +195,35 @@ impl EncodedCache {
 
     /// Brings the cache in sync with `ds`, whose leading `matrix().n_rows()`
     /// rows must be unchanged since the last sync (FROTE's loop only ever
-    /// appends). Returns `true` when the update was incremental (fitted
-    /// parameters unchanged — only new rows were encoded) and `false` when a
-    /// full re-encode was required.
-    pub fn sync(&mut self, ds: &Dataset) -> bool {
+    /// appends). Returns how the cache was updated: [`SyncOutcome::Appended`]
+    /// when the fitted parameters held and only new rows were encoded,
+    /// [`SyncOutcome::Rebuilt`] (with the reason) when a full re-encode was
+    /// required.
+    pub fn sync(&mut self, ds: &Dataset) -> SyncOutcome {
+        let outcome = self.sync_inner(ds);
+        counters().record_sync(&outcome);
+        outcome
+    }
+
+    fn sync_inner(&mut self, ds: &Dataset) -> SyncOutcome {
         if !self.stale_fit && ds.n_rows() == self.matrix.n_rows() {
-            return true; // unchanged dataset: even the refit can be skipped
+            return SyncOutcome::Unchanged; // even the refit can be skipped
         }
+        let was_stale = self.stale_fit;
         self.stale_fit = false;
         let refit = Encoder::fit(ds);
         if refit == self.encoder {
+            let appended = ds.n_rows() - self.matrix.n_rows();
             self.encoder.encode_append(ds, &mut self.matrix);
-            true
+            SyncOutcome::Appended { rows: appended }
         } else {
             self.encoder = refit;
             self.matrix = self.encoder.encode_dataset(ds);
-            false
+            SyncOutcome::Rebuilt(if was_stale {
+                RebuildReason::StaleFit
+            } else {
+                RebuildReason::FitChanged
+            })
         }
     }
 
@@ -214,6 +235,7 @@ impl EncodedCache {
     pub fn truncate(&mut self, rows: usize) {
         if rows < self.matrix.n_rows() {
             self.stale_fit = true;
+            counters().record_truncate(self.matrix.n_rows() - rows);
         }
         self.matrix.truncate_rows(rows);
     }
@@ -306,7 +328,11 @@ mod tests {
         ds.push_row(&[Value::Cat(0)], 0).unwrap();
         let mut cache = EncodedCache::fit(&ds);
         ds.push_row(&[Value::Cat(1)], 1).unwrap();
-        assert!(cache.sync(&ds), "one-hot params never change: append path");
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Appended { rows: 1 },
+            "one-hot params never change: append path"
+        );
         assert_eq!(cache.matrix().n_rows(), 2);
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
     }
@@ -316,7 +342,11 @@ mod tests {
         let mut ds = demo();
         let mut cache = EncodedCache::fit(&ds);
         ds.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
-        assert!(!cache.sync(&ds), "mean/std moved: full re-encode");
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Rebuilt(RebuildReason::FitChanged),
+            "mean/std moved: full re-encode"
+        );
         assert_eq!(cache.encoder(), &Encoder::fit(&ds));
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
     }
@@ -332,7 +362,11 @@ mod tests {
         let mut cache = EncodedCache::fit(&ds);
         cache.truncate(1);
         assert_eq!(cache.matrix().n_rows(), 1);
-        assert!(cache.sync(&ds));
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Appended { rows: 1 },
+            "categorical fit survives the stale-fit re-check: append path"
+        );
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
     }
 
@@ -346,11 +380,43 @@ mod tests {
         let mut cache = EncodedCache::fit(&ds);
         let mut candidate = ds.clone();
         candidate.push_row(&[Value::Num(100.0), Value::Cat(1)], 0).unwrap();
-        assert!(!cache.sync(&candidate), "stats moved: full re-encode");
+        assert_eq!(
+            cache.sync(&candidate),
+            SyncOutcome::Rebuilt(RebuildReason::FitChanged),
+            "stats moved: full re-encode"
+        );
         cache.truncate(ds.n_rows());
-        cache.sync(&ds);
+        assert_eq!(
+            cache.sync(&ds),
+            SyncOutcome::Rebuilt(RebuildReason::StaleFit),
+            "rollback left a fit computed on dropped rows"
+        );
         assert_eq!(cache.encoder(), &Encoder::fit(&ds), "fit restored after rollback");
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+    }
+
+    #[test]
+    fn sync_on_unchanged_dataset_is_a_noop() {
+        let ds = demo();
+        let mut cache = EncodedCache::fit(&ds);
+        assert_eq!(cache.sync(&ds), SyncOutcome::Unchanged);
+    }
+
+    #[test]
+    fn stale_recheck_without_growth_appends_zero_rows() {
+        // Rolling back to a prefix of a categorical dataset leaves the fit
+        // valid: the forced re-check confirms it without appending anything.
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut prefix = Dataset::new(schema);
+        prefix.push_row(&[Value::Cat(0)], 0).unwrap();
+        let mut grown = prefix.clone();
+        grown.push_row(&[Value::Cat(1)], 1).unwrap();
+        let mut cache = EncodedCache::fit(&grown);
+        cache.truncate(prefix.n_rows());
+        assert_eq!(cache.sync(&prefix), SyncOutcome::Appended { rows: 0 });
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&prefix));
     }
 
     #[test]

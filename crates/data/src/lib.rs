@@ -51,6 +51,7 @@ mod matrix;
 mod schema;
 pub mod split;
 pub mod stats;
+pub mod sync;
 pub mod synth;
 mod value;
 
@@ -61,4 +62,5 @@ pub use encode::{EncodedCache, Encoder};
 pub use error::DataError;
 pub use matrix::FeatureMatrix;
 pub use schema::{FeatureMeta, Schema, SchemaBuilder};
+pub use sync::{RebuildReason, SyncOutcome};
 pub use value::{FeatureKind, Value};

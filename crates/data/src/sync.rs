@@ -1,0 +1,123 @@
+//! Shared vocabulary for incremental-cache synchronisation results.
+//!
+//! [`EncodedCache::sync`](crate::EncodedCache::sync),
+//! [`BinnedCache::sync`](crate::BinnedCache::sync) and the rule plane's
+//! `RuleMaskCache::sync` all follow the same append-or-rebuild contract;
+//! [`SyncOutcome`] reports which path was taken and — for the slow path —
+//! *why*, so a silent full-rebuild regression (like the PR 5 stale-fit
+//! bug) shows up in metrics and can be asserted on in tests.
+
+/// Why a cache sync had to rebuild from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The cache held no rows yet; the first sync always builds in full.
+    FirstFit,
+    /// Refitting on the grown dataset produced different parameters
+    /// (e.g. appended rows moved a numeric mean/std), invalidating the
+    /// cached encodings.
+    FitChanged,
+    /// A prior truncate marked the fit stale (it may have been computed
+    /// on since-dropped rows) and the re-checked fit did not match.
+    StaleFit,
+}
+
+/// How a cache sync brought itself up to date with the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// Nothing to do: row counts matched and the fit was known-fresh.
+    Unchanged,
+    /// Fast path: fitted parameters held, only the `rows` new rows were
+    /// encoded/binned/evaluated and appended.
+    Appended {
+        /// Number of rows appended (may be 0 when a stale-fit re-check
+        /// confirmed the fit without any growth).
+        rows: usize,
+    },
+    /// Slow path: the whole cache was rebuilt, for the given reason.
+    Rebuilt(RebuildReason),
+}
+
+impl SyncOutcome {
+    /// Whether the sync avoided a full rebuild.
+    pub fn is_incremental(&self) -> bool {
+        !matches!(self, SyncOutcome::Rebuilt(_))
+    }
+}
+
+/// The metric bundle every incremental cache reports into, so all three
+/// caches share one naming scheme (`<prefix>.sync.noop`,
+/// `<prefix>.sync.append`, `<prefix>.sync.rebuild[.reason]`,
+/// `<prefix>.appended_rows`, `<prefix>.truncates`,
+/// `<prefix>.truncated_rows`). All counters are thread-invariant: sync
+/// decisions depend only on dataset contents, never on scheduling.
+pub struct CacheCounters {
+    noop: &'static frote_obs::Counter,
+    append: &'static frote_obs::Counter,
+    rebuild: &'static frote_obs::Counter,
+    rebuild_first_fit: &'static frote_obs::Counter,
+    rebuild_fit_changed: &'static frote_obs::Counter,
+    rebuild_stale_fit: &'static frote_obs::Counter,
+    appended_rows: &'static frote_obs::Counter,
+    truncates: &'static frote_obs::Counter,
+    truncated_rows: &'static frote_obs::Counter,
+}
+
+impl CacheCounters {
+    /// Build (once, at first use) the counter bundle for a cache
+    /// `prefix` such as `"encoded_cache"`.
+    pub fn new(prefix: &str) -> CacheCounters {
+        let c = |suffix: &str| {
+            frote_obs::leaked_counter(format!("{prefix}.{suffix}"), frote_obs::Variance::Invariant)
+        };
+        CacheCounters {
+            noop: c("sync.noop"),
+            append: c("sync.append"),
+            rebuild: c("sync.rebuild"),
+            rebuild_first_fit: c("sync.rebuild.first_fit"),
+            rebuild_fit_changed: c("sync.rebuild.fit_changed"),
+            rebuild_stale_fit: c("sync.rebuild.stale_fit"),
+            appended_rows: c("appended_rows"),
+            truncates: c("truncates"),
+            truncated_rows: c("truncated_rows"),
+        }
+    }
+
+    /// Count one sync under the path it took.
+    pub fn record_sync(&self, outcome: &SyncOutcome) {
+        match outcome {
+            SyncOutcome::Unchanged => self.noop.inc(),
+            SyncOutcome::Appended { rows } => {
+                self.append.inc();
+                self.appended_rows.add(*rows as u64);
+            }
+            SyncOutcome::Rebuilt(reason) => {
+                self.rebuild.inc();
+                match reason {
+                    RebuildReason::FirstFit => self.rebuild_first_fit.inc(),
+                    RebuildReason::FitChanged => self.rebuild_fit_changed.inc(),
+                    RebuildReason::StaleFit => self.rebuild_stale_fit.inc(),
+                }
+            }
+        }
+    }
+
+    /// Count one truncate that dropped `dropped` rows.
+    pub fn record_truncate(&self, dropped: usize) {
+        self.truncates.inc();
+        self.truncated_rows.add(dropped as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_covers_unchanged_and_appended() {
+        assert!(SyncOutcome::Unchanged.is_incremental());
+        assert!(SyncOutcome::Appended { rows: 3 }.is_incremental());
+        assert!(!SyncOutcome::Rebuilt(RebuildReason::FitChanged).is_incremental());
+        assert!(!SyncOutcome::Rebuilt(RebuildReason::StaleFit).is_incremental());
+        assert!(!SyncOutcome::Rebuilt(RebuildReason::FirstFit).is_incremental());
+    }
+}

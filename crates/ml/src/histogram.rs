@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use frote_data::{BinnedMatrix, Binner};
+use frote_obs::Counter;
 
 use crate::tree::SplitTest;
 
@@ -26,6 +27,13 @@ use crate::tree::SplitTest;
 /// histograms are reduced in block order, so boundaries never affect the
 /// result, only the schedule.
 const HIST_BLOCK: usize = 1024;
+
+// Histogram-plane metrics (see frote-obs). All thread-invariant: node
+// counts, subtraction hits, and zeroed-bin totals are functions of the
+// data and the fixed HIST_BLOCK chunking, never of the schedule.
+static NODES_BUILT: Counter = Counter::new("hist.nodes_built");
+static SIBLING_SUBTRACTIONS: Counter = Counter::new("hist.sibling_subtractions");
+static BINS_ZEROED: Counter = Counter::new("hist.bins_zeroed");
 
 /// Default bin budget of [`SplitMode::histogram`]: double the exact search's
 /// per-node threshold cap, and small enough for `u8` codes.
@@ -216,6 +224,7 @@ impl<'a> HistContext<'a> {
     ) -> Vec<f64> {
         let (offsets, total) = self.candidate_layout(features);
         let size = total * n_classes;
+        NODES_BUILT.inc();
         let hist = self.build_hist(indices, size, |i, h| {
             let y = labels[i] as usize;
             for (p, &f) in features.iter().enumerate() {
@@ -242,6 +251,7 @@ impl<'a> HistContext<'a> {
     /// fixed-order block reduction is what keeps them thread-count-invariant.
     pub(crate) fn reg_hist(&self, targets: &[f64], indices: &[usize]) -> Vec<f64> {
         let size = self.total_bins * 2;
+        NODES_BUILT.inc();
         self.build_hist(indices, size, |i, h| {
             let t = targets[i];
             for f in 0..self.n_features() {
@@ -259,6 +269,7 @@ impl<'a> HistContext<'a> {
         accumulate: impl Fn(usize, &mut [f64]) + Sync,
     ) -> Vec<f64> {
         let parts = frote_par::par_chunks_map(indices, HIST_BLOCK, |_, chunk| {
+            BINS_ZEROED.add(size as u64);
             let mut h = vec![0.0; size];
             for &i in chunk {
                 accumulate(i, &mut h);
@@ -266,7 +277,10 @@ impl<'a> HistContext<'a> {
             vec![h]
         });
         let mut parts = parts.into_iter();
-        let mut acc = parts.next().unwrap_or_else(|| vec![0.0; size]);
+        let mut acc = parts.next().unwrap_or_else(|| {
+            BINS_ZEROED.add(size as u64);
+            vec![0.0; size]
+        });
         for part in parts {
             for (a, p) in acc.iter_mut().zip(&part) {
                 *a += p;
@@ -279,6 +293,7 @@ impl<'a> HistContext<'a> {
     /// sibling's histogram. Counts stay exact; gradient sums stay
     /// deterministic (both operands are).
     pub(crate) fn subtract_hist(parent: &mut [f64], child: &[f64]) {
+        SIBLING_SUBTRACTIONS.inc();
         for (p, c) in parent.iter_mut().zip(child) {
             *p -= c;
         }

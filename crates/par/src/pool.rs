@@ -15,11 +15,26 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use frote_obs::{Counter, Gauge};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+// Pool metrics (see frote-obs). All thread-variant: task counts track the
+// chunking (which scales with the thread count) and steals/depth track the
+// schedule itself.
+static TASKS: Counter = Counter::thread_variant("par.tasks");
+static STEALS: Counter = Counter::thread_variant("par.steals");
+static SCOPE_DEPTH: Gauge = Gauge::thread_variant("par.scope_depth");
+
+/// Concurrently live scopes, feeding the `par.scope_depth` high-water mark.
+/// Always maintained (one relaxed op per coarse-grained scope) so toggling
+/// metrics mid-run can never unbalance it.
+static LIVE_SCOPES: AtomicU64 = AtomicU64::new(0);
 
 struct Shared {
     /// Pending jobs + the shutdown flag.
@@ -46,7 +61,7 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("frote-par-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -81,6 +96,8 @@ impl ThreadPool {
     where
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
+        let depth = LIVE_SCOPES.fetch_add(1, Ordering::Relaxed) + 1;
+        SCOPE_DEPTH.set_max(depth as f64);
         let scope = Scope {
             pool: self,
             state: Arc::new(ScopeState::default()),
@@ -89,6 +106,7 @@ impl ThreadPool {
         };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         scope.wait_helping();
+        LIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
         let task_panic = scope.state.panic.lock().expect("panic slot poisoned").take();
         match result {
             Err(payload) => resume_unwind(payload),
@@ -112,7 +130,13 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
+    // Resolved once per worker thread; the set of names is bounded by the
+    // pool size, and executions only count while metrics are enabled.
+    let executed = frote_obs::leaked_counter(
+        format!("par.worker.{index}.tasks"),
+        frote_obs::Variance::ThreadVariant,
+    );
     loop {
         let job = {
             let mut guard = shared.queue.lock().expect("pool queue poisoned");
@@ -129,6 +153,7 @@ fn worker_loop(shared: &Shared) {
         // Jobs never unwind: Scope::spawn wraps the user closure in
         // catch_unwind and stores the payload for the scope owner.
         job();
+        executed.inc();
     }
 }
 
@@ -156,6 +181,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        TASKS.inc();
         *self.state.pending.lock().expect("scope state poisoned") += 1;
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
@@ -184,6 +210,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     fn wait_helping(&self) {
         loop {
             if let Some(job) = self.pool.try_pop() {
+                STEALS.inc();
                 job();
                 continue;
             }

@@ -40,8 +40,11 @@
 //! truncation is exact and needs no stale-fit flag.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
-use frote_data::{BinnedMatrix, Binner, Dataset, FeatureKind, Schema, Value};
+use frote_data::sync::CacheCounters;
+use frote_data::{BinnedMatrix, Binner, Dataset, FeatureKind, Schema, SyncOutcome, Value};
+use frote_obs::Counter;
 
 use crate::clause::Clause;
 use crate::error::RuleError;
@@ -51,6 +54,19 @@ use crate::ruleset::FeedbackRuleSet;
 /// Datasets below this row count are swept serially (same threshold as the
 /// interpreter's scan): the pool only pays off on biggish inputs.
 const PAR_SCAN_MIN: usize = 4096;
+
+// Engine metrics (see frote-obs). All thread-invariant: which plane a scan
+// uses and which rows hit the ambiguous-bin fallback depend on inputs and
+// fitted edges, never on scheduling.
+static CLAUSES_COMPILED: Counter = Counter::new("rule_engine.clauses_compiled");
+static EVAL_RAW: Counter = Counter::new("rule_engine.eval_raw");
+static EVAL_BINNED: Counter = Counter::new("rule_engine.eval_binned");
+static BINNED_FALLBACK_ROWS: Counter = Counter::new("rule_engine.binned_fallback_rows");
+
+fn mask_cache_counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters::new("rule_mask_cache"))
+}
 
 /// Rows per parallel block. A multiple of 64 so every block starts on a
 /// `u64` word boundary and the per-block word vectors concatenate into the
@@ -319,6 +335,7 @@ impl CompiledClause {
     /// is the pre-validation step that makes the scans panic-free.
     pub fn compile(clause: &Clause, schema: &Schema) -> Result<CompiledClause, RuleError> {
         clause.validate(schema)?;
+        CLAUSES_COMPILED.inc();
         let preds = clause
             .predicates()
             .iter()
@@ -347,6 +364,7 @@ impl CompiledClause {
     /// each predicate's column over fixed row blocks in parallel
     /// (block-order concatenation keeps the result thread-count-invariant).
     pub fn eval(&self, ds: &Dataset) -> RowMask {
+        EVAL_RAW.inc();
         let n = ds.n_rows();
         if n < PAR_SCAN_MIN || frote_par::threads() <= 1 {
             return RowMask::from_words(self.block_words(ds, 0..n), n);
@@ -422,14 +440,19 @@ impl CompiledClause {
                 }
             })
             .collect();
+        EVAL_BINNED.inc();
         let n = ds.n_rows();
         let fill = |rows: Range<usize>| {
             let len = rows.len();
             let mut words = vec![0u64; len.div_ceil(64)];
+            // Fallbacks accumulate in a block-local and flush with one
+            // atomic add, keeping the per-row loop free of shared writes.
+            let mut fallbacks = 0u64;
             for (k, i) in rows.enumerate() {
-                let hit = plans.iter().all(|p| p.holds(codes, i));
+                let hit = plans.iter().all(|p| p.holds(codes, i, &mut fallbacks));
                 words[k / 64] |= u64::from(hit) << (k % 64);
             }
+            BINNED_FALLBACK_ROWS.add(fallbacks);
             words
         };
         if n < PAR_SCAN_MIN || frote_par::threads() <= 1 {
@@ -449,12 +472,15 @@ enum BinnedPred<'a> {
 
 impl BinnedPred<'_> {
     #[inline]
-    fn holds(&self, codes: &BinnedMatrix, i: usize) -> bool {
+    fn holds(&self, codes: &BinnedMatrix, i: usize, fallbacks: &mut u64) -> bool {
         match *self {
             BinnedPred::Num { col, op, t, c, edge, raw } => {
                 match binned_decide(op, t, c, edge, codes.code(i, col)) {
                     Some(hit) => hit,
-                    None => num_holds(op, raw[i], t),
+                    None => {
+                        *fallbacks += 1;
+                        num_holds(op, raw[i], t)
+                    }
                 }
             }
             BinnedPred::Cat { col, code, ne } => (codes.code(i, col) == code) != ne,
@@ -623,33 +649,46 @@ impl RuleMaskCache {
 
     /// Brings the masks in sync with `ds`, whose leading `rows()` rows
     /// must be unchanged since the last sync. The first sync evaluates
-    /// every row in parallel; later syncs append only the new tail.
+    /// every row in parallel ([`SyncOutcome::Rebuilt`] with
+    /// [`RebuildReason::FirstFit`](frote_data::RebuildReason::FirstFit));
+    /// later syncs append only the new tail. There is no fit to go stale,
+    /// so those are the only slow-path variants.
     ///
     /// # Panics
     ///
     /// Panics if `ds` has fewer rows than already synced (truncate first).
-    pub fn sync(&mut self, ds: &Dataset) {
+    pub fn sync(&mut self, ds: &Dataset) -> SyncOutcome {
+        let outcome = self.sync_inner(ds);
+        mask_cache_counters().record_sync(&outcome);
+        outcome
+    }
+
+    fn sync_inner(&mut self, ds: &Dataset) -> SyncOutcome {
         let n = ds.n_rows();
         assert!(n >= self.rows, "dataset shrank below the synced rows; call truncate instead");
         if n == self.rows {
-            return;
+            return SyncOutcome::Unchanged;
         }
-        if self.rows == 0 {
+        let outcome = if self.rows == 0 {
             self.masks = self.compiled.rule_masks(ds);
+            SyncOutcome::Rebuilt(frote_data::RebuildReason::FirstFit)
         } else {
             for (clause, mask) in self.compiled.clauses.iter().zip(&mut self.masks) {
                 for i in self.rows..n {
                     mask.push(clause.holds_row(ds, i));
                 }
             }
-        }
+            SyncOutcome::Appended { rows: n - self.rows }
+        };
         self.rows = n;
+        outcome
     }
 
     /// Drops mask bits past the first `rows` rows (rejecting a candidate
     /// batch). Exact — surviving bits stay valid verbatim.
     pub fn truncate(&mut self, rows: usize) {
         if rows < self.rows {
+            mask_cache_counters().record_truncate(self.rows - rows);
             for mask in &mut self.masks {
                 mask.truncate(rows);
             }
@@ -883,7 +922,11 @@ mod tests {
         assert_eq!(cache.n_rules(), 3);
 
         let mut d = ds();
-        cache.sync(&d);
+        assert_eq!(
+            cache.sync(&d),
+            SyncOutcome::Rebuilt(frote_data::RebuildReason::FirstFit),
+            "first sync evaluates the whole dataset"
+        );
         assert_eq!(cache.rows(), d.n_rows());
         let fresh = CompiledRuleSet::compile(&f, &schema()).unwrap();
         assert_eq!(cache.masks(), fresh.rule_masks(&d).as_slice());
@@ -892,7 +935,7 @@ mod tests {
         for i in 0..5 {
             d.push_row(&[Value::Num(f64::from(i)), Value::Cat(0)], 1).unwrap();
         }
-        cache.sync(&d);
+        assert_eq!(cache.sync(&d), SyncOutcome::Appended { rows: 5 });
         assert_eq!(cache.masks(), fresh.rule_masks(&d).as_slice());
         assert_eq!(cache.coverage(), fresh.coverage(&d));
         assert_eq!(cache.outside_coverage(), fresh.outside_coverage(&d));
@@ -901,7 +944,7 @@ mod tests {
         // Reject the tail: truncate is exact, and re-sync is a no-op.
         let base = ds();
         cache.truncate(base.n_rows());
-        cache.sync(&base);
+        assert_eq!(cache.sync(&base), SyncOutcome::Unchanged, "exact rollback: nothing to redo");
         assert_eq!(cache.masks(), fresh.rule_masks(&base).as_slice());
     }
 

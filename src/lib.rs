@@ -19,6 +19,7 @@
 //! - [`overlay`] — the Overlay post-processing baseline (Daly et al. 2021)
 //! - [`par`] — deterministic parallel-execution runtime (thread pool + seed
 //!   splitting + the `FROTE_THREADS` resolver)
+//! - [`obs`] — zero-perturbation metrics registry + structured event trace
 //! - [`core`] — the FROTE algorithm itself
 //! - [`eval`] — the experiment harness reproducing every table and figure
 
@@ -27,6 +28,7 @@ pub use frote_data as data;
 pub use frote_eval as eval;
 pub use frote_induct as induct;
 pub use frote_ml as ml;
+pub use frote_obs as obs;
 pub use frote_opt as opt;
 pub use frote_overlay as overlay;
 pub use frote_par as par;
