@@ -66,8 +66,12 @@ impl Binner {
     pub fn fit(ds: &Dataset, max_bins: usize) -> Binner {
         assert!(max_bins >= 2, "max_bins must be at least 2");
         assert!(max_bins <= (u16::MAX as usize) + 1, "max_bins exceeds u16 code space");
-        let feats = (0..ds.n_features())
-            .map(|j| match (ds.column(j), ds.schema().feature(j).kind()) {
+        // Quantile edge fitting sorts each numeric column independently, so
+        // the fit is feature-parallel; `par_map` preserves feature order,
+        // keeping the edges bit-identical to the old serial loop.
+        let feature_ids: Vec<usize> = (0..ds.n_features()).collect();
+        let feats = frote_par::par_map(&feature_ids, |&j| {
+            match (ds.column(j), ds.schema().feature(j).kind()) {
                 (Column::Numeric(v), _) => fit_numeric(v, max_bins),
                 (Column::Categorical(_), FeatureKind::Categorical { categories }) => {
                     assert!(
@@ -77,8 +81,8 @@ impl Binner {
                     FeatBins::Categorical { cardinality: categories.len() }
                 }
                 _ => unreachable!("dataset column/schema kind mismatch"),
-            })
-            .collect();
+            }
+        });
         Binner { feats, max_bins }
     }
 

@@ -18,6 +18,7 @@ use std::sync::OnceLock;
 use crate::column::Column;
 use crate::dataset::Dataset;
 use crate::matrix::FeatureMatrix;
+use crate::sharded::ShardedMatrix;
 use crate::stats::NumericStats;
 use crate::sync::{CacheCounters, RebuildReason, SyncOutcome};
 use crate::value::{FeatureKind, Value};
@@ -157,6 +158,50 @@ impl Encoder {
     /// Panics if the matrix width differs from the encoder width, or if the
     /// matrix already has more rows than `ds`.
     pub fn encode_append(&self, ds: &Dataset, matrix: &mut FeatureMatrix) {
+        assert_eq!(matrix.width(), self.width, "matrix width must equal the encoder width");
+        assert!(matrix.n_rows() <= ds.n_rows(), "matrix has more rows than the dataset");
+        for i in matrix.n_rows()..ds.n_rows() {
+            matrix.push_row_with(|buf| self.encode_ds_row(ds, i, buf));
+        }
+    }
+
+    /// Encodes every row of `ds` into a [`ShardedMatrix`], one parallel
+    /// task per shard (shard size from the [`crate::sharded::shard_rows`]
+    /// resolver). Every cell funnels through the same encoding arithmetic
+    /// as [`Encoder::encode`], so the result flattens cell-for-cell equal
+    /// to [`Encoder::encode_dataset`] at any shard size or thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds`'s schema does not match the fitted dataset's.
+    pub fn encode_dataset_sharded(&self, ds: &Dataset) -> ShardedMatrix {
+        assert_eq!(ds.n_features(), self.cols.len(), "row arity mismatch");
+        let shard_rows = crate::sharded::shard_rows();
+        let n = ds.n_rows();
+        let ranges: Vec<(usize, usize)> =
+            (0..n).step_by(shard_rows).map(|s| (s, (s + shard_rows).min(n))).collect();
+        let shards = frote_par::par_map(&ranges, |&(start, end)| {
+            if self.width == 0 {
+                return FeatureMatrix::zero_width(end - start);
+            }
+            let mut m = FeatureMatrix::with_capacity(self.width, end - start);
+            for i in start..end {
+                m.push_row_with(|buf| self.encode_ds_row(ds, i, buf));
+            }
+            m
+        });
+        ShardedMatrix::from_shards(self.width, shard_rows, shards)
+    }
+
+    /// The sharded counterpart of [`Encoder::encode_append`]: appends the
+    /// encodings of `ds`'s trailing rows to `matrix`, opening new shards as
+    /// they fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix width differs from the encoder width, or if the
+    /// matrix already has more rows than `ds`.
+    pub fn encode_append_sharded(&self, ds: &Dataset, matrix: &mut ShardedMatrix) {
         assert_eq!(matrix.width(), self.width, "matrix width must equal the encoder width");
         assert!(matrix.n_rows() <= ds.n_rows(), "matrix has more rows than the dataset");
         for i in matrix.n_rows()..ds.n_rows() {

@@ -1,0 +1,908 @@
+//! A chunked row-shard matrix: the out-of-core counterpart of
+//! [`FeatureMatrix`].
+//!
+//! [`ShardedMatrix`] stores rows in fixed-size shards (a power-of-two row
+//! count per shard), behind the same `row(i)` / `push_row` / `extend_from`
+//! / `truncate_rows` contract as [`FeatureMatrix`] — row addressing is one
+//! shift and one mask. Hot loops that want contiguous memory iterate
+//! shard-major via [`ShardedMatrix::shard_views`], and individual shards can
+//! be spilled to disk ([`ShardedMatrix::spill_shard`]) and reloaded
+//! ([`ShardedMatrix::load_shard`]) so encode→bin→train pipelines can run on
+//! datasets larger than RAM. Spilled shards round-trip bit-exactly: cell
+//! values are serialized as IEEE-754 bit patterns, never as decimal text.
+//!
+//! # Shard-size resolution
+//!
+//! The default shard size follows the workspace's one resolver pattern
+//! (`frote_par::threads`, `frote_ml::set_default_split_mode`):
+//!
+//! 1. the `FROTE_SHARD_ROWS` environment variable (a positive power of
+//!    two),
+//! 2. the [`set_shard_rows`] process-default override,
+//! 3. [`UNSHARDED_ROWS`] — one effectively unbounded shard, which keeps
+//!    every default-configuration code path byte-identical to the
+//!    contiguous [`FeatureMatrix`] plane.
+//!
+//! # Determinism
+//!
+//! The shard size partitions *row indices* (`shard = i >> shift`), so
+//! consumers that reduce per-shard partials in fixed shard order (the
+//! histogram and kNN planes) stay bit-identical at any `FROTE_THREADS`.
+//! Whether they are also identical across *shard sizes* depends on the
+//! arithmetic: integer-exact accumulations (class counts) are; true `f64`
+//! chains are reduced with shard-agnostic block boundaries instead.
+
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::encode::Encoder;
+use crate::matrix::FeatureMatrix;
+use crate::sync::{CacheCounters, RebuildReason, SyncOutcome};
+
+/// The default shard size: one effectively unbounded shard (2^62 rows), so
+/// an unconfigured process stores everything contiguously and behaves
+/// byte-identically to the pre-sharding plane.
+pub const UNSHARDED_ROWS: usize = 1 << 62;
+
+/// Process-wide override set by [`set_shard_rows`] (0 = unset).
+static SHARD_ROWS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+static SHARDS_BUILT: frote_obs::Counter = frote_obs::Counter::new("shard.built");
+static SHARDS_SPILLED: frote_obs::Counter = frote_obs::Counter::new("shard.spilled");
+static SHARDS_LOADED: frote_obs::Counter = frote_obs::Counter::new("shard.loaded");
+
+/// Resolves the shard size (rows per shard) used by [`ShardedMatrix::new`]
+/// and the shard-aware training-plane reductions:
+///
+/// 1. the `FROTE_SHARD_ROWS` environment variable (if set to a positive
+///    power of two; anything else falls through),
+/// 2. the [`set_shard_rows`] config override,
+/// 3. [`UNSHARDED_ROWS`] (one shard — the contiguous default).
+pub fn shard_rows() -> usize {
+    if let Ok(v) = std::env::var("FROTE_SHARD_ROWS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 && n.is_power_of_two() {
+                return n;
+            }
+        }
+    }
+    match SHARD_ROWS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => UNSHARDED_ROWS,
+        n => n,
+    }
+}
+
+/// Sets the config-level shard-size override, rounded up to the next power
+/// of two (minimum 1). The `FROTE_SHARD_ROWS` environment variable still
+/// takes precedence, mirroring `frote_par::set_threads`.
+pub fn set_shard_rows(n: usize) {
+    SHARD_ROWS_OVERRIDE.store(n.max(1).next_power_of_two(), Ordering::Relaxed);
+}
+
+/// Clears the [`set_shard_rows`] override (mainly for tests).
+pub fn clear_shard_rows_override() {
+    SHARD_ROWS_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Groups `indices` into maximal runs that land in the same shard of
+/// `shard_rows` rows, preserving input order: each element of the result is
+/// `(shard_id, range_into_indices)`. For sorted index lists (tree node
+/// partitions, kNN member lists) every shard appears at most once, so
+/// per-run partials merged in run order are merged in shard order.
+///
+/// # Panics
+///
+/// Panics if `shard_rows` is not a power of two.
+pub fn shard_runs(indices: &[usize], shard_rows: usize) -> Vec<(usize, Range<usize>)> {
+    assert!(shard_rows.is_power_of_two(), "shard_rows must be a power of two");
+    let shift = shard_rows.trailing_zeros();
+    let mut runs = Vec::new();
+    let mut start = 0;
+    while start < indices.len() {
+        let shard = indices[start] >> shift;
+        let mut end = start + 1;
+        while end < indices.len() && indices[end] >> shift == shard {
+            end += 1;
+        }
+        runs.push((shard, start..end));
+        start = end;
+    }
+    runs
+}
+
+/// On-disk form of one spilled shard. Cells are hex-encoded IEEE-754 bit
+/// patterns (16 hex digits per `f64`), so the round-trip is exact for every
+/// value including `-0.0`, subnormals, and NaN payloads — decimal text
+/// would not guarantee that through the vendored JSON number path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardFile {
+    width: usize,
+    rows: usize,
+    cells_hex: String,
+}
+
+fn cells_to_hex(data: &[f64]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(data.len() * 16);
+    for &x in data {
+        write!(s, "{:016x}", x.to_bits()).expect("writing to a String cannot fail");
+    }
+    s
+}
+
+fn cells_from_hex(hex: &str, expect: usize) -> io::Result<Vec<f64>> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if hex.len() != expect * 16 {
+        return Err(bad(format!("expected {} hex digits, found {}", expect * 16, hex.len())));
+    }
+    let mut out = Vec::with_capacity(expect);
+    for i in 0..expect {
+        let digits = &hex[i * 16..(i + 1) * 16];
+        let bits = u64::from_str_radix(digits, 16)
+            .map_err(|e| bad(format!("bad cell hex `{digits}`: {e}")))?;
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+/// One shard: resident in memory, or spilled to a file on disk.
+#[derive(Debug, Clone)]
+enum Shard {
+    Resident(FeatureMatrix),
+    Spilled { path: PathBuf, rows: usize },
+}
+
+impl Shard {
+    fn rows(&self) -> usize {
+        match self {
+            Shard::Resident(m) => m.n_rows(),
+            Shard::Spilled { rows, .. } => *rows,
+        }
+    }
+}
+
+/// A dense row-major `f64` matrix chunked into fixed-size row shards. See
+/// the [module docs](self) for the layout and determinism story.
+///
+/// # Example
+///
+/// ```
+/// use frote_data::sharded::ShardedMatrix;
+/// let mut m = ShardedMatrix::with_shard_rows(2, 4);
+/// for i in 0..10 {
+///     m.push_row(&[i as f64, -(i as f64)]);
+/// }
+/// assert_eq!(m.n_rows(), 10);
+/// assert_eq!(m.n_shards(), 3); // 4 + 4 + 2 rows
+/// assert_eq!(m.row(5), &[5.0, -5.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedMatrix {
+    shards: Vec<Shard>,
+    width: usize,
+    shard_rows: usize,
+    shift: u32,
+    rows: usize,
+}
+
+impl ShardedMatrix {
+    /// Creates an empty matrix whose rows will have `width` columns, with
+    /// the shard size from the [`shard_rows`] resolver.
+    pub fn new(width: usize) -> Self {
+        Self::with_shard_rows(width, shard_rows())
+    }
+
+    /// [`ShardedMatrix::new`] with an explicit shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_rows` is not a power of two.
+    pub fn with_shard_rows(width: usize, shard_rows: usize) -> Self {
+        assert!(shard_rows.is_power_of_two(), "shard_rows must be a power of two");
+        ShardedMatrix {
+            shards: Vec::new(),
+            width,
+            shard_rows,
+            shift: shard_rows.trailing_zeros(),
+            rows: 0,
+        }
+    }
+
+    /// Builds a sharded copy of `m` using the resolver's shard size.
+    pub fn from_matrix(m: &FeatureMatrix) -> Self {
+        let mut out = Self::new(m.width());
+        out.extend_from(m);
+        out
+    }
+
+    /// Assembles a matrix directly from per-shard storage (the parallel
+    /// encode path): every shard except the last must hold exactly
+    /// `shard_rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_rows` is not a power of two, any shard's width
+    /// differs from `width`, or an interior shard is not exactly full.
+    pub fn from_shards(width: usize, shard_rows: usize, shards: Vec<FeatureMatrix>) -> Self {
+        assert!(shard_rows.is_power_of_two(), "shard_rows must be a power of two");
+        let mut rows = 0;
+        for (s, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.width(), width, "shard {s} width mismatch");
+            if s + 1 < shards.len() {
+                assert_eq!(shard.n_rows(), shard_rows, "interior shard {s} must be full");
+            } else {
+                assert!(shard.n_rows() <= shard_rows, "final shard {s} overflows the shard size");
+            }
+            rows += shard.n_rows();
+        }
+        SHARDS_BUILT.add(shards.len() as u64);
+        ShardedMatrix {
+            shards: shards.into_iter().map(Shard::Resident).collect(),
+            width,
+            shard_rows,
+            shift: shard_rows.trailing_zeros(),
+            rows,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.shard_rows - 1
+    }
+
+    /// Row stride (number of columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows across all shards.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Rows per shard (a power of two).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Number of shards currently backing the matrix.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that holds row `i` (pure index arithmetic; `i` need not be
+    /// in bounds).
+    #[inline]
+    pub fn shard_of(&self, i: usize) -> usize {
+        i >> self.shift
+    }
+
+    /// The global row range covered by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
+        let start = s << self.shift;
+        start..start + self.shards[s].rows()
+    }
+
+    /// Whether shard `s` is currently spilled to disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn is_spilled(&self, s: usize) -> bool {
+        assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
+        matches!(self.shards[s], Shard::Spilled { .. })
+    }
+
+    fn resident(&self, s: usize) -> &FeatureMatrix {
+        match &self.shards[s] {
+            Shard::Resident(m) => m,
+            Shard::Spilled { .. } => {
+                panic!("shard {s} is spilled to disk; call load_shard({s}) before reading it")
+            }
+        }
+    }
+
+    /// Borrowed view of shard `s` — a contiguous [`FeatureMatrix`] whose
+    /// local row `j` is global row `shard_range(s).start + j`. Hot loops
+    /// iterate these instead of paying the shift/mask per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()` or the shard is spilled.
+    pub fn shard_view(&self, s: usize) -> &FeatureMatrix {
+        assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
+        self.resident(s)
+    }
+
+    /// Iterator over `(global_row_range, shard)` pairs in shard order.
+    ///
+    /// # Panics
+    ///
+    /// The iterator panics lazily on the first spilled shard it reaches.
+    pub fn shard_views(&self) -> impl Iterator<Item = (Range<usize>, &FeatureMatrix)> + '_ {
+        (0..self.shards.len()).map(move |s| (self.shard_range(s), self.resident(s)))
+    }
+
+    /// Row `i` as a borrowed slice view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()` or the owning shard is spilled.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        self.resident(i >> self.shift).row(i & self.mask())
+    }
+
+    /// The tail shard, opening a fresh one when the matrix is empty or the
+    /// current tail is full.
+    fn tail_mut(&mut self) -> &mut FeatureMatrix {
+        let tail_full =
+            self.rows & self.mask() == 0 && self.rows >> self.shift == self.shards.len();
+        if self.shards.is_empty() || tail_full {
+            self.shards.push(Shard::Resident(FeatureMatrix::new(self.width)));
+            SHARDS_BUILT.inc();
+        }
+        match self.shards.last_mut().expect("tail shard exists") {
+            Shard::Resident(m) => m,
+            Shard::Spilled { .. } => {
+                panic!("tail shard is spilled to disk; load it before appending rows")
+            }
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != width()` or the tail shard is spilled.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "row length must equal the matrix width");
+        self.tail_mut().push_row(row);
+        self.rows += 1;
+    }
+
+    /// Appends one row written in place, like
+    /// [`FeatureMatrix::push_row_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` appends anything other than `width()` values, or
+    /// the tail shard is spilled.
+    pub fn push_row_with(&mut self, fill: impl FnOnce(&mut Vec<f64>)) {
+        self.tail_mut().push_row_with(fill);
+        self.rows += 1;
+    }
+
+    /// Appends every row of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the tail shard is spilled.
+    pub fn extend_from(&mut self, other: &FeatureMatrix) {
+        assert_eq!(self.width, other.width(), "matrix widths must match");
+        for row in other.rows() {
+            self.tail_mut().push_row(row);
+            self.rows += 1;
+        }
+    }
+
+    /// Drops all rows past the first `rows` (no-op when already shorter),
+    /// releasing shards that become empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut lands inside a spilled shard (load it first);
+    /// whole spilled shards past the cut are dropped without loading.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        if rows >= self.rows {
+            return;
+        }
+        let boundary = rows >> self.shift;
+        let within = rows & self.mask();
+        self.shards.truncate(if within == 0 { boundary } else { boundary + 1 });
+        if within != 0 {
+            match self.shards.last_mut().expect("boundary shard exists") {
+                Shard::Resident(m) => m.truncate_rows(within),
+                Shard::Spilled { .. } => panic!(
+                    "cannot truncate to row {rows}: the cut lands inside spilled shard {boundary}"
+                ),
+            }
+        }
+        self.rows = rows;
+    }
+
+    /// Clears all rows and shards, keeping the width and shard size.
+    pub fn clear(&mut self) {
+        self.shards.clear();
+        self.rows = 0;
+    }
+
+    /// Flattens into one contiguous [`FeatureMatrix`] (differential tests
+    /// and consumers that need the dense plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard is spilled.
+    pub fn to_matrix(&self) -> FeatureMatrix {
+        let mut out = FeatureMatrix::with_capacity(self.width, self.rows);
+        for s in 0..self.shards.len() {
+            out.extend_from(self.resident(s));
+        }
+        out
+    }
+
+    /// Serializes shard `s` into `dir` (as `shard-<s>.json`, bit-exact; see
+    /// the private `ShardFile` format) and releases its memory. Returns
+    /// `false` when the shard was already spilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file; the shard stays
+    /// resident on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn spill_shard(&mut self, s: usize, dir: &Path) -> io::Result<bool> {
+        assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
+        let Shard::Resident(m) = &self.shards[s] else {
+            return Ok(false);
+        };
+        let file = ShardFile {
+            width: self.width,
+            rows: m.n_rows(),
+            cells_hex: cells_to_hex(m.as_slice()),
+        };
+        let path = dir.join(format!("shard-{s}.json"));
+        let text = serde_json::to_string(&file)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&path, text)?;
+        let rows = m.n_rows();
+        self.shards[s] = Shard::Spilled { path, rows };
+        SHARDS_SPILLED.inc();
+        Ok(true)
+    }
+
+    /// Loads shard `s` back from its spill file. Returns `false` when the
+    /// shard was already resident. The spill file is left in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file is missing or does not parse back
+    /// to a shard of the recorded shape; the shard stays spilled on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn load_shard(&mut self, s: usize) -> io::Result<bool> {
+        assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
+        let Shard::Spilled { path, rows } = &self.shards[s] else {
+            return Ok(false);
+        };
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let text = std::fs::read_to_string(path)?;
+        let file: ShardFile = serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+        if file.width != self.width || file.rows != *rows {
+            return Err(bad(format!(
+                "spill file shape {}x{} does not match shard {s} ({}x{})",
+                file.rows, file.width, rows, self.width
+            )));
+        }
+        let cells = cells_from_hex(&file.cells_hex, file.rows * file.width)?;
+        self.shards[s] = Shard::Resident(FeatureMatrix::from_raw(self.width, cells));
+        SHARDS_LOADED.inc();
+        Ok(true)
+    }
+}
+
+fn sharded_cache_counters() -> &'static CacheCounters {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters::new("sharded_cache"))
+}
+
+/// The sharded twin of [`crate::EncodedCache`]: an incrementally maintained
+/// encoded view of a growing dataset whose backing store is a
+/// [`ShardedMatrix`] — the encode plane for datasets past RAM (cold shards
+/// can be spilled between syncs). Sync semantics match `EncodedCache`
+/// exactly: append while the fitted parameters hold, rebuild otherwise,
+/// with [`ShardedCache::truncate`] marking the fit stale for re-checking.
+#[derive(Debug, Clone)]
+pub struct ShardedCache {
+    encoder: Encoder,
+    matrix: ShardedMatrix,
+    stale_fit: bool,
+}
+
+impl ShardedCache {
+    /// Fits the encoder to `ds` and encodes every row, shard-parallel.
+    pub fn fit(ds: &Dataset) -> ShardedCache {
+        let encoder = Encoder::fit(ds);
+        let matrix = encoder.encode_dataset_sharded(ds);
+        ShardedCache { encoder, matrix, stale_fit: false }
+    }
+
+    /// Brings the cache in sync with `ds` (append-only growth), returning
+    /// how it was updated. See [`crate::EncodedCache::sync`].
+    pub fn sync(&mut self, ds: &Dataset) -> SyncOutcome {
+        let outcome = self.sync_inner(ds);
+        sharded_cache_counters().record_sync(&outcome);
+        outcome
+    }
+
+    fn sync_inner(&mut self, ds: &Dataset) -> SyncOutcome {
+        if !self.stale_fit && ds.n_rows() == self.matrix.n_rows() {
+            return SyncOutcome::Unchanged;
+        }
+        let was_stale = self.stale_fit;
+        self.stale_fit = false;
+        let refit = Encoder::fit(ds);
+        if refit == self.encoder {
+            let appended = ds.n_rows() - self.matrix.n_rows();
+            self.encoder.encode_append_sharded(ds, &mut self.matrix);
+            SyncOutcome::Appended { rows: appended }
+        } else {
+            self.encoder = refit;
+            self.matrix = self.encoder.encode_dataset_sharded(ds);
+            SyncOutcome::Rebuilt(if was_stale {
+                RebuildReason::StaleFit
+            } else {
+                RebuildReason::FitChanged
+            })
+        }
+    }
+
+    /// Drops cached encodings past the first `rows` rows; the next
+    /// [`ShardedCache::sync`] re-checks the encoder fit.
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.matrix.n_rows() {
+            self.stale_fit = true;
+            sharded_cache_counters().record_truncate(self.matrix.n_rows() - rows);
+        }
+        self.matrix.truncate_rows(rows);
+    }
+
+    /// The current encoder fit.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The sharded encoded rows, one per dataset row as of the last sync.
+    pub fn matrix(&self) -> &ShardedMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access to the backing matrix (to spill or reload shards
+    /// between syncs).
+    pub fn matrix_mut(&mut self) -> &mut ShardedMatrix {
+        &mut self.matrix
+    }
+}
+
+/// Test support: safely rebinding `FROTE_SHARD_ROWS` within one process.
+///
+/// Mirrors `frote_par::test_support`. When a test rebinds both
+/// `FROTE_THREADS` and `FROTE_SHARD_ROWS`, take the thread binding
+/// outermost so the two process-wide locks are always acquired in one
+/// order.
+pub mod test_support {
+    use std::sync::Mutex;
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Restores the prior `FROTE_SHARD_ROWS` binding on drop, so a
+    /// panicking closure cannot leak the override into later tests of the
+    /// same binary.
+    struct Restore(Option<String>);
+
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(v) => std::env::set_var("FROTE_SHARD_ROWS", v),
+                None => std::env::remove_var("FROTE_SHARD_ROWS"),
+            }
+        }
+    }
+
+    /// Runs `f` with `FROTE_SHARD_ROWS` bound to `value` (restored
+    /// afterwards, even on panic). Calls serialize on a process-wide lock.
+    pub fn with_shard_rows_var<R>(value: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _restore = Restore(std::env::var("FROTE_SHARD_ROWS").ok());
+        std::env::set_var("FROTE_SHARD_ROWS", value);
+        f()
+    }
+
+    /// [`with_shard_rows_var`] for a numeric shard size.
+    pub fn with_shard_rows<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        with_shard_rows_var(&n.to_string(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn filled(width: usize, shard_rows: usize, n: usize) -> (ShardedMatrix, FeatureMatrix) {
+        let mut sharded = ShardedMatrix::with_shard_rows(width, shard_rows);
+        let mut dense = FeatureMatrix::new(width);
+        for i in 0..n {
+            let row: Vec<f64> = (0..width).map(|j| (i * width + j) as f64 * 0.5).collect();
+            sharded.push_row(&row);
+            dense.push_row(&row);
+        }
+        (sharded, dense)
+    }
+
+    fn assert_same(sharded: &ShardedMatrix, dense: &FeatureMatrix) {
+        assert_eq!(sharded.n_rows(), dense.n_rows());
+        assert_eq!(sharded.width(), dense.width());
+        for i in 0..dense.n_rows() {
+            assert_eq!(sharded.row(i), dense.row(i), "row {i}");
+        }
+        assert_eq!(&sharded.to_matrix(), dense);
+    }
+
+    #[test]
+    fn resolver_priority() {
+        test_support::with_shard_rows_var("64", || {
+            clear_shard_rows_override();
+            assert_eq!(shard_rows(), 64, "env wins");
+            set_shard_rows(128);
+            assert_eq!(shard_rows(), 64, "env beats override");
+        });
+        test_support::with_shard_rows_var("not-a-number", || {
+            set_shard_rows(100);
+            assert_eq!(shard_rows(), 128, "override rounds up to a power of two");
+            clear_shard_rows_override();
+            assert_eq!(shard_rows(), UNSHARDED_ROWS, "default is one unbounded shard");
+        });
+        test_support::with_shard_rows_var("48", || {
+            clear_shard_rows_override();
+            assert_eq!(shard_rows(), UNSHARDED_ROWS, "non-power-of-two env falls through");
+        });
+        assert!(UNSHARDED_ROWS.is_power_of_two());
+    }
+
+    #[test]
+    fn push_row_and_shard_boundaries() {
+        let (sharded, dense) = filled(3, 4, 11);
+        assert_same(&sharded, &dense);
+        assert_eq!(sharded.n_shards(), 3);
+        assert_eq!(sharded.shard_range(0), 0..4);
+        assert_eq!(sharded.shard_range(2), 8..11);
+        assert_eq!(sharded.shard_of(7), 1);
+        let views: Vec<_> = sharded.shard_views().collect();
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[1].0, 4..8);
+        assert_eq!(views[1].1.row(0), dense.row(4));
+    }
+
+    #[test]
+    fn default_shard_size_is_one_shard() {
+        let mut m = ShardedMatrix::with_shard_rows(2, UNSHARDED_ROWS);
+        for i in 0..100 {
+            m.push_row(&[i as f64, 0.0]);
+        }
+        assert_eq!(m.n_shards(), 1, "unconfigured matrices stay contiguous");
+    }
+
+    #[test]
+    fn extend_truncate_clear_mirror_feature_matrix() {
+        let (mut sharded, mut dense) = filled(2, 4, 6);
+        let extra = FeatureMatrix::from_rows(vec![vec![100.0, 101.0], vec![102.0, 103.0]]);
+        sharded.extend_from(&extra);
+        dense.extend_from(&extra);
+        assert_same(&sharded, &dense);
+
+        sharded.truncate_rows(50); // no-op
+        assert_eq!(sharded.n_rows(), 8);
+        sharded.truncate_rows(5); // cut inside shard 1
+        dense.truncate_rows(5);
+        assert_same(&sharded, &dense);
+        assert_eq!(sharded.n_shards(), 2);
+        sharded.truncate_rows(4); // cut exactly on a shard boundary
+        dense.truncate_rows(4);
+        assert_same(&sharded, &dense);
+        assert_eq!(sharded.n_shards(), 1);
+        sharded.truncate_rows(0);
+        assert_eq!(sharded.n_shards(), 0);
+        assert!(sharded.is_empty());
+
+        sharded.push_row(&[7.0, 8.0]);
+        assert_eq!(sharded.row(0), &[7.0, 8.0]);
+        sharded.clear();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.width(), 2);
+    }
+
+    #[test]
+    fn push_row_with_and_from_matrix() {
+        let mut m = ShardedMatrix::with_shard_rows(2, 2);
+        m.push_row_with(|buf| buf.extend_from_slice(&[1.0, 2.0]));
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+
+        let dense = FeatureMatrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let sharded = ShardedMatrix::from_matrix(&dense);
+        assert_same(&sharded, &dense);
+    }
+
+    #[test]
+    fn from_shards_assembles_and_checks_shape() {
+        let a = FeatureMatrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let b = FeatureMatrix::from_rows(vec![vec![3.0]]);
+        let m = ShardedMatrix::from_shards(1, 2, vec![a, b]);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.row(2), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior shard 0 must be full")]
+    fn from_shards_rejects_short_interior_shard() {
+        let a = FeatureMatrix::from_rows(vec![vec![1.0]]);
+        let b = FeatureMatrix::from_rows(vec![vec![2.0]]);
+        ShardedMatrix::from_shards(1, 2, vec![a, b]);
+    }
+
+    #[test]
+    fn spill_and_load_round_trip_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Values decimal text could mangle: -0.0, NaN payloads, subnormals.
+        let tricky = [
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_dead_beef_0001),
+            f64::MIN_POSITIVE / 8.0,
+            f64::MAX,
+            0.1 + 0.2,
+        ];
+        let mut m = ShardedMatrix::with_shard_rows(2, 2);
+        for (i, &x) in tricky.iter().enumerate() {
+            m.push_row(&[x, i as f64]);
+        }
+        let before = m.to_matrix();
+        assert!(m.spill_shard(0, &dir).unwrap());
+        assert!(m.spill_shard(1, &dir).unwrap());
+        assert!(!m.spill_shard(1, &dir).unwrap(), "already spilled");
+        assert!(m.is_spilled(0));
+        assert!(m.load_shard(0).unwrap());
+        assert!(m.load_shard(1).unwrap());
+        assert!(!m.load_shard(1).unwrap(), "already resident");
+        let after = m.to_matrix();
+        assert_eq!(before.n_rows(), after.n_rows());
+        let bits =
+            |m: &FeatureMatrix| -> Vec<u64> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&before), bits(&after), "round-trip must be bit-exact");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "spilled to disk")]
+    fn reading_a_spilled_shard_panics() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-panic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut m, _) = filled(1, 2, 4);
+        m.spill_shard(0, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        m.row(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lands inside spilled shard")]
+    fn truncating_inside_a_spilled_shard_panics() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut m, _) = filled(1, 4, 8);
+        m.spill_shard(0, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        m.truncate_rows(2);
+    }
+
+    #[test]
+    fn truncate_drops_whole_spilled_shards_without_loading() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut m, _) = filled(1, 4, 12);
+        m.spill_shard(2, &dir).unwrap();
+        m.truncate_rows(8); // drops the spilled tail shard entirely
+        assert_eq!(m.n_shards(), 2);
+        assert_eq!(m.row(7), &[3.5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must equal the matrix width")]
+    fn push_wrong_width_panics() {
+        ShardedMatrix::with_shard_rows(2, 4).push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_oob_panics() {
+        ShardedMatrix::with_shard_rows(2, 4).row(0);
+    }
+
+    #[test]
+    fn shard_runs_groups_in_order() {
+        assert_eq!(shard_runs(&[], 4), vec![]);
+        assert_eq!(shard_runs(&[0, 1, 3], 4), vec![(0, 0..3)]);
+        assert_eq!(
+            shard_runs(&[0, 2, 5, 6, 8, 9, 15], 4),
+            vec![(0, 0..2), (1, 2..4), (2, 4..6), (3, 6..7)]
+        );
+        // Unsorted lists produce order-preserving runs, one per transition.
+        assert_eq!(shard_runs(&[5, 0], 4), vec![(1, 0..1), (0, 1..2)]);
+    }
+
+    #[test]
+    fn sharded_cache_matches_encoded_cache_semantics() {
+        use crate::Schema;
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .numeric("x")
+            .categorical("c", vec!["u".into(), "v".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Num(1.0), Value::Cat(0)], 0).unwrap();
+        ds.push_row(&[Value::Num(3.0), Value::Cat(1)], 1).unwrap();
+
+        let mut cache = ShardedCache::fit(&ds);
+        assert_eq!(cache.sync(&ds), SyncOutcome::Unchanged);
+        assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&ds));
+
+        // A row that moves the numeric stats forces a rebuild.
+        ds.push_row(&[Value::Num(100.0), Value::Cat(0)], 0).unwrap();
+        assert_eq!(cache.sync(&ds), SyncOutcome::Rebuilt(RebuildReason::FitChanged));
+        assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&ds));
+
+        // Rollback marks the fit stale; the next sync restores the old fit.
+        cache.truncate(2);
+        assert_eq!(cache.matrix().n_rows(), 2);
+        let prefix = {
+            let mut p = Dataset::new(ds.schema().clone());
+            for i in 0..2 {
+                let row: Vec<Value> = (0..ds.n_features()).map(|j| ds.cell(i, j)).collect();
+                p.push_row(&row, ds.labels()[i]).unwrap();
+            }
+            p
+        };
+        assert_eq!(cache.sync(&prefix), SyncOutcome::Rebuilt(RebuildReason::StaleFit));
+        assert_eq!(cache.encoder(), &Encoder::fit(&prefix));
+        assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&prefix));
+    }
+
+    #[test]
+    fn sharded_cache_appends_under_small_shards() {
+        use crate::Schema;
+        test_support::with_shard_rows(2, || {
+            let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+                .categorical("k", vec!["p".into(), "q".into()])
+                .build();
+            let mut ds = Dataset::new(schema);
+            ds.push_row(&[Value::Cat(0)], 0).unwrap();
+            let mut cache = ShardedCache::fit(&ds);
+            for i in 0..5 {
+                ds.push_row(&[Value::Cat((i % 2) as u32)], 1).unwrap();
+            }
+            assert_eq!(cache.sync(&ds), SyncOutcome::Appended { rows: 5 });
+            assert_eq!(cache.matrix().n_shards(), 3, "6 rows at 2 rows/shard");
+            assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&ds));
+        });
+    }
+}

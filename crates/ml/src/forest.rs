@@ -7,6 +7,7 @@
 use frote_data::{BinnedCache, BinnedMatrix, Binner, Dataset, Value};
 use frote_par::SeedSplit;
 
+#[allow(unused_imports)] // doc links
 use crate::histogram::SplitMode;
 use crate::traits::{Classifier, TrainAlgorithm, TrainCache};
 use crate::tree::{DecisionTree, TreeParams};
@@ -42,9 +43,10 @@ impl RandomForest {
     ///
     /// Panics if `ds` is empty or `params.n_trees == 0`.
     pub fn fit(ds: &Dataset, params: &ForestParams, seed: u64) -> Self {
-        match params.tree.split_mode {
-            SplitMode::Exact => Self::fit_impl(ds, params, seed, None),
-            SplitMode::Histogram { max_bins } => {
+        // GOSS degenerates to plain histogram mode here (no gradients).
+        match params.tree.split_mode.max_bins() {
+            None => Self::fit_impl(ds, params, seed, None),
+            Some(max_bins) => {
                 let binned = BinnedCache::fit(ds, max_bins);
                 Self::fit_impl(ds, params, seed, Some((binned.binner(), binned.codes())))
             }
@@ -59,9 +61,9 @@ impl RandomForest {
         seed: u64,
         cache: &mut TrainCache,
     ) -> Self {
-        match params.tree.split_mode {
-            SplitMode::Exact => Self::fit_impl(ds, params, seed, None),
-            SplitMode::Histogram { max_bins } => {
+        match params.tree.split_mode.max_bins() {
+            None => Self::fit_impl(ds, params, seed, None),
+            Some(max_bins) => {
                 let binned = cache.binned(ds, max_bins);
                 Self::fit_impl(ds, params, seed, Some((binned.binner(), binned.codes())))
             }

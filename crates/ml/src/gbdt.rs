@@ -9,8 +9,10 @@
 //! histograms (see [`crate::histogram`]) instead of per-node sorts.
 
 use frote_data::{BinnedCache, BinnedMatrix, Binner, Column, Dataset, FeatureMatrix, Value};
+use frote_par::SeedSplit;
+use rand::Rng;
 
-use crate::histogram::{HistContext, SplitMode};
+use crate::histogram::{GossParams, HistContext, SplitMode};
 use crate::kernels;
 use crate::traits::{argmax, Classifier, TrainAlgorithm, TrainCache, PREDICT_BLOCK};
 use crate::tree::SplitTest;
@@ -81,12 +83,14 @@ impl RegressionTree {
         params: &GbdtParams,
     ) -> usize {
         if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
-            self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+            self.nodes
+                .push(RegNode::Leaf { value: newton_value(indices, targets, hessians, None) });
             return self.nodes.len() - 1;
         }
         match best_regression_split(ds, indices, targets, params.min_samples_leaf) {
             None => {
-                self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                self.nodes
+                    .push(RegNode::Leaf { value: newton_value(indices, targets, hessians, None) });
                 self.nodes.len() - 1
             }
             Some(test) => {
@@ -106,8 +110,9 @@ impl RegressionTree {
                     }
                 }
                 if mid == 0 || mid == indices.len() {
-                    self.nodes
-                        .push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                    self.nodes.push(RegNode::Leaf {
+                        value: newton_value(indices, targets, hessians, None),
+                    });
                     return self.nodes.len() - 1;
                 }
                 let (li, ri) = indices.split_at_mut(mid);
@@ -131,7 +136,24 @@ impl RegressionTree {
         params: &GbdtParams,
     ) -> Self {
         let mut tree = RegressionTree { nodes: Vec::new() };
-        tree.grow_hist(ctx, indices, targets, hessians, 0, params, None);
+        tree.grow_hist(ctx, indices, targets, hessians, None, 0, params, None);
+        tree
+    }
+
+    /// [`RegressionTree::fit_hist`] over a GOSS-sampled row subset with a
+    /// per-row weight plane: histogram counts/sums, node totals, and Newton
+    /// leaf values all accumulate `w`-weighted quantities, so the sampled
+    /// small-gradient rows stand in for the rows GOSS dropped.
+    fn fit_hist_weighted(
+        ctx: &HistContext,
+        indices: &mut [usize],
+        targets: &[f64],
+        hessians: &[f64],
+        weights: &[f64],
+        params: &GbdtParams,
+    ) -> Self {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow_hist(ctx, indices, targets, hessians, Some(weights), 0, params, None);
         tree
     }
 
@@ -142,21 +164,33 @@ impl RegressionTree {
         indices: &mut [usize],
         targets: &[f64],
         hessians: &[f64],
+        weights: Option<&[f64]>,
         depth: usize,
         params: &GbdtParams,
         hist: Option<Vec<f64>>,
     ) -> usize {
         if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
-            self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+            self.nodes
+                .push(RegNode::Leaf { value: newton_value(indices, targets, hessians, weights) });
             return self.nodes.len() - 1;
         }
-        let hist = hist.unwrap_or_else(|| ctx.reg_hist(targets, indices));
-        let n = indices.len() as f64;
-        let total = kernels::gather_sum(targets, indices);
+        let hist = hist.unwrap_or_else(|| match weights {
+            None => ctx.reg_hist(targets, indices),
+            Some(w) => ctx.reg_hist_weighted(targets, w, indices),
+        });
+        // Weighted fits score against the weighted row mass so node totals
+        // agree with the histogram's weighted counts.
+        let n = match weights {
+            None => indices.len() as f64,
+            Some(w) => indices.iter().map(|&i| w[i]).sum(),
+        };
+        let total = weighted_sum(targets, weights, indices);
         let best = ctx.find_best_regression_split(&hist, n, total, params.min_samples_leaf);
         match best {
             None => {
-                self.nodes.push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                self.nodes.push(RegNode::Leaf {
+                    value: newton_value(indices, targets, hessians, weights),
+                });
                 self.nodes.len() - 1
             }
             Some(split) => {
@@ -168,8 +202,9 @@ impl RegressionTree {
                     }
                 }
                 if mid == 0 || mid == indices.len() {
-                    self.nodes
-                        .push(RegNode::Leaf { value: newton_value(indices, targets, hessians) });
+                    self.nodes.push(RegNode::Leaf {
+                        value: newton_value(indices, targets, hessians, weights),
+                    });
                     return self.nodes.len() - 1;
                 }
                 let test = ctx.to_split_test(split);
@@ -179,21 +214,27 @@ impl RegressionTree {
                 // only when the children can still split (`depth + 1` below
                 // the cap), else they leaf out without reading a histogram.
                 let (lh, rh) = if depth + 1 < params.max_depth {
+                    let build = |idx: &[usize]| match weights {
+                        None => ctx.reg_hist(targets, idx),
+                        Some(w) => ctx.reg_hist_weighted(targets, w, idx),
+                    };
                     let mut sibling = hist;
                     if li.len() <= ri.len() {
-                        let lh = ctx.reg_hist(targets, li);
+                        let lh = build(li);
                         HistContext::subtract_hist(&mut sibling, &lh);
                         (Some(lh), Some(sibling))
                     } else {
-                        let rh = ctx.reg_hist(targets, ri);
+                        let rh = build(ri);
                         HistContext::subtract_hist(&mut sibling, &rh);
                         (Some(sibling), Some(rh))
                     }
                 } else {
                     (None, None)
                 };
-                let left = self.grow_hist(ctx, li, targets, hessians, depth + 1, params, lh);
-                let right = self.grow_hist(ctx, ri, targets, hessians, depth + 1, params, rh);
+                let left =
+                    self.grow_hist(ctx, li, targets, hessians, weights, depth + 1, params, lh);
+                let right =
+                    self.grow_hist(ctx, ri, targets, hessians, weights, depth + 1, params, rh);
                 self.nodes.push(RegNode::Split { test, left, right });
                 self.nodes.len() - 1
             }
@@ -213,14 +254,71 @@ impl RegressionTree {
     }
 }
 
-fn newton_value(indices: &[usize], targets: &[f64], hessians: &[f64]) -> f64 {
-    let g = kernels::gather_sum(targets, indices);
-    let h = kernels::gather_sum(hessians, indices);
+fn newton_value(
+    indices: &[usize],
+    targets: &[f64],
+    hessians: &[f64],
+    weights: Option<&[f64]>,
+) -> f64 {
+    let g = weighted_sum(targets, weights, indices);
+    let h = weighted_sum(hessians, weights, indices);
     if h.abs() < 1e-12 {
         0.0
     } else {
         (g / h).clamp(-4.0, 4.0)
     }
+}
+
+/// `Σ values[i]` over `indices`, `w`-weighted when a GOSS weight plane is
+/// present. The unweighted arm stays on [`kernels::gather_sum`] so non-GOSS
+/// fits keep their exact historical accumulation order.
+fn weighted_sum(values: &[f64], weights: Option<&[f64]>, indices: &[usize]) -> f64 {
+    match weights {
+        None => kernels::gather_sum(values, indices),
+        Some(w) => indices.iter().map(|&i| w[i] * values[i]).sum(),
+    }
+}
+
+/// GOSS row selection for one `(round, class)` tree: keep the `a·N` rows
+/// with the largest `|gradient|` (ties broken by row index), then sample
+/// `b` of the remaining rows with one `SeedSplit` stream **per shard**
+/// (shard = row ÷ [`frote_data::sharded::shard_rows`]), weighting the
+/// sampled rows by `(1 - a) / b`. Per-shard streams make the selection
+/// independent of `FROTE_THREADS` and reproducible out-of-core; the chosen
+/// subset does depend on the shard size, which the GOSS goldens pin.
+fn goss_select(gradients: &[f64], goss: GossParams, stream: u64) -> (Vec<usize>, Vec<f64>) {
+    let n = gradients.len();
+    let top_k = ((n as f64) * goss.top_fraction()).round().min(n as f64) as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| {
+        gradients[b].abs().total_cmp(&gradients[a].abs()).then(a.cmp(&b))
+    });
+    let mut selected = vec![false; n];
+    let mut weights = vec![1.0; n];
+    for &i in &order[..top_k] {
+        selected[i] = true;
+    }
+    let amplify = goss.amplify();
+    let shard_rows = frote_data::sharded::shard_rows();
+    let shard_split = SeedSplit::new(SeedSplit::new(goss.seed).seed(stream));
+    let b = goss.rest_fraction();
+    let mut shard = usize::MAX;
+    let mut rng = shard_split.stream(0);
+    for i in 0..n {
+        if selected[i] {
+            continue;
+        }
+        if i / shard_rows != shard {
+            shard = i / shard_rows;
+            rng = shard_split.stream(shard as u64);
+        }
+        if rng.random::<f64>() < b {
+            selected[i] = true;
+            weights[i] = amplify;
+        }
+    }
+    let indices: Vec<usize> = (0..n).filter(|&i| selected[i]).collect();
+    (indices, weights)
 }
 
 /// Variance-reduction split search (numeric `<=` and categorical one-vs-rest,
@@ -309,9 +407,11 @@ impl Gbdt {
     ///
     /// Panics if `ds` is empty.
     pub fn fit(ds: &Dataset, params: &GbdtParams) -> Self {
-        match params.split_mode {
-            SplitMode::Exact => Self::fit_impl(ds, params, None),
-            SplitMode::Histogram { max_bins } => {
+        // `SplitMode::Goss` quantizes exactly like `Histogram`; the row
+        // sampling happens per round inside `fit_impl`.
+        match params.split_mode.max_bins() {
+            None => Self::fit_impl(ds, params, None),
+            Some(max_bins) => {
                 let binned = BinnedCache::fit(ds, max_bins);
                 Self::fit_impl(ds, params, Some((binned.binner(), binned.codes())))
             }
@@ -321,9 +421,9 @@ impl Gbdt {
     /// [`Gbdt::fit`] with the binning reused from a caller-held
     /// [`TrainCache`] (FROTE's retrain loop bins only the appended rows).
     pub fn fit_cached(ds: &Dataset, params: &GbdtParams, cache: &mut TrainCache) -> Self {
-        match params.split_mode {
-            SplitMode::Exact => Self::fit_impl(ds, params, None),
-            SplitMode::Histogram { max_bins } => {
+        match params.split_mode.max_bins() {
+            None => Self::fit_impl(ds, params, None),
+            Some(max_bins) => {
                 let binned = cache.binned(ds, max_bins);
                 Self::fit_impl(ds, params, Some((binned.binner(), binned.codes())))
             }
@@ -337,6 +437,10 @@ impl Gbdt {
     ) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         let ctx = binned.map(|(binner, codes)| HistContext::new(binner, codes));
+        let goss = match params.split_mode {
+            SplitMode::Goss { goss, .. } => Some(goss),
+            _ => None,
+        };
         let n = ds.n_rows();
         let k = ds.n_classes();
         // Base score: log prior per class.
@@ -351,7 +455,7 @@ impl Gbdt {
         let mut probs = vec![0.0; k];
         let mut residuals = FeatureMatrix::from_raw(n, vec![0.0; n * k]);
         let mut hessians = FeatureMatrix::from_raw(n, vec![0.0; n * k]);
-        for _ in 0..params.n_rounds {
+        for round in 0..params.n_rounds {
             for i in 0..n {
                 kernels::softmax_into(scores.row(i), &mut probs);
                 let y = ds.label(i) as usize;
@@ -366,18 +470,34 @@ impl Gbdt {
             // so the result is identical to the interleaved serial order).
             let classes: Vec<usize> = (0..k).collect();
             let round_trees = frote_par::par_map(&classes, |&c| {
-                let mut idx: Vec<usize> = (0..n).collect();
-                match &ctx {
-                    None => {
+                match (&ctx, goss) {
+                    (Some(ctx), Some(goss)) => {
+                        // One decorrelated GOSS stream per (round, class).
+                        let stream = (round * k + c) as u64;
+                        let (mut idx, weights) = goss_select(residuals.row(c), goss, stream);
+                        RegressionTree::fit_hist_weighted(
+                            ctx,
+                            &mut idx,
+                            residuals.row(c),
+                            hessians.row(c),
+                            &weights,
+                            params,
+                        )
+                    }
+                    (Some(ctx), None) => {
+                        let mut idx: Vec<usize> = (0..n).collect();
+                        RegressionTree::fit_hist(
+                            ctx,
+                            &mut idx,
+                            residuals.row(c),
+                            hessians.row(c),
+                            params,
+                        )
+                    }
+                    (None, _) => {
+                        let mut idx: Vec<usize> = (0..n).collect();
                         RegressionTree::fit(ds, &mut idx, residuals.row(c), hessians.row(c), params)
                     }
-                    Some(ctx) => RegressionTree::fit_hist(
-                        ctx,
-                        &mut idx,
-                        residuals.row(c),
-                        hessians.row(c),
-                        params,
-                    ),
                 }
             });
             for (c, tree) in round_trees.iter().enumerate() {
@@ -608,6 +728,58 @@ mod tests {
         let cached = Gbdt::fit_cached(&ds, &params, &mut cache);
         let fresh = Gbdt::fit(&ds, &params);
         assert_eq!(cached.predict_dataset(&ds), fresh.predict_dataset(&ds));
+    }
+
+    #[test]
+    fn goss_select_keeps_top_gradients_and_amplifies_the_rest() {
+        let gradients: Vec<f64> = (0..100).map(|i| (i as f64) / 100.0 - 0.5).collect();
+        let goss = GossParams { top_permille: 200, rest_permille: 500, seed: 11 };
+        let (indices, weights) = goss_select(&gradients, goss, 0);
+        // The 20 largest |gradient| rows are always in, at weight 1.
+        let top: Vec<usize> = {
+            let mut order: Vec<usize> = (0..100).collect();
+            order.sort_unstable_by(|&a, &b| {
+                gradients[b].abs().total_cmp(&gradients[a].abs()).then(a.cmp(&b))
+            });
+            order[..20].to_vec()
+        };
+        for &i in &top {
+            assert!(indices.contains(&i), "top row {i} dropped");
+            assert_eq!(weights[i], 1.0);
+        }
+        // Sampled remainder rows carry the (1 - a) / b amplifier.
+        let amp = goss.amplify();
+        for &i in indices.iter().filter(|i| !top.contains(i)) {
+            assert_eq!(weights[i], amp);
+        }
+        assert!(indices.len() > 20, "sampling kept nothing at b = 0.5");
+        assert!(indices.len() < 100, "sampling kept everything");
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices ascend");
+        // Same inputs, same subset; different stream, different subset.
+        assert_eq!(goss_select(&gradients, goss, 0).0, indices);
+        assert_ne!(goss_select(&gradients, goss, 1).0, indices);
+    }
+
+    #[test]
+    fn goss_mode_is_thread_invariant_and_learns() {
+        let ds = DatasetKind::Car.generate(&SynthConfig { n_rows: 600, ..Default::default() });
+        let params =
+            GbdtParams { n_rounds: 12, split_mode: SplitMode::goss(7), ..Default::default() };
+        // `with_threads` outermost, shard pin inside (the documented lock
+        // order); GOSS subsets depend on the shard size, so pin it.
+        let fit_at = |threads: usize| {
+            frote_par::test_support::with_threads(threads, || {
+                frote_data::sharded::test_support::with_shard_rows(256, || {
+                    Gbdt::fit(&ds, &params).predict_dataset(&ds)
+                })
+            })
+        };
+        let base = fit_at(1);
+        for t in [2usize, 4] {
+            assert_eq!(fit_at(t), base, "GOSS fit drifted at FROTE_THREADS={t}");
+        }
+        let acc = accuracy(&base, ds.labels());
+        assert!(acc > 0.7, "GOSS accuracy {acc}");
     }
 
     #[test]

@@ -15,6 +15,22 @@
 //! the histogram search evaluates the same candidate partitions in the same
 //! order as the exact search and therefore reproduces its decisions node for
 //! node (pinned by `tests/prop_hist_split.rs`).
+//!
+//! # Shard-aware builds
+//!
+//! Class histograms are built per row shard (the
+//! [`frote_data::sharded::shard_rows`] resolver partitions node index lists
+//! into shard runs) and merged in fixed shard order. Class counts are
+//! integers held exactly in `f64`, so the per-shard regrouping is bitwise
+//! identical to the unsharded build at **any** shard size and any
+//! `FROTE_THREADS` (pinned by `tests/prop_sharded.rs`). Gradient histograms
+//! accumulate true `f64` sums, where regrouping would move bits, so
+//! `HistContext::reg_hist` keeps the shard-agnostic fixed `HIST_BLOCK`
+//! reduction — the existing GBDT goldens hold at every
+//! shard size by construction. Wide schemas additionally build
+//! feature-parallel (each parallel task owns a block of features and its
+//! whole bin slice — zero shared writes), which preserves the per-slot
+//! reduction order exactly and is therefore bit-identical too.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -28,16 +44,70 @@ use crate::tree::SplitTest;
 /// result, only the schedule.
 const HIST_BLOCK: usize = 1024;
 
+/// Candidate-feature count from which class/gradient histograms build
+/// feature-parallel (each task owns a feature block and its bin slice)
+/// instead of only row-parallel. Both layouts reduce every bin slot in the
+/// same order, so the gate is a pure scheduling heuristic.
+const FEATURE_PAR_MIN: usize = 16;
+
+/// Features per parallel task in the feature-parallel build.
+const FEATURE_BLOCK: usize = 8;
+
 // Histogram-plane metrics (see frote-obs). All thread-invariant: node
-// counts, subtraction hits, and zeroed-bin totals are functions of the
-// data and the fixed HIST_BLOCK chunking, never of the schedule.
+// counts, subtraction hits, zeroed-bin totals, and shard merges are
+// functions of the data and the fixed HIST_BLOCK / shard-size chunking,
+// never of the schedule.
 static NODES_BUILT: Counter = Counter::new("hist.nodes_built");
 static SIBLING_SUBTRACTIONS: Counter = Counter::new("hist.sibling_subtractions");
 static BINS_ZEROED: Counter = Counter::new("hist.bins_zeroed");
+pub(crate) static SHARD_MERGES: Counter = Counter::new("shard.merged");
 
 /// Default bin budget of [`SplitMode::histogram`]: double the exact search's
 /// per-node threshold cap, and small enough for `u8` codes.
 pub const DEFAULT_MAX_BINS: usize = 64;
+
+/// GOSS (gradient-based one-side sampling) knobs for
+/// [`SplitMode::Goss`]. Fractions are stored in permille so the mode stays
+/// `Copy + Eq + Hash` like every other [`SplitMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GossParams {
+    /// Permille (`0..=1000`) of rows kept outright — the largest
+    /// `|gradient|` rows (LightGBM's `a`).
+    pub top_permille: u16,
+    /// Permille (`0..=1000`) of the *remaining* rows sampled uniformly per
+    /// shard (LightGBM's `b`). Must be positive.
+    pub rest_permille: u16,
+    /// Base seed of the per-shard `SeedSplit` sampling streams.
+    pub seed: u64,
+}
+
+impl GossParams {
+    /// LightGBM's defaults: keep the top 20% by `|gradient|`, sample 10% of
+    /// the rest.
+    pub const fn new(seed: u64) -> GossParams {
+        GossParams { top_permille: 200, rest_permille: 100, seed }
+    }
+
+    /// `a`: fraction of rows kept outright.
+    pub fn top_fraction(self) -> f64 {
+        f64::from(self.top_permille) / 1000.0
+    }
+
+    /// `b`: sampling fraction over the non-top rows.
+    pub fn rest_fraction(self) -> f64 {
+        f64::from(self.rest_permille) / 1000.0
+    }
+
+    /// `(1 - a) / b`: the weight amplifier applied to sampled small-gradient
+    /// rows so histogram totals stay unbiased.
+    pub fn amplify(self) -> f64 {
+        (1.0 - self.top_fraction()) / self.rest_fraction()
+    }
+
+    fn valid(self) -> bool {
+        self.top_permille <= 1000 && self.rest_permille >= 1 && self.rest_permille <= 1000
+    }
+}
 
 /// How tree trainers search for splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -51,6 +121,17 @@ pub enum SplitMode {
         /// Per-feature bin budget (at least 2).
         max_bins: usize,
     },
+    /// Histogram search plus GOSS row sampling on the boosting gradient
+    /// plane: each round keeps the top `a·N` rows by `|gradient|`, samples
+    /// `b·N` of the rest deterministically per shard, and upweights the
+    /// sampled rows by `(1 - a) / b`. Classification trees (which have no
+    /// gradients) train exactly like [`SplitMode::Histogram`].
+    Goss {
+        /// Per-feature bin budget (at least 2).
+        max_bins: usize,
+        /// Row-sampling fractions and seed.
+        goss: GossParams,
+    },
 }
 
 impl SplitMode {
@@ -59,19 +140,46 @@ impl SplitMode {
         SplitMode::Histogram { max_bins: DEFAULT_MAX_BINS }
     }
 
-    /// Whether this is a histogram mode.
-    pub fn is_histogram(self) -> bool {
-        matches!(self, SplitMode::Histogram { .. })
+    /// GOSS mode with the [`DEFAULT_MAX_BINS`] budget and default fractions.
+    pub fn goss(seed: u64) -> SplitMode {
+        SplitMode::Goss { max_bins: DEFAULT_MAX_BINS, goss: GossParams::new(seed) }
     }
 
-    /// Parses `"exact"`, `"histogram"`, or `"histogram:<max_bins>"`
+    /// Whether this mode trains on the quantized histogram plane.
+    pub fn is_histogram(self) -> bool {
+        matches!(self, SplitMode::Histogram { .. } | SplitMode::Goss { .. })
+    }
+
+    /// Per-feature bin budget, when on the histogram plane.
+    pub fn max_bins(self) -> Option<usize> {
+        match self {
+            SplitMode::Exact => None,
+            SplitMode::Histogram { max_bins } | SplitMode::Goss { max_bins, .. } => Some(max_bins),
+        }
+    }
+
+    /// Parses `"exact"`, `"histogram"`, `"histogram:<max_bins>"`, `"goss"`,
+    /// or `"goss:<max_bins>:<top_permille>:<rest_permille>:<seed>"`
     /// (case-insensitive).
     pub fn parse(s: &str) -> Option<SplitMode> {
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
             "exact" => Some(SplitMode::Exact),
             "histogram" => Some(SplitMode::histogram()),
+            "goss" => Some(SplitMode::goss(0)),
             _ => {
+                if let Some(rest) = lower.strip_prefix("goss:") {
+                    let parts: Vec<&str> = rest.split(':').collect();
+                    let [bins, top, rest_p, seed] = parts.as_slice() else { return None };
+                    let max_bins: usize = bins.parse().ok()?;
+                    let goss = GossParams {
+                        top_permille: top.parse().ok()?,
+                        rest_permille: rest_p.parse().ok()?,
+                        seed: seed.parse().ok()?,
+                    };
+                    return (max_bins >= 2 && goss.valid())
+                        .then_some(SplitMode::Goss { max_bins, goss });
+                }
                 let bins: usize = lower.strip_prefix("histogram:")?.parse().ok()?;
                 (bins >= 2).then_some(SplitMode::Histogram { max_bins: bins })
             }
@@ -83,6 +191,10 @@ impl SplitMode {
         match self {
             SplitMode::Exact => "exact".to_string(),
             SplitMode::Histogram { max_bins } => format!("histogram:{max_bins}"),
+            SplitMode::Goss { max_bins, goss } => format!(
+                "goss:{max_bins}:{}:{}:{}",
+                goss.top_permille, goss.rest_permille, goss.seed
+            ),
         }
     }
 }
@@ -103,6 +215,9 @@ pub fn set_default_split_mode(mode: SplitMode) {
         SplitMode::Histogram { max_bins } => {
             assert!(max_bins >= 2, "max_bins must be at least 2");
             max_bins
+        }
+        SplitMode::Goss { .. } => {
+            panic!("GOSS cannot be the process-wide default; set it on the params explicitly")
         }
     };
     SPLIT_MODE_DEFAULT.store(encoded, Ordering::Relaxed);
@@ -225,12 +340,34 @@ impl<'a> HistContext<'a> {
         let (offsets, total) = self.candidate_layout(features);
         let size = total * n_classes;
         NODES_BUILT.inc();
-        let hist = self.build_hist(indices, size, |i, h| {
-            let y = labels[i] as usize;
-            for (p, &f) in features.iter().enumerate() {
-                h[(offsets[p] + self.codes.code(i, f)) * n_classes + y] += 1.0;
-            }
-        });
+        let runs = frote_data::sharded::shard_runs(indices, frote_data::sharded::shard_rows());
+        let hist = if runs.len() > 1 {
+            // Per-shard partials merged in shard order. Class counts are
+            // exact integers, so regrouping by shard cannot move a bit.
+            self.build_hist_runs(&runs, indices, size, |i, h| {
+                let y = labels[i] as usize;
+                for (p, &f) in features.iter().enumerate() {
+                    h[(offsets[p] + self.codes.code(i, f)) * n_classes + y] += 1.0;
+                }
+            })
+        } else if features.len() >= FEATURE_PAR_MIN && indices.len() > HIST_BLOCK {
+            let mut starts: Vec<usize> = offsets.iter().map(|o| o * n_classes).collect();
+            starts.push(size);
+            self.build_hist_featpar(indices, &starts, |i, positions, base, h| {
+                let y = labels[i] as usize;
+                for p in positions {
+                    let f = features[p];
+                    h[(offsets[p] + self.codes.code(i, f)) * n_classes + y - base] += 1.0;
+                }
+            })
+        } else {
+            self.build_hist(indices, size, |i, h| {
+                let y = labels[i] as usize;
+                for (p, &f) in features.iter().enumerate() {
+                    h[(offsets[p] + self.codes.code(i, f)) * n_classes + y] += 1.0;
+                }
+            })
+        };
         // Every sampled feature's bins partition the node's rows; together
         // with the compact allocation this proves no slot outside the
         // sampled features' blocks was ever written (there are none).
@@ -252,12 +389,51 @@ impl<'a> HistContext<'a> {
     pub(crate) fn reg_hist(&self, targets: &[f64], indices: &[usize]) -> Vec<f64> {
         let size = self.total_bins * 2;
         NODES_BUILT.inc();
+        if self.n_features() >= FEATURE_PAR_MIN && indices.len() > HIST_BLOCK {
+            let mut starts: Vec<usize> = self.offsets.iter().map(|o| o * 2).collect();
+            starts.push(size);
+            self.build_hist_featpar(indices, &starts, |i, positions, base, h| {
+                let t = targets[i];
+                for f in positions {
+                    let s = self.slot(i, f) * 2 - base;
+                    h[s] += 1.0;
+                    h[s + 1] += t;
+                }
+            })
+        } else {
+            self.build_hist(indices, size, |i, h| {
+                let t = targets[i];
+                for f in 0..self.n_features() {
+                    let s = self.slot(i, f) * 2;
+                    h[s] += 1.0;
+                    h[s + 1] += t;
+                }
+            })
+        }
+    }
+
+    /// [`HistContext::reg_hist`] with a per-row weight plane (the GOSS
+    /// `(1 - a) / b` amplifier): counts accumulate `w`, target sums `w·t`.
+    /// With all weights at `1.0` this is NOT bit-guaranteed to equal
+    /// `reg_hist` (the multiply may round differently from the plain add
+    /// path is a non-issue — `1.0 * t == t` exactly — but the dispatch
+    /// differs), so the unweighted path stays the default everywhere GOSS
+    /// is off.
+    pub(crate) fn reg_hist_weighted(
+        &self,
+        targets: &[f64],
+        weights: &[f64],
+        indices: &[usize],
+    ) -> Vec<f64> {
+        let size = self.total_bins * 2;
+        NODES_BUILT.inc();
         self.build_hist(indices, size, |i, h| {
-            let t = targets[i];
+            let w = weights[i];
+            let wt = w * targets[i];
             for f in 0..self.n_features() {
                 let s = self.slot(i, f) * 2;
-                h[s] += 1.0;
-                h[s + 1] += t;
+                h[s] += w;
+                h[s + 1] += wt;
             }
         })
     }
@@ -287,6 +463,82 @@ impl<'a> HistContext<'a> {
             }
         }
         acc
+    }
+
+    /// Shard-order build: one serial partial per shard run (the runs come
+    /// from [`frote_data::sharded::shard_runs`], computed in parallel),
+    /// merged left-to-right in run order with `kernels::add_assign`. Only
+    /// used for integer-count histograms, where the regrouping is exact.
+    fn build_hist_runs(
+        &self,
+        runs: &[(usize, std::ops::Range<usize>)],
+        indices: &[usize],
+        size: usize,
+        accumulate: impl Fn(usize, &mut [f64]) + Sync,
+    ) -> Vec<f64> {
+        let parts = frote_par::par_map(runs, |(_, range)| {
+            BINS_ZEROED.add(size as u64);
+            let mut h = vec![0.0; size];
+            for &i in &indices[range.clone()] {
+                accumulate(i, &mut h);
+            }
+            h
+        });
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next().expect("shard-run build needs at least one run");
+        for part in parts {
+            SHARD_MERGES.inc();
+            crate::kernels::add_assign(&mut acc, &part);
+        }
+        acc
+    }
+
+    /// Feature-parallel build for wide schemas: each parallel task owns a
+    /// block of candidate positions and that block's whole slice of bin
+    /// slots (`starts` maps position → first flat slot; `starts.len()` is
+    /// positions + 1), so there are zero shared writes. Within a block the
+    /// rows are chunked by the same fixed [`HIST_BLOCK`] as the row-parallel
+    /// build and the first chunk accumulates straight into the zeroed
+    /// output buffer, so every slot sees the exact per-chunk addition
+    /// sequence of [`HistContext::build_hist`] — bit-identical, including
+    /// signed zeros.
+    fn build_hist_featpar(
+        &self,
+        indices: &[usize],
+        starts: &[usize],
+        accumulate: impl Fn(usize, std::ops::Range<usize>, usize, &mut [f64]) + Sync,
+    ) -> Vec<f64> {
+        let n_pos = starts.len() - 1;
+        let size = *starts.last().unwrap();
+        let blocks: Vec<std::ops::Range<usize>> =
+            (0..n_pos).step_by(FEATURE_BLOCK).map(|p| p..(p + FEATURE_BLOCK).min(n_pos)).collect();
+        let parts = frote_par::par_map(&blocks, |block| {
+            let base = starts[block.start];
+            let len = starts[block.end] - base;
+            BINS_ZEROED.add(len as u64);
+            let mut acc = vec![0.0; len];
+            let mut chunks = indices.chunks(HIST_BLOCK);
+            if let Some(chunk) = chunks.next() {
+                for &i in chunk {
+                    accumulate(i, block.clone(), base, &mut acc);
+                }
+            }
+            let mut part = vec![0.0; len];
+            for chunk in chunks {
+                BINS_ZEROED.add(len as u64);
+                part.fill(0.0);
+                for &i in chunk {
+                    accumulate(i, block.clone(), base, &mut part);
+                }
+                crate::kernels::add_assign(&mut acc, &part);
+            }
+            acc
+        });
+        let mut out = Vec::with_capacity(size);
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        out
     }
 
     /// `parent -= child` elementwise: after the call, `parent` holds the
@@ -539,9 +791,33 @@ mod tests {
         assert_eq!(SplitMode::parse("histogram:128"), Some(SplitMode::Histogram { max_bins: 128 }));
         assert_eq!(SplitMode::parse("histogram:1"), None, "budget below 2 rejected");
         assert_eq!(SplitMode::parse("sorted"), None);
-        for mode in [SplitMode::Exact, SplitMode::Histogram { max_bins: 77 }] {
+        assert_eq!(SplitMode::parse("GOSS"), Some(SplitMode::goss(0)));
+        assert_eq!(
+            SplitMode::parse("goss:32:300:150:7"),
+            Some(SplitMode::Goss {
+                max_bins: 32,
+                goss: GossParams { top_permille: 300, rest_permille: 150, seed: 7 },
+            })
+        );
+        assert_eq!(SplitMode::parse("goss:1:200:100:0"), None, "budget below 2 rejected");
+        assert_eq!(SplitMode::parse("goss:32:200:0:0"), None, "zero sampling fraction rejected");
+        assert_eq!(SplitMode::parse("goss:32:1001:100:0"), None, "fraction above 1 rejected");
+        for mode in [
+            SplitMode::Exact,
+            SplitMode::Histogram { max_bins: 77 },
+            SplitMode::goss(41),
+            SplitMode::Goss {
+                max_bins: 8,
+                goss: GossParams { top_permille: 250, rest_permille: 125, seed: 3 },
+            },
+        ] {
             assert_eq!(SplitMode::parse(&mode.name()), Some(mode));
         }
+        assert!(SplitMode::goss(0).is_histogram());
+        assert_eq!(SplitMode::goss(0).max_bins(), Some(DEFAULT_MAX_BINS));
+        assert_eq!(SplitMode::Exact.max_bins(), None);
+        let amp = GossParams::new(0).amplify();
+        assert!((amp - 8.0).abs() < 1e-12, "(1 - 0.2) / 0.1 = 8, got {amp}");
     }
 
     #[test]
@@ -577,6 +853,113 @@ mod tests {
             let par = frote_par::test_support::with_threads(t, || ctx.reg_hist(&targets, &indices));
             let bitwise_equal = serial.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(bitwise_equal, "gradient histogram drifted at FROTE_THREADS={t}");
+        }
+    }
+
+    /// A wide (20 numeric features) dataset big enough to cross the
+    /// `HIST_BLOCK` and `FEATURE_PAR_MIN` gates.
+    fn wide_ds(n_rows: usize) -> Dataset {
+        let mut builder = Schema::builder("y", vec!["a".into(), "b".into(), "c".into()]);
+        for f in 0..20 {
+            builder = builder.numeric(format!("x{f}"));
+        }
+        let mut ds = Dataset::new(builder.build());
+        let mut row = vec![Value::Num(0.0); 20];
+        for i in 0..n_rows {
+            for (f, cell) in row.iter_mut().enumerate() {
+                let v = ((i * 31 + f * 17 + 7) % 997) as f64 * 0.25 - 50.0;
+                *cell = Value::Num(v);
+            }
+            ds.push_row(&row, (i % 3) as u32).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn feature_parallel_builds_match_row_parallel_bitwise() {
+        let ds = wide_ds(2500);
+        let binner = Binner::fit(&ds, 32);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).rev().collect();
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let targets: Vec<f64> = (0..ds.n_rows()).map(|i| (i as f64).sin() * 3.0).collect();
+        assert!(features.len() >= FEATURE_PAR_MIN && indices.len() > HIST_BLOCK, "gates crossed");
+        // Row-parallel references built through the plain block-order path.
+        let (offsets, total) = ctx.candidate_layout(&features);
+        let class_ref = ctx.build_hist(&indices, total * 3, |i, h| {
+            let y = ds.labels()[i] as usize;
+            for (p, &f) in features.iter().enumerate() {
+                h[(offsets[p] + ctx.codes.code(i, f)) * 3 + y] += 1.0;
+            }
+        });
+        let reg_ref = ctx.build_hist(&indices, ctx.total_bins * 2, |i, h| {
+            let t = targets[i];
+            for f in 0..ctx.n_features() {
+                let s = ctx.slot(i, f) * 2;
+                h[s] += 1.0;
+                h[s + 1] += t;
+            }
+        });
+        for t in [1usize, 2, 4] {
+            let (class_par, reg_par) = frote_par::test_support::with_threads(t, || {
+                (
+                    ctx.class_hist(ds.labels(), &indices, &features, 3),
+                    ctx.reg_hist(&targets, &indices),
+                )
+            });
+            assert_eq!(class_par, class_ref, "class hist drifted at FROTE_THREADS={t}");
+            let bitwise = reg_ref.iter().zip(&reg_par).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bitwise, "feature-parallel gradient hist drifted at FROTE_THREADS={t}");
+        }
+    }
+
+    #[test]
+    fn class_hist_is_shard_size_invariant() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ds = DatasetKind::Adult.generate(&SynthConfig { n_rows: 900, ..Default::default() });
+        let k = ds.n_classes();
+        let binner = Binner::fit(&ds, 32);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let features: Vec<usize> = (0..ds.n_features()).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Bootstrap-style (unsorted, repeated) and sorted node index lists.
+        let bootstrap: Vec<usize> = (0..500).map(|_| rng.random_range(0..ds.n_rows())).collect();
+        let sorted: Vec<usize> = (0..ds.n_rows()).step_by(2).collect();
+        for indices in [&bootstrap, &sorted] {
+            let baseline = ctx.class_hist(ds.labels(), indices, &features, k);
+            for shard_rows in [64usize, 4096] {
+                for threads in [1usize, 2, 4] {
+                    let sharded = frote_par::test_support::with_threads(threads, || {
+                        frote_data::sharded::test_support::with_shard_rows(shard_rows, || {
+                            ctx.class_hist(ds.labels(), indices, &features, k)
+                        })
+                    });
+                    assert_eq!(
+                        sharded, baseline,
+                        "class hist drifted at shard_rows={shard_rows} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_reg_hist_scales_counts_and_sums() {
+        let ds = two_feature_ds();
+        let binner = Binner::fit(&ds, 16);
+        let codes = binner.bin_dataset(&ds);
+        let ctx = HistContext::new(&binner, &codes);
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let targets: Vec<f64> = (0..ds.n_rows()).map(|i| i as f64 * 0.5).collect();
+        let weights = vec![2.0; ds.n_rows()];
+        let unweighted = ctx.reg_hist(&targets, &indices);
+        let weighted = ctx.reg_hist_weighted(&targets, &weights, &indices);
+        // Weight 2 is a power of two: scaling is exact.
+        for (w, u) in weighted.iter().zip(&unweighted) {
+            assert_eq!(*w, u * 2.0);
         }
     }
 

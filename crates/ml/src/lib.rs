@@ -52,5 +52,5 @@ pub mod tree;
 pub mod validate;
 
 pub use error::MlError;
-pub use histogram::{default_split_mode, set_default_split_mode, SplitMode};
+pub use histogram::{default_split_mode, set_default_split_mode, GossParams, SplitMode};
 pub use traits::{Classifier, TrainAlgorithm, TrainCache};

@@ -80,46 +80,49 @@ impl NaiveBayes {
             .collect();
         let per_class_rows: Vec<Vec<usize>> =
             (0..k as u32).map(|c| ds.indices_of_class(c)).collect();
-        let features = (0..ds.n_features())
-            .map(|j| match ds.column(j) {
-                Column::Numeric(v) => {
-                    let stats = per_class_rows
-                        .iter()
-                        .map(|rows| {
-                            if rows.is_empty() {
-                                // Unit Gaussian for absent classes.
-                                return GaussParams::new(0.0, 1.0);
-                            }
-                            let m = rows.iter().map(|&i| v[i]).sum::<f64>() / rows.len() as f64;
-                            let var = rows.iter().map(|&i| (v[i] - m) * (v[i] - m)).sum::<f64>()
-                                / rows.len() as f64;
-                            GaussParams::new(m, var.max(params.var_floor))
-                        })
-                        .collect();
-                    FeatureModel::Gaussian(stats)
-                }
-                Column::Categorical(v) => {
-                    let card = ds
-                        .schema()
-                        .feature(j)
-                        .kind()
-                        .cardinality()
-                        .expect("categorical column has cardinality");
-                    let mut log_probs = FeatureMatrix::with_capacity(card, per_class_rows.len());
-                    for rows in &per_class_rows {
-                        let mut c = vec![params.alpha; card];
-                        for &i in rows {
-                            c[v[i] as usize] += 1.0;
+        // Each feature's likelihood parameters read only that feature's
+        // column, so the fit is feature-parallel; `par_map` returns models
+        // in feature order, making the result bit-identical to the old
+        // serial loop at any `FROTE_THREADS`.
+        let feature_ids: Vec<usize> = (0..ds.n_features()).collect();
+        let features = frote_par::par_map(&feature_ids, |&j| match ds.column(j) {
+            Column::Numeric(v) => {
+                let stats = per_class_rows
+                    .iter()
+                    .map(|rows| {
+                        if rows.is_empty() {
+                            // Unit Gaussian for absent classes.
+                            return GaussParams::new(0.0, 1.0);
                         }
-                        let total: f64 = c.iter().sum();
-                        log_probs.push_row_with(|buf| {
-                            buf.extend(c.iter().map(|x| (x / total).ln()));
-                        });
+                        let m = rows.iter().map(|&i| v[i]).sum::<f64>() / rows.len() as f64;
+                        let var = rows.iter().map(|&i| (v[i] - m) * (v[i] - m)).sum::<f64>()
+                            / rows.len() as f64;
+                        GaussParams::new(m, var.max(params.var_floor))
+                    })
+                    .collect();
+                FeatureModel::Gaussian(stats)
+            }
+            Column::Categorical(v) => {
+                let card = ds
+                    .schema()
+                    .feature(j)
+                    .kind()
+                    .cardinality()
+                    .expect("categorical column has cardinality");
+                let mut log_probs = FeatureMatrix::with_capacity(card, per_class_rows.len());
+                for rows in &per_class_rows {
+                    let mut c = vec![params.alpha; card];
+                    for &i in rows {
+                        c[v[i] as usize] += 1.0;
                     }
-                    FeatureModel::Multinomial(log_probs)
+                    let total: f64 = c.iter().sum();
+                    log_probs.push_row_with(|buf| {
+                        buf.extend(c.iter().map(|x| (x / total).ln()));
+                    });
                 }
-            })
-            .collect();
+                FeatureModel::Multinomial(log_probs)
+            }
+        });
         NaiveBayes { log_priors, features, n_classes: k }
     }
 
@@ -326,6 +329,23 @@ mod tests {
         let model = NaiveBayes::fit(&ds, &NaiveBayesParams::default());
         let p = model.predict_proba(&[Value::Cat(1)]);
         assert!(p[0] > 0.0 && p[0] < 0.5);
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let ds = DatasetKind::Adult.generate(&SynthConfig { n_rows: 800, ..Default::default() });
+        let proba_bits = |model: &NaiveBayes| -> Vec<u64> {
+            (0..50).flat_map(|i| model.predict_proba(&ds.row(i))).map(f64::to_bits).collect()
+        };
+        let baseline = frote_par::test_support::with_threads(1, || {
+            proba_bits(&NaiveBayes::fit(&ds, &NaiveBayesParams::default()))
+        });
+        for t in [2usize, 4] {
+            let par = frote_par::test_support::with_threads(t, || {
+                proba_bits(&NaiveBayes::fit(&ds, &NaiveBayesParams::default()))
+            });
+            assert_eq!(par, baseline, "NB fit drifted at FROTE_THREADS={t}");
+        }
     }
 
     #[test]

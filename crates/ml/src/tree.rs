@@ -416,9 +416,11 @@ impl TrainAlgorithm for DecisionTreeTrainer {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         let indices: Vec<usize> = (0..ds.n_rows()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        match self.params.split_mode {
-            SplitMode::Exact => Box::new(DecisionTree::fit(ds, &indices, &self.params, &mut rng)),
-            SplitMode::Histogram { max_bins } => {
+        // GOSS is a boosting-plane knob; classification trees have no
+        // gradients, so here it trains exactly like plain histogram mode.
+        match self.params.split_mode.max_bins() {
+            None => Box::new(DecisionTree::fit(ds, &indices, &self.params, &mut rng)),
+            Some(max_bins) => {
                 let binned = cache.binned(ds, max_bins);
                 Box::new(DecisionTree::fit_hist(
                     ds,

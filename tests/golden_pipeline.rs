@@ -115,11 +115,30 @@ fn run_hist_numeric() -> u64 {
     fnv1a(format!("{:?}|{:?}", out.dataset, out.report).as_bytes())
 }
 
+/// GOSS-mode GBDT training pinned end to end: the per-round row subsets
+/// come from per-shard `SeedSplit` streams, so the fit depends on the
+/// shard size — the run pins `FROTE_SHARD_ROWS=64` explicitly (the env
+/// binding outranks any process override, including the CI shard-matrix
+/// leg's) and must then be bit-identical at any thread count.
+fn run_goss() -> u64 {
+    use frote_ml::gbdt::{Gbdt, GbdtParams};
+    let ds = DatasetKind::WineQuality.generate(&SynthConfig { n_rows: 250, ..Default::default() });
+    let params = GbdtParams {
+        n_rounds: 8,
+        split_mode: SplitMode::parse("goss:16:300:200:11").expect("valid goss spec"),
+        ..Default::default()
+    };
+    let model = frote_data::sharded::test_support::with_shard_rows(64, || Gbdt::fit(&ds, &params));
+    fnv1a(format!("{:?}", model.predict_dataset(&ds)).as_bytes())
+}
+
 /// Captured from the seed (pre-refactor) tree; see the module docs.
 const GOLDEN_RANDOM: u64 = 0x3d16_ce7c_f8d3_ed96;
 const GOLDEN_ONLINE: u64 = 0x95e7_5f49_4078_f82e;
 /// Captured at PR 4 (first histogram-mode release).
 const GOLDEN_HIST_NUMERIC: u64 = 0x53e4_4701_4ba3_c2e6;
+/// Captured at PR 8 (first GOSS release).
+const GOLDEN_GOSS: u64 = 0xc87e_7f3b_cfc3_9443;
 
 #[test]
 fn pipeline_output_pinned_at_1_and_4_threads() {
@@ -171,6 +190,14 @@ fn lr_cached_training_matches_uncached_at_1_and_4_threads() {
     for t in [1usize, 4] {
         let (a, b) = with_threads(t, || (run_lr(&cached), run_lr(&uncached)));
         assert_eq!(a, b, "LR train_cached drifted from the uncached path at {t} threads");
+    }
+}
+
+#[test]
+fn goss_training_pinned_at_1_2_and_4_threads() {
+    for t in [1usize, 2, 4] {
+        let h = with_threads(t, run_goss);
+        assert_eq!(h, GOLDEN_GOSS, "GOSS-mode GBDT drifted at {t} threads: {h:#018x}");
     }
 }
 

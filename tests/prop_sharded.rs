@@ -1,0 +1,213 @@
+//! Differential gate for the sharded data plane (PR 8).
+//!
+//! Three contracts, each checked against the unsharded plane as the oracle:
+//!
+//! 1. **Matrix equivalence** — a [`ShardedMatrix`] driven through an
+//!    arbitrary `push_row` / `extend_from` / `truncate_rows` op sequence is
+//!    cell-for-cell identical to a [`FeatureMatrix`] driven through the same
+//!    sequence, at shard sizes 64, 4096, and effectively-unsharded.
+//! 2. **Training equivalence** — histogram-mode tree training produces
+//!    bit-identical models (probabilities compared through `f64::to_bits`)
+//!    at every shard size × `FROTE_THREADS` combination, because per-shard
+//!    class histograms merge in fixed shard order and integer counts are
+//!    exact in f64.
+//! 3. **Spill round-trip** — spilling every shard to disk and loading it
+//!    back reproduces the original matrix bit for bit.
+
+use frote_data::sharded::test_support::with_shard_rows;
+use frote_data::{Dataset, FeatureMatrix, Schema, ShardedMatrix, Value};
+use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
+use frote_ml::{SplitMode, TrainAlgorithm};
+use frote_par::test_support::with_threads;
+use proptest::prelude::*;
+
+const WIDTH: usize = 5;
+
+/// One random mutation of the matrix-under-test. All payload rows are
+/// derived arithmetically from the op's seed so both planes see identical
+/// data without threading an RNG through the interpreter.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push one row derived from the seed.
+    Push(u16),
+    /// Extend with `n % 97` rows derived from the seed.
+    Extend(u16),
+    /// Truncate to `seed % (n_rows + 1)` rows.
+    Truncate(u16),
+}
+
+fn row_of(seed: u16, j: usize) -> f64 {
+    f64::from(seed) * 0.25 + (j as f64) * 1.5 - 40.0
+}
+
+fn apply_flat(m: &mut FeatureMatrix, op: Op) {
+    match op {
+        Op::Push(seed) => {
+            let row: Vec<f64> = (0..WIDTH).map(|j| row_of(seed, j)).collect();
+            m.push_row(&row);
+        }
+        Op::Extend(seed) => {
+            let mut other = FeatureMatrix::new(WIDTH);
+            for r in 0..usize::from(seed) % 97 {
+                let row: Vec<f64> =
+                    (0..WIDTH).map(|j| row_of(seed.wrapping_add(r as u16), j)).collect();
+                other.push_row(&row);
+            }
+            m.extend_from(&other);
+        }
+        Op::Truncate(seed) => {
+            let keep = usize::from(seed) % (m.n_rows() + 1);
+            m.truncate_rows(keep);
+        }
+    }
+}
+
+fn apply_sharded(m: &mut ShardedMatrix, op: Op) {
+    match op {
+        Op::Push(seed) => {
+            let row: Vec<f64> = (0..WIDTH).map(|j| row_of(seed, j)).collect();
+            m.push_row(&row);
+        }
+        Op::Extend(seed) => {
+            let mut other = FeatureMatrix::new(WIDTH);
+            for r in 0..usize::from(seed) % 97 {
+                let row: Vec<f64> =
+                    (0..WIDTH).map(|j| row_of(seed.wrapping_add(r as u16), j)).collect();
+                other.push_row(&row);
+            }
+            m.extend_from(&other);
+        }
+        Op::Truncate(seed) => {
+            let keep = usize::from(seed) % (m.n_rows() + 1);
+            m.truncate_rows(keep);
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..4096).prop_map(Op::Push),
+        (0u16..4096).prop_map(Op::Extend),
+        (0u16..4096).prop_map(Op::Truncate),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::builder("y", vec!["a".into(), "b".into(), "c".into()])
+        .numeric("x0")
+        .numeric("x1")
+        .categorical("k", vec!["p".into(), "q".into(), "r".into(), "s".into()])
+        .build()
+}
+
+prop_compose! {
+    fn arb_dataset()(rows in proptest::collection::vec(
+        (0u8..32, 0u8..20, 0u32..4, 0u32..3), 80..300,
+    )) -> Dataset {
+        let mut ds = Dataset::new(schema());
+        for (x0, x1, k, y) in rows {
+            ds.push_row(
+                &[Value::Num(f64::from(x0) * 0.75 - 9.0), Value::Num(f64::from(x1)), Value::Cat(k)],
+                y,
+            )
+            .unwrap();
+        }
+        ds
+    }
+}
+
+/// Bit pattern of every class probability for every row: the strictest
+/// model-equality observable the [`frote_ml::Classifier`] contract exposes.
+fn proba_bits(model: &dyn frote_ml::Classifier, ds: &Dataset) -> Vec<u64> {
+    let mut out = Vec::with_capacity(ds.n_rows() * model.n_classes());
+    let mut p = Vec::new();
+    for i in 0..ds.n_rows() {
+        model.predict_proba_into(&ds.row(i), &mut p);
+        out.extend(p.iter().map(|v| v.to_bits()));
+    }
+    out
+}
+
+proptest! {
+    /// Contract 1: the sharded matrix is indistinguishable from the flat
+    /// one under any op sequence, at every shard size.
+    #[test]
+    fn sharded_matrix_matches_flat_cell_for_cell(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let mut flat = FeatureMatrix::new(WIDTH);
+        for &op in &ops {
+            apply_flat(&mut flat, op);
+        }
+        // 1 << 62 rows per shard = one shard in practice ("whole").
+        for shard_rows in [64usize, 4096, 1 << 62] {
+            let mut sharded = ShardedMatrix::with_shard_rows(WIDTH, shard_rows);
+            for &op in &ops {
+                apply_sharded(&mut sharded, op);
+            }
+            prop_assert_eq!(sharded.n_rows(), flat.n_rows());
+            prop_assert_eq!(sharded.width(), flat.width());
+            for i in 0..flat.n_rows() {
+                prop_assert_eq!(
+                    sharded.row(i), flat.row(i),
+                    "row {} differs at shard_rows={}", i, shard_rows
+                );
+            }
+            prop_assert_eq!(sharded.to_matrix(), flat.clone());
+        }
+    }
+
+    /// Contract 2: histogram-mode training is bit-identical across shard
+    /// sizes and thread counts (per-shard builds merge in shard order;
+    /// integer class counts are exact in f64).
+    #[test]
+    fn histogram_training_is_shard_size_and_thread_invariant(
+        ds in arb_dataset(), depth in 1usize..5,
+    ) {
+        let params = TreeParams {
+            max_depth: depth,
+            split_mode: SplitMode::Histogram { max_bins: 16 },
+            ..Default::default()
+        };
+        let trainer = DecisionTreeTrainer::new(params, 42);
+        let baseline = proba_bits(trainer.train(&ds).as_ref(), &ds);
+        for threads in [1usize, 2, 4] {
+            for shard_rows in [64usize, 4096] {
+                let bits = with_threads(threads, || {
+                    with_shard_rows(shard_rows, || {
+                        proba_bits(trainer.train(&ds).as_ref(), &ds)
+                    })
+                });
+                prop_assert_eq!(
+                    &bits, &baseline,
+                    "model drifted at shard_rows={} threads={}", shard_rows, threads
+                );
+            }
+        }
+    }
+
+    /// Contract 3: spill → load round-trips every shard bit for bit.
+    #[test]
+    fn spill_load_round_trip_is_exact(
+        rows in proptest::collection::vec(0u16..4096, 1..300),
+    ) {
+        let mut flat = FeatureMatrix::new(WIDTH);
+        for &seed in &rows {
+            apply_flat(&mut flat, Op::Push(seed));
+        }
+        let mut sharded = ShardedMatrix::with_shard_rows(WIDTH, 64);
+        sharded.extend_from(&flat);
+        let dir = std::env::temp_dir()
+            .join(format!("frote-prop-sharded-{}-{}", std::process::id(), rows.len()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for s in 0..sharded.n_shards() {
+            sharded.spill_shard(s, &dir).unwrap();
+        }
+        for s in 0..sharded.n_shards() {
+            sharded.load_shard(s).unwrap();
+            prop_assert!(!sharded.is_spilled(s));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(sharded.to_matrix(), flat);
+    }
+}
