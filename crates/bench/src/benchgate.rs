@@ -55,7 +55,7 @@ impl std::hash::Hasher for FnvHasher {
 /// committed default. Shared by `perfsmoke` (writer) and `benchdiff`
 /// (reader) so the name is wired in exactly one place.
 pub fn default_bench_file() -> String {
-    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr8.json".to_string())
+    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr9.json".to_string())
 }
 
 /// The per-probe fields the gate reads (a subset of perfsmoke's record, so
@@ -74,6 +74,24 @@ pub struct GateRecord {
     pub output_fnv: Option<String>,
 }
 
+/// One serve-path probe's fields the gate reads (since PR 9): latency
+/// percentiles of scoring over the wire, plus the response digest that
+/// `perfsmoke` asserts equal to a direct `predict_rows` call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeGateRecord {
+    /// Probe name (`serve_latency`, `serve_sweep_rows64`, …).
+    pub name: String,
+    /// Median request latency, milliseconds (warn-only).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds (warn-only).
+    pub p99_ms: f64,
+    /// Whether the over-the-wire responses matched a direct
+    /// `predict_rows` call bit for bit (hard-gated).
+    pub matches_direct: bool,
+    /// Stable FNV-1a digest of all response labels (hard-gated).
+    pub response_fnv: Option<String>,
+}
+
 /// The slice of a `BENCH_*.json` file the gate consumes.
 #[derive(Debug, Deserialize)]
 pub struct GateFile {
@@ -81,6 +99,8 @@ pub struct GateFile {
     pub benches: Vec<GateRecord>,
     /// The `frote-obs` snapshot of the run (absent in pre-PR 7 baselines).
     pub metrics: Option<MetricsSnapshot>,
+    /// Serve-path probes (absent in pre-PR 9 baselines).
+    pub serve: Option<Vec<ServeGateRecord>>,
 }
 
 /// The gate's verdict: a human delta table, warn-only notes, and the
@@ -161,6 +181,18 @@ pub fn compare(old: &GateFile, new: &GateFile) -> GateOutcome {
             outcome.notes.push(format!("{}: probe removed since the baseline", o.name));
         }
     }
+    match (&old.serve, &new.serve) {
+        (_, None) => {}
+        (None, Some(n)) => {
+            outcome
+                .notes
+                .push("baseline has no serve section; serve gating starts next run".to_string());
+            // Digest gating needs a baseline, but a wire/direct divergence
+            // is a determinism break in the fresh run alone.
+            compare_serve(&[], n, &mut outcome);
+        }
+        (Some(o), Some(n)) => compare_serve(o, n, &mut outcome),
+    }
     match (&old.metrics, &new.metrics) {
         (_, None) => outcome
             .notes
@@ -171,6 +203,54 @@ pub fn compare(old: &GateFile, new: &GateFile) -> GateOutcome {
         (Some(o), Some(n)) => compare_metrics(o, n, &mut outcome),
     }
     outcome
+}
+
+/// Diffs the serve-path probes into `outcome`: a response digest that is
+/// not bit-identical to direct `predict_rows` (or that moved against the
+/// baseline) is a hard failure; latency percentiles are warn-only, same
+/// rationale as the bench timings.
+fn compare_serve(old: &[ServeGateRecord], new: &[ServeGateRecord], outcome: &mut GateOutcome) {
+    for rec in new {
+        if !rec.matches_direct {
+            outcome.failures.push(format!(
+                "{}: wire responses diverged from direct predict_rows in the fresh run",
+                rec.name
+            ));
+        }
+        let Some(o) = old.iter().find(|o| o.name == rec.name) else {
+            outcome.notes.push(format!("{}: new serve probe (no baseline)", rec.name));
+            continue;
+        };
+        match (&o.response_fnv, &rec.response_fnv) {
+            (Some(old_fnv), Some(new_fnv)) if old_fnv != new_fnv => {
+                outcome.failures.push(format!(
+                    "{}: serve response digest changed ({old_fnv} -> {new_fnv}) — behaviour \
+                     regression, or an intentional change that needs a regenerated baseline",
+                    rec.name
+                ));
+            }
+            (None, _) | (_, None) => outcome.notes.push(format!(
+                "{}: baseline has no serve response digest; gating starts next run",
+                rec.name
+            )),
+            _ => {}
+        }
+        outcome.table.push(format!(
+            "{:<22} p50 {:>8.2}ms -> {:>8.2}ms {:>8}   p99 {:>8.2}ms -> {:>8.2}ms {:>8}",
+            rec.name,
+            o.p50_ms,
+            rec.p50_ms,
+            delta_pct(o.p50_ms, rec.p50_ms),
+            o.p99_ms,
+            rec.p99_ms,
+            delta_pct(o.p99_ms, rec.p99_ms),
+        ));
+    }
+    for o in old {
+        if !new.iter().any(|r| r.name == o.name) {
+            outcome.notes.push(format!("{}: serve probe removed since the baseline", o.name));
+        }
+    }
 }
 
 /// Diffs the two runs' metric snapshots into `outcome`. Thread-invariant
@@ -270,8 +350,8 @@ mod tests {
 
     #[test]
     fn clean_run_passes() {
-        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed(), "{:?}", out.failures);
         assert_eq!(out.table.len(), 2, "header + one probe");
@@ -279,8 +359,8 @@ mod tests {
 
     #[test]
     fn hash_mismatch_fails() {
-        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { metrics: None, benches: vec![rec("a", Some("2"), true)] };
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(!out.passed());
         assert!(out.failures[0].contains("output hash changed"), "{}", out.failures[0]);
@@ -288,8 +368,9 @@ mod tests {
 
     #[test]
     fn determinism_break_fails_even_without_baseline() {
-        let old = GateFile { metrics: None, benches: Vec::new() };
-        let new = GateFile { metrics: None, benches: vec![rec("a", Some("1"), false)] };
+        let old = GateFile { serve: None, metrics: None, benches: Vec::new() };
+        let new =
+            GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), false)] };
         let out = compare(&old, &new);
         assert!(!out.passed());
         assert!(out.failures[0].contains("diverged"));
@@ -297,8 +378,8 @@ mod tests {
 
     #[test]
     fn missing_baseline_hash_warns_only() {
-        let old = GateFile { metrics: None, benches: vec![rec("a", None, true)] };
-        let new = GateFile { metrics: None, benches: vec![rec("a", Some("2"), true)] };
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", None, true)] };
+        let new = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed(), "pre-gate baselines must not fail the job");
         assert!(out.notes.iter().any(|n| n.contains("gating starts next run")));
@@ -306,8 +387,10 @@ mod tests {
 
     #[test]
     fn added_and_removed_probes_are_notes() {
-        let old = GateFile { metrics: None, benches: vec![rec("gone", Some("1"), true)] };
-        let new = GateFile { metrics: None, benches: vec![rec("fresh", Some("2"), true)] };
+        let old =
+            GateFile { serve: None, metrics: None, benches: vec![rec("gone", Some("1"), true)] };
+        let new =
+            GateFile { serve: None, metrics: None, benches: vec![rec("fresh", Some("2"), true)] };
         let out = compare(&old, &new);
         assert!(out.passed());
         assert!(out.notes.iter().any(|n| n.contains("new probe")));
@@ -319,11 +402,67 @@ mod tests {
         let mut slow = rec("a", Some("1"), true);
         slow.serial_ms = 1000.0;
         slow.parallel_ms = 900.0;
-        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
-        let new = GateFile { metrics: None, benches: vec![slow] };
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = GateFile { serve: None, metrics: None, benches: vec![slow] };
         let out = compare(&old, &new);
         assert!(out.passed(), "timings are warn-only");
         assert!(out.table[1].contains('%'));
+    }
+
+    fn serve_rec(name: &str, fnv: Option<&str>, matches_direct: bool) -> ServeGateRecord {
+        ServeGateRecord {
+            name: name.to_string(),
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            matches_direct,
+            response_fnv: fnv.map(str::to_string),
+        }
+    }
+
+    fn with_serve(records: Vec<ServeGateRecord>) -> GateFile {
+        GateFile { serve: Some(records), metrics: None, benches: vec![rec("a", Some("1"), true)] }
+    }
+
+    #[test]
+    fn serve_digest_change_fails() {
+        let old = with_serve(vec![serve_rec("serve_latency", Some("1"), true)]);
+        let new = with_serve(vec![serve_rec("serve_latency", Some("2"), true)]);
+        let out = compare(&old, &new);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("serve response digest changed"), "{}", out.failures[0]);
+    }
+
+    #[test]
+    fn serve_direct_divergence_fails_even_without_baseline() {
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = with_serve(vec![serve_rec("serve_latency", Some("1"), false)]);
+        let out = compare(&old, &new);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("diverged from direct predict_rows"),
+            "{}",
+            out.failures[0]
+        );
+    }
+
+    #[test]
+    fn missing_baseline_serve_section_warns_only() {
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let new = with_serve(vec![serve_rec("serve_latency", Some("1"), true)]);
+        let out = compare(&old, &new);
+        assert!(out.passed(), "pre-PR 9 baselines must not fail the job: {:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("serve gating starts next run")));
+    }
+
+    #[test]
+    fn serve_latency_regressions_never_fail() {
+        let mut slow = serve_rec("serve_latency", Some("1"), true);
+        slow.p50_ms = 50.0;
+        slow.p99_ms = 500.0;
+        let old = with_serve(vec![serve_rec("serve_latency", Some("1"), true)]);
+        let new = with_serve(vec![slow]);
+        let out = compare(&old, &new);
+        assert!(out.passed(), "serve latencies are warn-only: {:?}", out.failures);
     }
 
     fn counter(name: &str, variance: &str, value: u64) -> frote_obs::CounterSnapshot {
@@ -332,6 +471,7 @@ mod tests {
 
     fn with_metrics(counters: Vec<frote_obs::CounterSnapshot>) -> GateFile {
         GateFile {
+            serve: None,
             benches: vec![rec("a", Some("1"), true)],
             metrics: Some(MetricsSnapshot { counters, ..Default::default() }),
         }
@@ -366,7 +506,7 @@ mod tests {
 
     #[test]
     fn missing_baseline_metrics_warns_only() {
-        let old = GateFile { metrics: None, benches: vec![rec("a", Some("1"), true)] };
+        let old = GateFile { serve: None, metrics: None, benches: vec![rec("a", Some("1"), true)] };
         let new = with_metrics(vec![counter("frote.accepted", "invariant", 3)]);
         let out = compare(&old, &new);
         assert!(out.passed(), "pre-PR 7 baselines must not fail the job");

@@ -29,6 +29,13 @@
 //! digest-asserted equal to its unsharded twin, plus a dataset-size
 //! `scaling` section (WineQuality at the three `frote_eval::Scale` row
 //! counts) recording how the sharded and unsharded fits scale together.
+//!
+//! PR 9 adds the serving plane: a `serve` section with `serve_latency`
+//! (sequential single-client request p50/p99 over the wire) and a
+//! `serve_sweep_rows{1,16,128}` batch-size sweep under 4 concurrent
+//! clients, every probe's responses digest-asserted bit-identical to a
+//! direct `predict_rows` call on the same rows. `benchdiff` hard-gates the
+//! response digests and warns on latency movement.
 
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -107,6 +114,24 @@ struct ScalingPoint {
     identical: bool,
 }
 
+/// One serve-path probe: request latencies over the wire through the
+/// micro-batcher, with the responses digest-asserted against a direct
+/// `predict_rows` call on the same rows.
+#[derive(Debug, Serialize)]
+struct ServeRecord {
+    name: String,
+    requests: usize,
+    rows_per_request: usize,
+    concurrency: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Whether the wire responses were bit-identical to direct scoring
+    /// (always asserted; recorded for `benchdiff`).
+    matches_direct: bool,
+    /// Stable FNV-1a digest of all response labels in request order.
+    response_fnv: String,
+}
+
 /// The whole perf-smoke report.
 #[derive(Debug, Serialize)]
 struct PerfSmoke {
@@ -116,6 +141,9 @@ struct PerfSmoke {
     mode_comparisons: Vec<ModeComparison>,
     /// Dataset-size scaling of the sharded vs unsharded histogram fit.
     scaling: Vec<ScalingPoint>,
+    /// Serve-path probes: latency percentiles + response digests of the
+    /// PR 9 serving plane (`serve_latency`, the batch-size sweep).
+    serve: Vec<ServeRecord>,
     /// End-of-run `frote-obs` snapshot: the interior counters (cache
     /// appends, FROTE accepts, histogram nodes, …) behind the timings.
     /// `benchdiff` gates the thread-invariant counters like output hashes.
@@ -642,6 +670,106 @@ fn main() {
         hash_of(&format!("{:?}{:?}", out.dataset, out.report))
     }));
 
+    // 13. The PR 9 serving plane: an in-process server on an ephemeral
+    // loopback port, scored over the wire through the micro-batcher.
+    // `serve_latency` measures sequential single-client request latency;
+    // the sweep drives 4 concurrent clients at growing rows-per-request so
+    // batches actually aggregate. Every probe's responses are collected in
+    // request order and digest-asserted bit-identical to a direct
+    // `predict_rows` call on the same rows — the wire, the boundary
+    // validation, and the batcher must be prediction-transparent.
+    frote_par::set_threads(threads);
+    let workload = frote_serve::workload::by_name("wine-rf").expect("cataloged workload");
+    let serve_ds = workload.dataset();
+    let direct_model = workload.trainer().train(&serve_ds);
+    let serve = {
+        let guard = frote_serve::RowGuard::not_null(serve_ds.schema()).expect("guard compiles");
+        let snapshot = frote_serve::Snapshot::fit(&*workload.trainer(), &serve_ds, guard);
+        let registry = std::sync::Arc::new(frote_serve::ModelRegistry::new());
+        registry.register(workload.name(), snapshot, None);
+        let server = std::sync::Arc::new(
+            frote_serve::Server::bind(&frote_serve::ServeConfig::default(), registry)
+                .expect("bind loopback"),
+        );
+        let accept = {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let addr = server.local_addr().to_string();
+
+        let run_probe = |name: &str, requests: usize, rows: usize, concurrency: usize| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|scope| {
+                for worker in 0..concurrency {
+                    let tx = tx.clone();
+                    let addr = addr.clone();
+                    let serve_ds = &serve_ds;
+                    scope.spawn(move || {
+                        let mut client =
+                            frote_serve::Client::connect(&addr).expect("connect probe client");
+                        let mut i = worker;
+                        while i < requests {
+                            let body = workload.probe_body(serve_ds, i * rows, rows);
+                            let start = Instant::now();
+                            let (_generation, labels) = client
+                                .score(workload.name(), &body)
+                                .expect("score request succeeds");
+                            let ms = start.elapsed().as_secs_f64() * 1e3;
+                            tx.send((i, ms, labels)).expect("collector alive");
+                            i += concurrency;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            let mut slots: Vec<Option<(f64, Vec<String>)>> = (0..requests).map(|_| None).collect();
+            for (i, ms, labels) in rx {
+                slots[i] = Some((ms, labels));
+            }
+            let responses: Vec<(f64, Vec<String>)> =
+                slots.into_iter().map(|s| s.expect("every request answered")).collect();
+            let mut wire = FnvHasher::new();
+            let mut direct = FnvHasher::new();
+            for (i, (_, labels)) in responses.iter().enumerate() {
+                let indices: Vec<usize> =
+                    (0..rows).map(|k| (i * rows + k) % serve_ds.n_rows()).collect();
+                for &p in &direct_model.predict_rows(&serve_ds, &indices) {
+                    serve_ds.schema().class_name(p).hash(&mut direct);
+                }
+                for label in labels {
+                    label.hash(&mut wire);
+                }
+            }
+            let matches_direct = wire.finish() == direct.finish();
+            assert!(matches_direct, "{name}: wire responses diverged from direct predict_rows");
+            let mut latencies: Vec<f64> = responses.iter().map(|(ms, _)| *ms).collect();
+            latencies.sort_by(f64::total_cmp);
+            let pct = |p: f64| {
+                let k = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                latencies[k]
+            };
+            ServeRecord {
+                name: name.to_string(),
+                requests,
+                rows_per_request: rows,
+                concurrency,
+                p50_ms: pct(0.50),
+                p99_ms: pct(0.99),
+                matches_direct,
+                response_fnv: format!("{:016x}", wire.finish()),
+            }
+        };
+
+        let mut serve = vec![run_probe("serve_latency", 120, 8, 1)];
+        for rows in [1usize, 16, 128] {
+            serve.push(run_probe(&format!("serve_sweep_rows{rows}"), 40, rows, 4));
+        }
+        server.trigger_shutdown();
+        accept.join().expect("accept loop joins");
+        serve
+    };
+    frote_par::set_threads(1);
+
     for b in &benches {
         println!(
             "  {:<22} serial {:>8.2} ms | {} threads {:>8.2} ms | speedup {:>5.2}x | identical {} | fnv {}",
@@ -661,6 +789,13 @@ fn main() {
             p.scale, p.n_rows, p.unsharded_ms, p.sharded_ms, p.identical
         );
     }
+    for s in &serve {
+        println!(
+            "  {:<22} {:>3} reqs x {:>3} rows @ c{} | p50 {:>7.2} ms | p99 {:>7.2} ms | direct-match {} | fnv {}",
+            s.name, s.requests, s.rows_per_request, s.concurrency, s.p50_ms, s.p99_ms,
+            s.matches_direct, s.response_fnv
+        );
+    }
 
     let report = PerfSmoke {
         host_parallelism: host,
@@ -668,6 +803,7 @@ fn main() {
         benches,
         mode_comparisons,
         scaling,
+        serve,
         metrics: frote_obs::snapshot(),
         note: "speedups are recorded, not gated; single-core hosts report ~1x parallel speedups"
             .to_string(),

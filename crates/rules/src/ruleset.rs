@@ -72,6 +72,45 @@ impl FeedbackRuleSet {
         self.rules.push(rule);
     }
 
+    /// Validated construction: every rule is checked against `schema` and
+    /// lowered through the engine's compile path before the set exists —
+    /// the ingestion-time counterpart of the scan-time `try_*` methods, so
+    /// expert-submitted or parsed rules are rejected with a [`RuleError`]
+    /// before they can reach any scan.
+    ///
+    /// # Errors
+    ///
+    /// The first [`RuleError`] of validation or compilation, or
+    /// [`RuleError::ConflictingRules`] when the rules conflict under
+    /// first-match attribution.
+    pub fn try_new(rules: Vec<FeedbackRule>, schema: &Schema) -> Result<Self, RuleError> {
+        let set = FeedbackRuleSet { rules };
+        set.validate(schema)?;
+        CompiledRuleSet::compile(&set, schema)?;
+        set.require_effectively_conflict_free(schema)?;
+        Ok(set)
+    }
+
+    /// Validated ingestion of one rule: `rule` is checked against `schema`,
+    /// compiled, and the grown set re-checked for effective conflicts; on
+    /// any failure the set is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`FeedbackRuleSet::try_new`], for the candidate rule / grown set.
+    pub fn try_push(&mut self, rule: FeedbackRule, schema: &Schema) -> Result<(), RuleError> {
+        rule.validate(schema)?;
+        crate::engine::CompiledClause::compile(rule.clause(), schema)?;
+        self.rules.push(rule);
+        match self.require_effectively_conflict_free(schema) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.rules.pop();
+                Err(e)
+            }
+        }
+    }
+
     /// Iterates over the rules.
     pub fn iter(&self) -> std::slice::Iter<'_, FeedbackRule> {
         self.rules.iter()
@@ -596,5 +635,48 @@ mod tests {
             good.try_attributed_coverage(&d).unwrap(),
             good.attributed_coverage_interpreted(&d)
         );
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_and_conflicting_sets() {
+        let s = schema();
+        // Kind mismatch caught at ingestion, not mid-scan.
+        let bad = FeedbackRule::deterministic(
+            Clause::new(vec![Predicate::new(1, Op::Lt, Value::Num(1.0))]),
+            0,
+        );
+        assert!(FeedbackRuleSet::try_new(vec![bad], &s).is_err());
+        // Same-coverage rules with different classes conflict.
+        let r1 = FeedbackRule::deterministic(lt(4.0), 0);
+        let r2 = FeedbackRule::deterministic(lt(4.0), 1);
+        assert!(matches!(
+            FeedbackRuleSet::try_new(vec![r1.clone(), r2.clone()], &s),
+            Err(RuleError::ConflictingRules { .. })
+        ));
+        // A well-formed set passes.
+        let ok = FeedbackRuleSet::try_new(vec![r1], &s).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn try_push_leaves_set_unchanged_on_failure() {
+        let s = schema();
+        let mut frs =
+            FeedbackRuleSet::try_new(vec![FeedbackRule::deterministic(lt(4.0), 0)], &s).unwrap();
+        // Unknown feature index: rejected, set unchanged.
+        let unknown = FeedbackRule::deterministic(
+            Clause::new(vec![Predicate::new(9, Op::Lt, Value::Num(1.0))]),
+            0,
+        );
+        assert!(frs.try_push(unknown, &s).is_err());
+        assert_eq!(frs.len(), 1);
+        // Conflicting rule: rejected after the conflict re-check, set
+        // rolled back.
+        let conflicting = FeedbackRule::deterministic(lt(4.0), 1);
+        assert!(matches!(frs.try_push(conflicting, &s), Err(RuleError::ConflictingRules { .. })));
+        assert_eq!(frs.len(), 1);
+        // A compatible rule lands.
+        frs.try_push(FeedbackRule::deterministic(ge(6.0), 1), &s).unwrap();
+        assert_eq!(frs.len(), 2);
     }
 }

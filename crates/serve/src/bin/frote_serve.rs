@@ -1,0 +1,158 @@
+//! `frote-serve`: the long-running serving binary.
+//!
+//! ```text
+//! frote-serve [--port N] [--workload NAME]... [--max-batch ROWS]
+//!             [--threads N] [--range-guard] [--metrics-out PATH]
+//!             [--stdin-watch]
+//! ```
+//!
+//! Registers one model per `--workload` (default: `wine-rf`), prints
+//! `listening on 127.0.0.1:<port>` once the socket is bound (the CI smoke
+//! job scrapes this line for the ephemeral port), and serves until
+//! `POST /admin/shutdown` — or, with `--stdin-watch`, until stdin reaches
+//! EOF, the std-only stand-in for signal handling: the driver holds a pipe
+//! open and closes it to stop the server cleanly.
+//!
+//! Metrics are always enabled in this binary; `--metrics-out PATH` writes
+//! the final `frote-obs` snapshot as JSON at shutdown.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use frote_serve::workload::by_name;
+use frote_serve::{ModelRegistry, ServeConfig, Server};
+
+struct Options {
+    port: u16,
+    workloads: Vec<String>,
+    max_batch: usize,
+    threads: Option<usize>,
+    range_guard: bool,
+    metrics_out: Option<String>,
+    stdin_watch: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: frote-serve [--port N] [--workload NAME]... [--max-batch ROWS] \
+         [--threads N] [--range-guard] [--metrics-out PATH] [--stdin-watch]"
+    );
+    eprintln!("workloads: {}", frote_serve::workload::workload_names().join(", "));
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        port: 0,
+        workloads: Vec::new(),
+        max_batch: frote_serve::batch::DEFAULT_MAX_BATCH_ROWS,
+        threads: None,
+        range_guard: false,
+        metrics_out: None,
+        stdin_watch: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--port" => opts.port = value("--port").parse().unwrap_or_else(|_| usage()),
+            "--workload" => opts.workloads.push(value("--workload")),
+            "--max-batch" => {
+                opts.max_batch = value("--max-batch").parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                opts.threads = Some(value("--threads").parse().unwrap_or_else(|_| usage()));
+            }
+            "--range-guard" => opts.range_guard = true,
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--stdin-watch" => opts.stdin_watch = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if opts.workloads.is_empty() {
+        opts.workloads.push("wine-rf".to_string());
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    if let Some(n) = opts.threads {
+        frote_par::set_threads(n);
+    }
+    frote_obs::set_metrics_enabled(true);
+
+    let registry = Arc::new(ModelRegistry::new());
+    for name in &opts.workloads {
+        let workload = match by_name(name) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let refitter = workload.refitter(opts.range_guard);
+        let first = match refitter.initial_snapshot() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fitting {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        registry.register(workload.name(), first, Some(Box::new(refitter)));
+        eprintln!("registered {name}");
+    }
+
+    let config =
+        ServeConfig { addr: format!("127.0.0.1:{}", opts.port), max_batch_rows: opts.max_batch };
+    let server = match Server::bind(&config, registry) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The CI smoke job scrapes this exact line for the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if opts.stdin_watch {
+        let server = Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("frote-serve-stdin".to_string())
+            .spawn(move || {
+                // Drain stdin to EOF; the driver closing its end of the
+                // pipe is the graceful-stop request.
+                let mut sink = [0u8; 4096];
+                let mut stdin = std::io::stdin().lock();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                eprintln!("stdin closed; shutting down");
+                server.trigger_shutdown();
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    server.run();
+
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, frote_obs::snapshot_json()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
+    }
+    eprintln!("shutdown complete");
+    ExitCode::SUCCESS
+}

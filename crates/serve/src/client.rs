@@ -1,0 +1,182 @@
+//! A blocking keep-alive client for the serving plane.
+//!
+//! Shares the vendored HTTP/1.1 framing with the server, so the load
+//! generator, the perf probes, the integration tests, and the CI smoke
+//! job all speak the wire protocol through one implementation.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_response, write_request, Response};
+use crate::ServeError;
+
+/// One keep-alive connection to a serving-plane server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7070`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Connects with a readiness loop: retries connect + `GET /health`
+    /// until `wait` elapses. Lets a driver start the server binary and the
+    /// client concurrently without racing the bind.
+    ///
+    /// # Errors
+    ///
+    /// The last connection/health error once `wait` is exhausted.
+    pub fn connect_with_retry(addr: &str, wait: Duration) -> Result<Client, ServeError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            let attempt = Client::connect(addr).and_then(|mut c| {
+                c.health()?;
+                Ok(c)
+            });
+            match attempt {
+                Ok(client) => return Ok(client),
+                Err(err) if Instant::now() >= deadline => return Err(err),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure, [`ServeError::BadRequest`]
+    /// when the peer's framing is malformed.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<Response, ServeError> {
+        write_request(&mut self.writer, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+
+    fn expect_200(&mut self, method: &str, path: &str, body: &str) -> Result<String, ServeError> {
+        let resp = self.request(method, path, body)?;
+        if resp.status != 200 {
+            return Err(ServeError::BadRequest {
+                detail: format!("{method} {path} -> {}: {}", resp.status, resp.body.trim_end()),
+            });
+        }
+        Ok(resp.body)
+    }
+
+    /// `GET /health`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-200 status.
+    pub fn health(&mut self) -> Result<(), ServeError> {
+        self.expect_200("GET", "/health", "").map(|_| ())
+    }
+
+    /// `GET /models` — the raw listing body.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-200 status.
+    pub fn models(&mut self) -> Result<String, ServeError> {
+        self.expect_200("GET", "/models", "")
+    }
+
+    /// `GET /metrics` — the `frote-obs` snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-200 status.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.expect_200("GET", "/metrics", "")
+    }
+
+    /// `POST /score/<model>` with rows in the wire format; returns the
+    /// generation the batch was scored against and one class name per row.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::BadRequest`] carrying the
+    /// server's structured message on any non-200 (use
+    /// [`Client::request`] for status-level assertions).
+    pub fn score(&mut self, model: &str, body: &str) -> Result<(u64, Vec<String>), ServeError> {
+        let body = self.expect_200("POST", &format!("/score/{model}"), body)?;
+        parse_score_body(&body)
+    }
+
+    /// `POST /publish/<model>`; `rule` is an optional feedback rule.
+    /// Returns the newly published generation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::score`].
+    pub fn publish(&mut self, model: &str, rule: Option<&str>) -> Result<u64, ServeError> {
+        let body = self.expect_200("POST", &format!("/publish/{model}"), rule.unwrap_or(""))?;
+        let generation =
+            body.trim().strip_prefix("generation:").and_then(|g| g.parse().ok()).ok_or_else(
+                || ServeError::BadRequest {
+                    detail: format!("malformed publish response {body:?}"),
+                },
+            )?;
+        Ok(generation)
+    }
+
+    /// `POST /admin/shutdown` — asks the server to stop gracefully.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::health`].
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.expect_200("POST", "/admin/shutdown", "").map(|_| ())
+    }
+}
+
+/// Parses a score response body: `generation:<g>` then one class name per
+/// line.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on a malformed body.
+pub fn parse_score_body(body: &str) -> Result<(u64, Vec<String>), ServeError> {
+    let mut lines = body.lines();
+    let generation = lines
+        .next()
+        .and_then(|l| l.strip_prefix("generation:"))
+        .and_then(|g| g.parse().ok())
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: format!("malformed score response {body:?}"),
+        })?;
+    Ok((generation, lines.map(str::to_string).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_score_body() {
+        let (generation, labels) = parse_score_body("generation:3\nacc\nunacc\n").unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(labels, vec!["acc".to_string(), "unacc".to_string()]);
+    }
+
+    #[test]
+    fn malformed_score_body_is_error() {
+        assert!(parse_score_body("nope\n").is_err());
+        assert!(parse_score_body("generation:x\n").is_err());
+    }
+}

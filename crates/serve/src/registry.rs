@@ -1,0 +1,423 @@
+//! The model registry: named models with lock-free snapshot swaps.
+//!
+//! A [`ModelEntry`] holds the *current* [`Snapshot`] as one raw pointer in
+//! an `AtomicPtr` — the "Arc generation pointer" of the ROADMAP item, with
+//! the reclamation problem solved by construction instead of by protocol:
+//! every published snapshot is boxed into an append-only history owned by
+//! the entry, so the pointee of `current` is always alive for as long as
+//! the entry is, and readers can dereference it with a plain `Acquire`
+//! load. A publish is therefore one atomic store and a reader is one
+//! atomic load — **wait-free on both sides**, no lock, no epoch, no
+//! deferred-free list. The cost is one retained snapshot per publish,
+//! freed when the entry drops; FROTE edits are human-scale rare next to
+//! score traffic, so the bound is the number of expert edits, not the
+//! request rate.
+//!
+//! The swap guarantee the integration tests pin: a reader observes either
+//! the old snapshot or the new one, never a mix — model, encoder, binner,
+//! and guard travel in one `Snapshot`, and the batcher resolves
+//! [`ModelEntry::current`] exactly once per micro-batch.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use frote::{Frote, FroteConfig};
+use frote_data::{Binner, Dataset, Encoder, Schema};
+use frote_ml::{Classifier, TrainAlgorithm};
+use frote_obs::Counter;
+use frote_rules::parse::parse_rule;
+use frote_rules::FeedbackRuleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::boundary::RowGuard;
+use crate::ServeError;
+
+/// Published model generations (one per snapshot swap) — deterministic for
+/// a fixed request sequence, so `benchdiff` gates it.
+static SWAPS: Counter = Counter::new("serve.swaps");
+
+/// Bin budget for the registry's quantized view of the training data.
+pub const SERVE_BINS: usize = 256;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything a scorer needs, versioned as one immutable unit: the fitted
+/// model, its [`Encoder`] / [`Binner`], the schema, and the boundary guard.
+pub struct Snapshot {
+    generation: u64,
+    model: Box<dyn Classifier>,
+    schema: Arc<Schema>,
+    encoder: Encoder,
+    binner: Binner,
+    guard: RowGuard,
+    /// Rows of the dataset the model was fitted on (surfaced by `/models`).
+    fit_rows: usize,
+}
+
+impl Snapshot {
+    /// Fits a snapshot: trains `trainer` on `ds` and captures the encoder,
+    /// binner, and `guard` alongside the model. The generation is assigned
+    /// at publish time.
+    pub fn fit(trainer: &dyn TrainAlgorithm, ds: &Dataset, guard: RowGuard) -> Snapshot {
+        Snapshot {
+            generation: 0,
+            model: trainer.train(ds),
+            schema: ds.schema_handle(),
+            encoder: Encoder::fit(ds),
+            binner: Binner::fit(ds, SERVE_BINS),
+            guard,
+            fit_rows: ds.n_rows(),
+        }
+    }
+
+    /// The generation number assigned when this snapshot was published
+    /// (1-based; 0 means not yet published).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The fitted model.
+    pub fn model(&self) -> &dyn Classifier {
+        &*self.model
+    }
+
+    /// The schema requests are validated against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The encoder fitted alongside the model.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The quantizer fitted alongside the model.
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+
+    /// The boundary guard requests are swept through.
+    pub fn guard(&self) -> &RowGuard {
+        &self.guard
+    }
+
+    /// Rows of the training dataset behind this snapshot.
+    pub fn fit_rows(&self) -> usize {
+        self.fit_rows
+    }
+}
+
+/// Retrains a model for the `POST /publish/<model>` path. Implementations
+/// own the training state (dataset, rule set, trainer); the registry only
+/// ever sees finished [`Snapshot`]s.
+pub trait Refitter: Send + Sync {
+    /// Produces a fresh snapshot; `rule` is an optional feedback rule in
+    /// the parser's syntax, ingested through the validated `try_*` path
+    /// and folded into a FROTE edit before retraining.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rule`] when `rule` fails parse/validation/conflict
+    /// checks (the request is rejected; the serving state is unchanged).
+    fn refit(&self, rule: Option<&str>) -> Result<Snapshot, ServeError>;
+}
+
+/// One named model: the lock-free current pointer plus the append-only
+/// snapshot history that keeps every published generation alive.
+pub struct ModelEntry {
+    name: String,
+    current: AtomicPtr<Snapshot>,
+    // The boxes are load-bearing: `current` points into them, and a
+    // `Vec<Snapshot>` would move every pointee when it reallocates.
+    #[allow(clippy::vec_box)]
+    history: Mutex<Vec<Box<Snapshot>>>,
+    refitter: Option<Box<dyn Refitter>>,
+}
+
+impl ModelEntry {
+    fn new(name: String, first: Snapshot, refitter: Option<Box<dyn Refitter>>) -> ModelEntry {
+        let entry = ModelEntry {
+            name,
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+            refitter,
+        };
+        entry.publish(first);
+        entry
+    }
+
+    /// The model's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current snapshot — one `Acquire` load, wait-free, never blocked
+    /// by a concurrent publish. The borrow is tied to `&self`; the pointee
+    /// lives in the entry's history until the entry itself drops.
+    pub fn current(&self) -> &Snapshot {
+        let p = self.current.load(Ordering::Acquire);
+        // SAFETY: `p` is never null after construction (the constructor
+        // publishes the first snapshot before the entry is shared) and
+        // always points into a `Box<Snapshot>` held by `self.history`,
+        // which is append-only: boxes are dropped only when `self` drops,
+        // and the returned lifetime is bounded by `&self`. The `Release`
+        // store in `publish` pairs with this `Acquire` load, so the
+        // snapshot's fields are fully visible.
+        unsafe { &*p }
+    }
+
+    /// Publishes `snapshot` as the next generation and returns its number.
+    /// In-flight readers keep scoring against the snapshot they already
+    /// resolved; new resolutions see the new generation immediately.
+    pub fn publish(&self, mut snapshot: Snapshot) -> u64 {
+        let mut history = lock(&self.history);
+        let generation = history.len() as u64 + 1;
+        snapshot.generation = generation;
+        let boxed = Box::new(snapshot);
+        let ptr: *mut Snapshot = &*boxed as *const Snapshot as *mut Snapshot;
+        // Keep the box alive *before* exposing the pointer: a reader that
+        // wins the race right after the store must find a live pointee.
+        history.push(boxed);
+        self.current.store(ptr, Ordering::Release);
+        SWAPS.inc();
+        generation
+    }
+
+    /// Number of generations published so far.
+    pub fn generations(&self) -> u64 {
+        lock(&self.history).len() as u64
+    }
+
+    /// Retrains through the entry's [`Refitter`] and publishes the result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unavailable`] when the entry was registered without a
+    /// refitter; refit errors pass through.
+    pub fn republish(&self, rule: Option<&str>) -> Result<u64, ServeError> {
+        let refitter = self.refitter.as_ref().ok_or(ServeError::Unavailable)?;
+        let snapshot = refitter.refit(rule)?;
+        Ok(self.publish(snapshot))
+    }
+}
+
+/// The registry: model name → [`ModelEntry`].
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: Mutex<Vec<Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers a model under `name` with its first snapshot (published
+    /// as generation 1) and an optional refitter for `POST /publish`.
+    /// Re-registering a name replaces the old entry for *new* lookups;
+    /// connections holding the old `Arc` keep a consistent view.
+    pub fn register(
+        &self,
+        name: &str,
+        first: Snapshot,
+        refitter: Option<Box<dyn Refitter>>,
+    ) -> Arc<ModelEntry> {
+        let entry = Arc::new(ModelEntry::new(name.to_string(), first, refitter));
+        let mut entries = lock(&self.entries);
+        entries.retain(|e| e.name != name);
+        entries.push(Arc::clone(&entry));
+        entry
+    }
+
+    /// Looks up a model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        lock(&self.entries)
+            .iter()
+            .find(|e| e.name == name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel { name: name.to_string() })
+    }
+
+    /// `(name, current generation, fit rows)` for every registered model,
+    /// in registration order — the `GET /models` payload.
+    pub fn list(&self) -> Vec<(String, u64, usize)> {
+        lock(&self.entries)
+            .iter()
+            .map(|e| {
+                let snap = e.current();
+                (e.name.clone(), snap.generation(), snap.fit_rows())
+            })
+            .collect()
+    }
+}
+
+/// The standard [`Refitter`]: owns the serving dataset, trainer, and rule
+/// set; a publish with a rule runs one FROTE edit (ingesting the rule via
+/// the validated [`FeedbackRuleSet::try_push`] path), keeps the augmented
+/// dataset, and retrains; a publish without a rule retrains on the current
+/// dataset as-is. Deterministic: the RNG stream is seeded per edit count,
+/// so a fixed request sequence reproduces bit-identical generations.
+pub struct FroteRefitter {
+    state: Mutex<RefitState>,
+    trainer: Box<dyn TrainAlgorithm>,
+    config: FroteConfig,
+    range_guard: bool,
+    seed: u64,
+}
+
+struct RefitState {
+    ds: Dataset,
+    frs: FeedbackRuleSet,
+    edits: u64,
+}
+
+impl FroteRefitter {
+    /// Builds a refitter over `ds` with an empty rule set.
+    ///
+    /// `config` should carry a service-friendly iteration budget (the
+    /// server default is single-digit iterations — a publish is an edit,
+    /// not a full offline run). `range_guard` selects
+    /// [`RowGuard::in_range`] over [`RowGuard::not_null`] for snapshots.
+    pub fn new(
+        ds: Dataset,
+        trainer: Box<dyn TrainAlgorithm>,
+        config: FroteConfig,
+        range_guard: bool,
+        seed: u64,
+    ) -> FroteRefitter {
+        FroteRefitter {
+            state: Mutex::new(RefitState { ds, frs: FeedbackRuleSet::empty(), edits: 0 }),
+            trainer,
+            config,
+            range_guard,
+            seed,
+        }
+    }
+
+    fn guard(&self, ds: &Dataset) -> Result<RowGuard, ServeError> {
+        if self.range_guard {
+            RowGuard::in_range(ds.schema(), ds)
+        } else {
+            RowGuard::not_null(ds.schema())
+        }
+    }
+
+    /// Fits the initial (pre-publish) snapshot on the refitter's dataset.
+    ///
+    /// # Errors
+    ///
+    /// Guard compilation errors (unreachable for well-formed schemas).
+    pub fn initial_snapshot(&self) -> Result<Snapshot, ServeError> {
+        let state = lock(&self.state);
+        Ok(Snapshot::fit(&*self.trainer, &state.ds, self.guard(&state.ds)?))
+    }
+}
+
+impl Refitter for FroteRefitter {
+    fn refit(&self, rule: Option<&str>) -> Result<Snapshot, ServeError> {
+        let mut state = lock(&self.state);
+        if let Some(text) = rule {
+            let schema = state.ds.schema_handle();
+            let parsed = parse_rule(text, &schema)?;
+            // Validated ingestion: a malformed or conflicting rule is
+            // rejected here, before any scan or retrain touches it.
+            state.frs.try_push(parsed, &schema)?;
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(state.edits));
+            let out = Frote::new(self.config)
+                .run(&state.ds, &*self.trainer, &state.frs, &mut rng)
+                .map_err(|e| ServeError::BadRequest { detail: format!("frote edit: {e}") })?;
+            state.ds = out.dataset;
+        }
+        state.edits += 1;
+        Ok(Snapshot::fit(&*self.trainer, &state.ds, self.guard(&state.ds)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frote_data::synth::{DatasetKind, SynthConfig};
+    use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
+
+    fn tiny_ds() -> Dataset {
+        DatasetKind::Car.generate(&SynthConfig { n_rows: 120, ..Default::default() })
+    }
+
+    fn trainer() -> DecisionTreeTrainer {
+        DecisionTreeTrainer::new(TreeParams { max_depth: 4, ..Default::default() }, 7)
+    }
+
+    fn snapshot(ds: &Dataset) -> Snapshot {
+        Snapshot::fit(&trainer(), ds, RowGuard::not_null(ds.schema()).unwrap())
+    }
+
+    #[test]
+    fn register_publish_and_lookup() {
+        let ds = tiny_ds();
+        let registry = ModelRegistry::new();
+        let entry = registry.register("car", snapshot(&ds), None);
+        assert_eq!(entry.current().generation(), 1);
+        assert_eq!(registry.get("car").unwrap().current().generation(), 1);
+        assert!(registry.get("nope").is_err());
+
+        let g = entry.publish(snapshot(&ds));
+        assert_eq!(g, 2);
+        assert_eq!(entry.current().generation(), 2);
+        assert_eq!(entry.generations(), 2);
+        assert_eq!(registry.list(), vec![("car".to_string(), 2, ds.n_rows())]);
+    }
+
+    #[test]
+    fn current_is_stable_across_a_publish() {
+        let ds = tiny_ds();
+        let registry = ModelRegistry::new();
+        let entry = registry.register("car", snapshot(&ds), None);
+        let before = entry.current();
+        let g1 = before.generation();
+        entry.publish(snapshot(&ds));
+        // The old borrow still reads the old generation: snapshots are
+        // immutable and stay alive in the history.
+        assert_eq!(before.generation(), g1);
+        assert_eq!(entry.current().generation(), g1 + 1);
+    }
+
+    #[test]
+    fn republish_without_refitter_is_unavailable() {
+        let ds = tiny_ds();
+        let registry = ModelRegistry::new();
+        let entry = registry.register("car", snapshot(&ds), None);
+        assert!(matches!(entry.republish(None), Err(ServeError::Unavailable)));
+    }
+
+    #[test]
+    fn frote_refitter_rejects_malformed_rule_and_keeps_state() {
+        let ds = tiny_ds();
+        let refitter = FroteRefitter::new(
+            ds,
+            Box::new(trainer()),
+            FroteConfig {
+                iteration_limit: 1,
+                instances_per_iteration: Some(5),
+                ..Default::default()
+            },
+            false,
+            7,
+        );
+        let err = match refitter.refit(Some("no_such_feature = low => acc")) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a rule error"),
+        };
+        assert!(matches!(err, ServeError::Rule(_)), "got {err:?}");
+        // A good refit still works afterwards.
+        let snap = refitter.refit(None).unwrap();
+        assert_eq!(snap.generation(), 0, "generation assigned at publish");
+    }
+}

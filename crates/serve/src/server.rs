@@ -1,0 +1,260 @@
+//! The serving loop: a std-only TCP accept loop over the vendored
+//! HTTP/1.1 framing, routing requests into the registry and the batcher.
+//!
+//! Routes:
+//!
+//! | Route                   | Effect                                          |
+//! |-------------------------|-------------------------------------------------|
+//! | `GET /health`           | liveness: `ok`                                  |
+//! | `GET /models`           | one `name generation fit_rows` line per model   |
+//! | `GET /metrics`          | `frote-obs` snapshot as JSON                    |
+//! | `POST /score/<model>`   | rows in the body → `generation:<g>` + one class |
+//! |                         | name per row, micro-batched                     |
+//! | `POST /publish/<model>` | optional feedback rule in the body → FROTE edit |
+//! |                         | + retrain + lock-free snapshot swap             |
+//! | `POST /admin/shutdown`  | graceful stop (std has no signal handling)      |
+//!
+//! Score requests are validated at the boundary *before* they reach the
+//! batcher: parse errors and guard rejections come back as structured
+//! `400`s and never touch a scoring worker. Connections are handled one
+//! thread each with keep-alive; idle connections are watched with a short
+//! read timeout + `peek` so a shutdown drains them promptly without
+//! corrupting in-flight framing.
+
+use std::io::{BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use frote_obs::{Counter, Histogram};
+
+use crate::batch::{Batcher, DEFAULT_MAX_BATCH_ROWS};
+use crate::boundary::parse_rows;
+use crate::http::{read_request, write_response, Request};
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+
+/// Connections accepted — arrival patterns vary run to run.
+static CONNECTIONS: Counter = Counter::thread_variant("serve.connections");
+/// Requests rejected with a structured 4xx before any scoring.
+static BAD_REQUESTS: Counter = Counter::new("serve.bad_requests");
+/// Score requests whose rows failed the boundary guard sweep.
+static VALIDATION_REJECTS: Counter = Counter::new("serve.validation_rejects");
+/// Wall-clock of one request: route + validate + (batched) score + write.
+static REQUEST_SPAN: Histogram = Histogram::new("serve.request_ns");
+
+/// Poll interval for idle keep-alive connections (bounds shutdown drain).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Row budget per micro-batch.
+    pub max_batch_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), max_batch_rows: DEFAULT_MAX_BATCH_ROWS }
+    }
+}
+
+/// The serving plane: listener + registry + batcher.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<Batcher>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the batcher. `run` must be called to
+    /// begin accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn bind(config: &ServeConfig, registry: Arc<ModelRegistry>) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            registry,
+            batcher: Arc::new(Batcher::start(config.max_batch_rows)),
+            listener,
+            local_addr,
+            shutdown: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry behind this server.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Requests a graceful stop: flips the flag and self-connects to
+    /// unblock the accept loop. Callable from any thread.
+    pub fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop; the no-op connection is served an
+        // immediate EOF close by a handler checking the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Accepts connections until [`Server::trigger_shutdown`], then drains:
+    /// joins every connection handler (idle keep-alive connections notice
+    /// within the 200ms idle poll) and shuts the batcher down, answering queued
+    /// work first.
+    pub fn run(self: &Arc<Self>) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            CONNECTIONS.inc();
+            let server = Arc::clone(self);
+            let handle = std::thread::Builder::new()
+                .name("frote-serve-conn".to_string())
+                .spawn(move || server.handle_connection(stream))
+                .expect("spawn connection handler");
+            lock(&self.handlers).push(handle);
+        }
+        for handle in lock(&self.handlers).drain(..) {
+            let _ = handle.join();
+        }
+        self.batcher.shutdown();
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        // Without this, Nagle on our side interacts with the peer's
+        // delayed ACKs to put a ~40ms floor under every response.
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Idle wait via peek: nothing is consumed, so a poll timeout
+            // cannot corrupt the framing of a request that arrives later.
+            if reader.buffer().is_empty() {
+                match reader.get_ref().peek(&mut [0u8; 1]) {
+                    Ok(0) => return,
+                    Ok(_) => {}
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        continue;
+                    }
+                    Err(_) => return,
+                }
+            }
+            let _span = REQUEST_SPAN.span();
+            let request = match read_request(&mut reader) {
+                Ok(Some(request)) => request,
+                Ok(None) => return,
+                Err(err) => {
+                    BAD_REQUESTS.inc();
+                    let _ = write_response(&mut writer, 400, &format!("{err}\n"), false);
+                    return;
+                }
+            };
+            let keep_alive = request.keep_alive;
+            let (status, body) = self.route(&request);
+            if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+                return;
+            }
+        }
+    }
+
+    /// Routes one request to `(status, body)`.
+    fn route(&self, request: &Request) -> (u16, String) {
+        let outcome = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/health") => Ok("ok\n".to_string()),
+            ("GET", "/models") => Ok(self
+                .registry
+                .list()
+                .into_iter()
+                .map(|(name, generation, fit_rows)| format!("{name} {generation} {fit_rows}\n"))
+                .collect()),
+            ("GET", "/metrics") => Ok(frote_obs::snapshot_json()),
+            ("POST", "/admin/shutdown") => {
+                self.trigger_shutdown();
+                Ok("shutting down\n".to_string())
+            }
+            ("POST", path) if path.starts_with("/score/") => {
+                self.score(&path["/score/".len()..], &request.body)
+            }
+            ("POST", path) if path.starts_with("/publish/") => {
+                self.publish(&path["/publish/".len()..], &request.body)
+            }
+            (_, path) => Err(ServeError::BadRequest {
+                detail: format!("no route for {} {path}", request.method),
+            }),
+        };
+        match outcome {
+            Ok(body) => (200, body),
+            Err(err) => {
+                let status = match &err {
+                    ServeError::UnknownModel { .. } => 404,
+                    ServeError::Unavailable => 503,
+                    ServeError::Io { .. } => 503,
+                    ServeError::RowsRejected { .. } => {
+                        VALIDATION_REJECTS.inc();
+                        400
+                    }
+                    _ => 400,
+                };
+                if status == 400 {
+                    BAD_REQUESTS.inc();
+                }
+                (status, format!("{err}\n"))
+            }
+        }
+    }
+
+    fn score(&self, model: &str, body: &str) -> Result<String, ServeError> {
+        let entry = self.registry.get(model)?;
+        // One snapshot resolve for validation; the batcher resolves its
+        // own (possibly newer) snapshot and reports which generation the
+        // response came from.
+        let (rows, schema) = {
+            let snapshot = entry.current();
+            let rows = parse_rows(snapshot.schema(), body)?;
+            snapshot.guard().check(&rows)?;
+            (rows, Arc::clone(snapshot.schema()))
+        };
+        let response = self.batcher.submit(entry, rows)?;
+        let mut out = format!("generation:{}\n", response.generation);
+        for &class in &response.predictions {
+            out.push_str(schema.class_name(class));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    fn publish(&self, model: &str, body: &str) -> Result<String, ServeError> {
+        let entry = self.registry.get(model)?;
+        let rule = body.trim();
+        let rule = if rule.is_empty() { None } else { Some(rule) };
+        let generation = entry.republish(rule)?;
+        Ok(format!("generation:{generation}\n"))
+    }
+}

@@ -22,6 +22,8 @@
 //! - [`obs`] — zero-perturbation metrics registry + structured event trace
 //! - [`core`] — the FROTE algorithm itself
 //! - [`eval`] — the experiment harness reproducing every table and figure
+//! - [`serve`] — the serving plane: micro-batched scoring over std-only
+//!   TCP/HTTP with lock-free model snapshot swaps
 
 pub use frote as core;
 pub use frote_data as data;
@@ -33,6 +35,7 @@ pub use frote_opt as opt;
 pub use frote_overlay as overlay;
 pub use frote_par as par;
 pub use frote_rules as rules;
+pub use frote_serve as serve;
 pub use frote_smote as smote;
 
 /// Commonly used items across the workspace, re-exported for convenience.
