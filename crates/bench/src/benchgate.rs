@@ -55,7 +55,7 @@ impl std::hash::Hasher for FnvHasher {
 /// committed default. Shared by `perfsmoke` (writer) and `benchdiff`
 /// (reader) so the name is wired in exactly one place.
 pub fn default_bench_file() -> String {
-    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr9.json".to_string())
+    std::env::var("BENCH_FILE").unwrap_or_else(|_| "BENCH_pr10.json".to_string())
 }
 
 /// The per-probe fields the gate reads (a subset of perfsmoke's record, so
@@ -90,6 +90,10 @@ pub struct ServeGateRecord {
     pub matches_direct: bool,
     /// Stable FNV-1a digest of all response labels (hard-gated).
     pub response_fnv: Option<String>,
+    /// Fraction of score attempts shed by admission control (PR 10
+    /// overload probe only; timing-dependent, so warn-only). Absent in
+    /// pre-PR 10 baselines and on the latency probes.
+    pub shed_rate: Option<f64>,
 }
 
 /// The slice of a `BENCH_*.json` file the gate consumes.
@@ -245,6 +249,17 @@ fn compare_serve(old: &[ServeGateRecord], new: &[ServeGateRecord], outcome: &mut
             rec.p99_ms,
             delta_pct(o.p99_ms, rec.p99_ms),
         ));
+        // Shed rate is arrival-timing-dependent: drift is a warning, not a
+        // gate — but a probe that stopped shedding entirely (or started
+        // from zero) usually means the overload harness changed shape.
+        if let (Some(old_rate), Some(new_rate)) = (o.shed_rate, rec.shed_rate) {
+            if (new_rate - old_rate).abs() > 0.15 {
+                outcome.notes.push(format!(
+                    "{}: shed rate drifted {:.2} -> {:.2} (warn-only)",
+                    rec.name, old_rate, new_rate
+                ));
+            }
+        }
     }
     for o in old {
         if !new.iter().any(|r| r.name == o.name) {
@@ -416,6 +431,7 @@ mod tests {
             p99_ms: 2.0,
             matches_direct,
             response_fnv: fnv.map(str::to_string),
+            shed_rate: None,
         }
     }
 
@@ -463,6 +479,27 @@ mod tests {
         let new = with_serve(vec![slow]);
         let out = compare(&old, &new);
         assert!(out.passed(), "serve latencies are warn-only: {:?}", out.failures);
+    }
+
+    #[test]
+    fn shed_rate_drift_warns_but_never_fails() {
+        let mut was = serve_rec("serve_overload", Some("1"), true);
+        was.shed_rate = Some(0.60);
+        let mut now = serve_rec("serve_overload", Some("1"), true);
+        now.shed_rate = Some(0.10);
+        let out = compare(&with_serve(vec![was]), &with_serve(vec![now]));
+        assert!(out.passed(), "shed rate is warn-only: {:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("shed rate drifted")), "{:?}", out.notes);
+
+        // Small drift stays silent; a digest change still hard-fails even
+        // with matching shed rates.
+        let mut was = serve_rec("serve_overload", Some("1"), true);
+        was.shed_rate = Some(0.50);
+        let mut now = serve_rec("serve_overload", Some("2"), true);
+        now.shed_rate = Some(0.55);
+        let out = compare(&with_serve(vec![was]), &with_serve(vec![now]));
+        assert!(!out.passed(), "overload digest is hard-gated");
+        assert!(!out.notes.iter().any(|n| n.contains("shed rate drifted")), "{:?}", out.notes);
     }
 
     fn counter(name: &str, variance: &str, value: u64) -> frote_obs::CounterSnapshot {

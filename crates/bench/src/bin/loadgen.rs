@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--workload NAME] [--requests N]
 //!         [--rows-per-req R] [--concurrency C] [--wait-secs S]
-//!         [--malformed M] [--publish-every P]
+//!         [--malformed M] [--publish-every P] [--backoff]
 //! ```
 //!
 //! Drives a running `frote-serve` instance with a fixed, seed-free request
@@ -18,7 +18,13 @@
 //! generation counter advances). `--malformed M` follows up with `M`
 //! malformed score requests, asserting each is rejected with a structured
 //! `400` and that the connection keeps serving afterwards — boundary
-//! validation must never kill a worker.
+//! validation must never kill a worker. `--backoff` drives the requests
+//! through the client retry contract (capped exponential backoff with
+//! deterministic jitter, reconnect on drop, `Retry-After` honored) and
+//! additionally tolerates-and-retries transient `500 injected fault`
+//! responses — the mode the CI chaos-smoke job runs against a server with
+//! `FROTE_FAULTS` armed. The response digest is computed over the locally
+//! predicted expected labels, so it is identical with and without faults.
 //!
 //! Exit status: 0 when every assertion held, 1 otherwise — the CI
 //! serve-smoke job's pass/fail.
@@ -28,8 +34,9 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use frote_bench::benchgate::FnvHasher;
+use frote_serve::client::parse_score_body;
 use frote_serve::workload::by_name;
-use frote_serve::Client;
+use frote_serve::{Backoff, Client};
 
 struct Options {
     addr: String,
@@ -40,12 +47,13 @@ struct Options {
     wait_secs: u64,
     malformed: usize,
     publish_every: usize,
+    backoff: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--workload NAME] [--requests N] [--rows-per-req R] \
-         [--concurrency C] [--wait-secs S] [--malformed M] [--publish-every P]"
+         [--concurrency C] [--wait-secs S] [--malformed M] [--publish-every P] [--backoff]"
     );
     std::process::exit(2)
 }
@@ -60,6 +68,7 @@ fn parse_options() -> Options {
         wait_secs: 10,
         malformed: 0,
         publish_every: 0,
+        backoff: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,6 +97,7 @@ fn parse_options() -> Options {
             "--publish-every" => {
                 opts.publish_every = value("--publish-every").parse().unwrap_or_else(|_| usage());
             }
+            "--backoff" => opts.backoff = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -143,13 +153,20 @@ fn main() -> ExitCode {
             workers.push(scope.spawn(move || -> Result<(), String> {
                 let mut client = Client::connect(&opts.addr)
                     .map_err(|e| format!("worker {worker}: connect: {e}"))?;
+                let mut backoff = opts.backoff.then(|| {
+                    Backoff::new(
+                        0xB0FF ^ worker as u64,
+                        Duration::from_millis(5),
+                        Duration::from_millis(500),
+                    )
+                });
                 let mut last_generation = 0u64;
                 let mut i = worker;
                 while i < opts.requests {
                     let body = workload.probe_body(ds, i * opts.rows_per_req, opts.rows_per_req);
-                    let (generation, labels) = client
-                        .score(workload.name(), &body)
-                        .map_err(|e| format!("request {i}: {e}"))?;
+                    let (generation, labels) =
+                        score_with_policy(&mut client, backoff.as_mut(), workload.name(), &body)
+                            .map_err(|e| format!("request {i}: {e}"))?;
                     if labels != expected_labels(i) {
                         return Err(format!(
                             "request {i}: generation {generation} response diverged from the \
@@ -167,9 +184,17 @@ fn main() -> ExitCode {
                     // the same dataset, so responses stay identical while
                     // the generation counter advances under load.
                     if worker == 0 && opts.publish_every > 0 && i % opts.publish_every == 0 {
-                        client
-                            .publish(workload.name(), None)
-                            .map_err(|e| format!("publish after request {i}: {e}"))?;
+                        match client.publish(workload.name(), None) {
+                            Ok(_) => {}
+                            Err(e) if opts.backoff => {
+                                // Transient under chaos: a failed publish
+                                // rolled back server-side and the connection
+                                // may be gone — re-dial and keep scoring.
+                                eprintln!("loadgen: tolerated publish failure: {e}");
+                                let _ = client.reconnect();
+                            }
+                            Err(e) => return Err(format!("publish after request {i}: {e}")),
+                        }
                     }
                     i += opts.concurrency;
                 }
@@ -222,6 +247,41 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Scores one request. Without a backoff this is [`Client::score`]. With
+/// one, the request rides the client retry contract (`503`/`408`/transport
+/// → capped-exponential delay + reconnect) and additionally retries
+/// transient `500 injected fault` responses — the chaos-smoke contract:
+/// every terminal answer is either a correct `200` or a hard error.
+fn score_with_policy(
+    client: &mut Client,
+    backoff: Option<&mut Backoff>,
+    model: &str,
+    body: &str,
+) -> Result<(u64, Vec<String>), String> {
+    let Some(backoff) = backoff else {
+        return client.score(model, body).map_err(|e| e.to_string());
+    };
+    let path = format!("/score/{model}");
+    for _ in 0..12 {
+        let resp = match client.request_with_retry("POST", &path, body, 6, backoff) {
+            Ok(resp) => resp,
+            Err(_) => {
+                let _ = client.reconnect();
+                continue;
+            }
+        };
+        match resp.status {
+            200 => return parse_score_body(&resp.body).map_err(|e| e.to_string()),
+            500 if resp.body.contains("injected fault") => {
+                std::thread::sleep(backoff.next_delay(None));
+            }
+            503 | 408 => std::thread::sleep(backoff.next_delay(None)),
+            other => return Err(format!("status {other}: {}", resp.body.trim_end())),
+        }
+    }
+    Err("request kept failing after bounded retries".to_string())
+}
+
 /// Sends `opts.malformed` bad score requests round-robin over three shapes
 /// (wrong arity, unknown token in the first cell, empty body) and asserts
 /// each comes back as a structured `400` with the boundary's message —
@@ -239,11 +299,38 @@ fn malformed_phase(
         ("unknown token", "definitely-not-a-cell\n"),
         ("empty body", "\n"),
     ];
+    let mut backoff = Backoff::new(0xBAD, Duration::from_millis(5), Duration::from_millis(500));
     for m in 0..opts.malformed {
         let (what, body) = shapes[m % shapes.len()];
-        let resp = client
-            .request("POST", &format!("/score/{}", workload.name()), body)
-            .map_err(|e| format!("malformed request {m} ({what}): {e}"))?;
+        let path = format!("/score/{}", workload.name());
+        let resp = if opts.backoff {
+            // Under chaos the transport itself may fail or an injected
+            // fault may answer first; retry until the *boundary's* verdict
+            // comes through.
+            let mut verdict = None;
+            for _ in 0..12 {
+                match client.request_with_retry("POST", &path, body, 6, &mut backoff) {
+                    Ok(r) if r.status == 500 && r.body.contains("injected fault") => {
+                        std::thread::sleep(backoff.next_delay(None));
+                    }
+                    Ok(r) if r.status == 503 || r.status == 408 => {
+                        std::thread::sleep(backoff.next_delay(None));
+                    }
+                    Ok(r) => {
+                        verdict = Some(r);
+                        break;
+                    }
+                    Err(_) => {
+                        let _ = client.reconnect();
+                    }
+                }
+            }
+            verdict.ok_or_else(|| format!("malformed request {m} ({what}): no verdict"))?
+        } else {
+            client
+                .request("POST", &path, body)
+                .map_err(|e| format!("malformed request {m} ({what}): {e}"))?
+        };
         if resp.status != 400 {
             return Err(format!(
                 "malformed request {m} ({what}): expected 400, got {} with body {:?}",
@@ -258,9 +345,13 @@ fn malformed_phase(
         }
     }
     // The worker survived every rejection: the same connection scores.
-    let (_generation, labels) = client
-        .score(workload.name(), &workload.probe_body(ds, 0, opts.rows_per_req))
-        .map_err(|e| format!("post-malformed score: {e}"))?;
+    let (_generation, labels) = score_with_policy(
+        &mut client,
+        opts.backoff.then_some(&mut backoff),
+        workload.name(),
+        &workload.probe_body(ds, 0, opts.rows_per_req),
+    )
+    .map_err(|e| format!("post-malformed score: {e}"))?;
     if labels != expected_labels(0) {
         return Err("post-malformed score diverged from the local model".to_string());
     }

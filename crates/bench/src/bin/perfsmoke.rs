@@ -130,6 +130,10 @@ struct ServeRecord {
     matches_direct: bool,
     /// Stable FNV-1a digest of all response labels in request order.
     response_fnv: String,
+    /// Fraction of score attempts shed by admission control — only the
+    /// PR 10 `serve_overload` probe; `None` for the latency probes.
+    /// Timing-dependent, so `benchdiff` treats drift as warn-only.
+    shed_rate: Option<f64>,
 }
 
 /// The whole perf-smoke report.
@@ -149,6 +153,137 @@ struct PerfSmoke {
     /// `benchdiff` gates the thread-invariant counters like output hashes.
     metrics: frote_obs::MetricsSnapshot,
     note: String,
+}
+
+/// Drives a capacity-2 batch queue past saturation under an injected
+/// 25ms drain delay and measures the shed rate plus per-request completion
+/// latency (retries included). Every request retries its way to a `200`,
+/// so the digest is deterministic and gate-comparable; the shed rate is
+/// arrival-timing-dependent and recorded warn-only.
+///
+/// Runs with `frote-obs` metrics *disabled*: a shed request is parsed and
+/// guard-checked before admission control turns it away, so the engine's
+/// thread-invariant counters (`rule_engine.eval_raw`, …) would otherwise
+/// move with the timing-dependent shed count and flake the hard gate. The
+/// probe's own record (latencies, shed rate, response digest) is computed
+/// locally and unaffected.
+fn run_overload_probe(
+    workload: &frote_serve::Workload,
+    serve_ds: &frote_data::Dataset,
+    direct_model: &dyn frote_ml::Classifier,
+) -> ServeRecord {
+    use std::hash::Hash as _;
+    use std::hash::Hasher as _;
+
+    const REQUESTS: usize = 64;
+    const ROWS: usize = 8;
+    const CONCURRENCY: usize = 8;
+
+    frote_obs::set_metrics_enabled(false);
+    frote_faults::set_spec(Some("serve.batch.drain:delay:1000:21:25")).expect("valid delay spec");
+    let guard = frote_serve::RowGuard::not_null(serve_ds.schema()).expect("guard compiles");
+    let snapshot = frote_serve::Snapshot::fit(&*workload.trainer(), serve_ds, guard);
+    let registry = std::sync::Arc::new(frote_serve::ModelRegistry::new());
+    registry.register(workload.name(), snapshot, None);
+    let config = frote_serve::ServeConfig {
+        workers: CONCURRENCY,
+        max_queue_depth: 2,
+        ..frote_serve::ServeConfig::default()
+    };
+    let server = std::sync::Arc::new(
+        frote_serve::Server::bind(&config, registry).expect("bind overload loopback"),
+    );
+    let accept = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let addr = server.local_addr().to_string();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for worker in 0..CONCURRENCY {
+            let tx = tx.clone();
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client =
+                    frote_serve::Client::connect(&addr).expect("connect overload client");
+                let mut backoff = frote_serve::Backoff::new(
+                    0x0DD + worker as u64,
+                    std::time::Duration::from_millis(2),
+                    std::time::Duration::from_millis(40),
+                );
+                let mut i = worker;
+                while i < REQUESTS {
+                    let body = workload.probe_body(serve_ds, i * ROWS, ROWS);
+                    let start = Instant::now();
+                    let mut sheds = 0usize;
+                    let labels = loop {
+                        let resp = client
+                            .request("POST", &format!("/score/{}", workload.name()), &body)
+                            .expect("overload request transports");
+                        match resp.status {
+                            200 => {
+                                break frote_serve::client::parse_score_body(&resp.body)
+                                    .expect("well-formed 200 body")
+                                    .1
+                            }
+                            503 => {
+                                sheds += 1;
+                                std::thread::sleep(backoff.next_delay(None));
+                            }
+                            other => panic!("overload probe: unexpected status {other}"),
+                        }
+                    };
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    tx.send((i, ms, sheds, labels)).expect("collector alive");
+                    i += CONCURRENCY;
+                }
+            });
+        }
+    });
+    drop(tx);
+    frote_faults::set_spec(None).expect("disarm");
+
+    let mut slots: Vec<Option<(f64, usize, Vec<String>)>> = (0..REQUESTS).map(|_| None).collect();
+    for (i, ms, sheds, labels) in rx {
+        slots[i] = Some((ms, sheds, labels));
+    }
+    let responses: Vec<(f64, usize, Vec<String>)> =
+        slots.into_iter().map(|s| s.expect("every request answered")).collect();
+    let total_sheds: usize = responses.iter().map(|(_, sheds, _)| *sheds).sum();
+    let attempts = REQUESTS + total_sheds;
+    let mut wire = FnvHasher::new();
+    let mut direct = FnvHasher::new();
+    for (i, (_, _, labels)) in responses.iter().enumerate() {
+        let indices: Vec<usize> = (0..ROWS).map(|k| (i * ROWS + k) % serve_ds.n_rows()).collect();
+        for &p in &direct_model.predict_rows(serve_ds, &indices) {
+            serve_ds.schema().class_name(p).hash(&mut direct);
+        }
+        for label in labels {
+            label.hash(&mut wire);
+        }
+    }
+    let matches_direct = wire.finish() == direct.finish();
+    assert!(matches_direct, "serve_overload: retried responses diverged from direct predict_rows");
+    let mut latencies: Vec<f64> = responses.iter().map(|(ms, _, _)| *ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies[((latencies.len() as f64 - 1.0) * p).round() as usize];
+
+    server.trigger_shutdown();
+    accept.join().expect("overload accept loop joins");
+    frote_obs::set_metrics_enabled(true);
+
+    ServeRecord {
+        name: "serve_overload".to_string(),
+        requests: REQUESTS,
+        rows_per_request: ROWS,
+        concurrency: CONCURRENCY,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        matches_direct,
+        response_fnv: format!("{:016x}", wire.finish()),
+        shed_rate: Some(total_sheds as f64 / attempts as f64),
+    }
 }
 
 /// Best-of-`reps` wall-clock in milliseconds plus the output digest.
@@ -757,6 +892,7 @@ fn main() {
                 p99_ms: pct(0.99),
                 matches_direct,
                 response_fnv: format!("{:016x}", wire.finish()),
+                shed_rate: None,
             }
         };
 
@@ -766,6 +902,14 @@ fn main() {
         }
         server.trigger_shutdown();
         accept.join().expect("accept loop joins");
+
+        // 14. The PR 10 overload probe: a deliberately tiny server (batch
+        // queue depth 2) with an injected 25ms drain delay, driven by 8
+        // clients at once — admission control must shed with structured
+        // `503` + `Retry-After`, and clients retry each shed request until
+        // it succeeds, so the response set (and its digest) is exactly the
+        // fault-free one: the shed path costs retries, never answers.
+        serve.push(run_overload_probe(&workload, &serve_ds, &*direct_model));
         serve
     };
     frote_par::set_threads(1);

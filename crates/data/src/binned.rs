@@ -434,10 +434,15 @@ impl BinnedCache {
         let was_stale = self.stale_fit;
         self.stale_fit = false;
         let refit = Binner::fit(ds, self.binner.max_bins());
-        if refit == self.binner {
+        if refit == self.binner && frote_faults::point("data.cache.binned.append").is_ok() {
             let appended = ds.n_rows() - self.codes.n_rows();
             self.binner.append(ds, &mut self.codes);
             SyncOutcome::Appended { rows: appended }
+        } else if refit == self.binner {
+            // An injected fault poisoned the append fast path: degrade to a
+            // full rebuild — bit-identical output, only the cost changes.
+            self.codes = self.binner.bin_dataset(ds);
+            SyncOutcome::Rebuilt(RebuildReason::Injected)
         } else {
             self.binner = refit;
             self.codes = self.binner.bin_dataset(ds);
@@ -591,6 +596,23 @@ mod tests {
             "categorical bins never change: append path"
         );
         assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
+    }
+
+    #[test]
+    fn injected_append_fault_degrades_to_rebuild() {
+        let ds0 = mixed();
+        let mut cache = BinnedCache::fit(&ds0, 16);
+        let mut ds = ds0.clone();
+        // Repeat an existing row: edges stay put, so this is normally an
+        // append — the injected fault forces the rebuild detour.
+        let row: Vec<Value> = (0..ds0.n_features()).map(|j| ds0.cell(0, j)).collect();
+        ds.push_row(&row, ds0.labels()[0]).unwrap();
+        frote_faults::test_support::with_spec(Some("data.cache.binned.append:err:1000:2"), || {
+            assert_eq!(cache.sync(&ds), SyncOutcome::Rebuilt(RebuildReason::Injected));
+        });
+        assert_eq!(cache.codes(), &cache.binner().bin_dataset(&ds));
+        ds.push_row(&row, ds0.labels()[0]).unwrap();
+        assert_eq!(cache.sync(&ds), SyncOutcome::Appended { rows: 1 }, "fault cleared");
     }
 
     #[test]

@@ -257,10 +257,15 @@ impl EncodedCache {
         let was_stale = self.stale_fit;
         self.stale_fit = false;
         let refit = Encoder::fit(ds);
-        if refit == self.encoder {
+        if refit == self.encoder && frote_faults::point("data.cache.encoded.append").is_ok() {
             let appended = ds.n_rows() - self.matrix.n_rows();
             self.encoder.encode_append(ds, &mut self.matrix);
             SyncOutcome::Appended { rows: appended }
+        } else if refit == self.encoder {
+            // An injected fault poisoned the append fast path: degrade to a
+            // full rebuild — bit-identical output, only the cost changes.
+            self.matrix = self.encoder.encode_dataset(ds);
+            SyncOutcome::Rebuilt(RebuildReason::Injected)
         } else {
             self.encoder = refit;
             self.matrix = self.encoder.encode_dataset(ds);
@@ -380,6 +385,23 @@ mod tests {
         );
         assert_eq!(cache.matrix().n_rows(), 2);
         assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+    }
+
+    #[test]
+    fn injected_append_fault_degrades_to_rebuild() {
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        let mut cache = EncodedCache::fit(&ds);
+        ds.push_row(&[Value::Cat(1)], 1).unwrap();
+        frote_faults::test_support::with_spec(Some("data.cache.encoded.append:err:1000:2"), || {
+            assert_eq!(cache.sync(&ds), SyncOutcome::Rebuilt(RebuildReason::Injected));
+        });
+        assert_eq!(cache.matrix(), &cache.encoder().encode_dataset(&ds));
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        assert_eq!(cache.sync(&ds), SyncOutcome::Appended { rows: 1 }, "fault cleared");
     }
 
     #[test]

@@ -66,6 +66,6 @@ pub use encode::{EncodedCache, Encoder};
 pub use error::DataError;
 pub use matrix::FeatureMatrix;
 pub use schema::{FeatureMeta, Schema, SchemaBuilder};
-pub use sharded::{ShardedCache, ShardedMatrix};
+pub use sharded::{ShardIoError, ShardIoOp, ShardedCache, ShardedMatrix};
 pub use sync::{RebuildReason, SyncOutcome};
 pub use value::{FeatureKind, Value};

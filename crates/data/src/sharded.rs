@@ -150,6 +150,65 @@ fn cells_from_hex(hex: &str, expect: usize) -> io::Result<Vec<f64>> {
     Ok(out)
 }
 
+/// Which shard residency operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardIoOp {
+    /// [`ShardedMatrix::spill_shard`] — writing the shard file.
+    Spill,
+    /// [`ShardedMatrix::load_shard`] — reading the shard file back.
+    Load,
+}
+
+impl std::fmt::Display for ShardIoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardIoOp::Spill => "spill",
+            ShardIoOp::Load => "load",
+        })
+    }
+}
+
+/// A typed spill/load failure: which operation, which shard, and the
+/// rendered cause. The shard's residency is unchanged on failure (resident
+/// shards stay resident, spilled shards stay spilled), so callers can retry
+/// ([`ShardedMatrix::load_shard_retry`]) or degrade instead of aborting
+/// training. The cause is carried as text because `io::Error` is neither
+/// `Clone` nor comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIoError {
+    /// The failed operation.
+    pub op: ShardIoOp,
+    /// The shard index it failed on.
+    pub shard: usize,
+    /// Rendered cause (the underlying I/O or parse error, or an injected
+    /// fault's message).
+    pub detail: String,
+}
+
+impl ShardIoError {
+    fn io(op: ShardIoOp, shard: usize, err: &io::Error) -> ShardIoError {
+        ShardIoError { op, shard, detail: err.to_string() }
+    }
+}
+
+impl std::fmt::Display for ShardIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} {} failed: {}", self.shard, self.op, self.detail)
+    }
+}
+
+impl std::error::Error for ShardIoError {}
+
+impl From<ShardIoError> for io::Error {
+    fn from(err: ShardIoError) -> io::Error {
+        io::Error::other(err.to_string())
+    }
+}
+
+/// Shard spill/load attempts retried after a [`ShardIoError`].
+static SHARD_IO_RETRIES: frote_obs::Counter =
+    frote_obs::Counter::thread_variant("shard.io_retries");
+
 /// One shard: resident in memory, or spilled to a file on disk.
 #[derive(Debug, Clone)]
 enum Shard {
@@ -452,30 +511,68 @@ impl ShardedMatrix {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file; the shard stays
-    /// resident on failure.
+    /// [`ShardIoError`] on any write failure (or an injected
+    /// `data.shard.spill` fault); the shard stays resident on failure.
     ///
     /// # Panics
     ///
     /// Panics if `s >= n_shards()`.
-    pub fn spill_shard(&mut self, s: usize, dir: &Path) -> io::Result<bool> {
+    pub fn spill_shard(&mut self, s: usize, dir: &Path) -> Result<bool, ShardIoError> {
         assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
         let Shard::Resident(m) = &self.shards[s] else {
             return Ok(false);
         };
+        frote_faults::point("data.shard.spill").map_err(|f| ShardIoError {
+            op: ShardIoOp::Spill,
+            shard: s,
+            detail: f.to_string(),
+        })?;
         let file = ShardFile {
             width: self.width,
             rows: m.n_rows(),
             cells_hex: cells_to_hex(m.as_slice()),
         };
         let path = dir.join(format!("shard-{s}.json"));
-        let text = serde_json::to_string(&file)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(&path, text)?;
+        let text = serde_json::to_string(&file).map_err(|e| ShardIoError {
+            op: ShardIoOp::Spill,
+            shard: s,
+            detail: e.to_string(),
+        })?;
+        std::fs::write(&path, text).map_err(|e| ShardIoError::io(ShardIoOp::Spill, s, &e))?;
         let rows = m.n_rows();
         self.shards[s] = Shard::Spilled { path, rows };
         SHARDS_SPILLED.inc();
         Ok(true)
+    }
+
+    /// [`ShardedMatrix::spill_shard`] retried up to `attempts` times, for
+    /// transiently failing spill targets (counted in `shard.io_retries`).
+    ///
+    /// # Errors
+    ///
+    /// The last [`ShardIoError`] when every attempt failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()` or `attempts == 0`.
+    pub fn spill_shard_retry(
+        &mut self,
+        s: usize,
+        dir: &Path,
+        attempts: usize,
+    ) -> Result<bool, ShardIoError> {
+        assert!(attempts > 0, "at least one attempt is required");
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                SHARD_IO_RETRIES.inc();
+            }
+            match self.spill_shard(s, dir) {
+                Ok(done) => return Ok(done),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("attempts > 0 implies at least one error"))
     }
 
     /// Loads shard `s` back from its spill file. Returns `false` when the
@@ -483,19 +580,22 @@ impl ShardedMatrix {
     ///
     /// # Errors
     ///
-    /// Returns an I/O error when the file is missing or does not parse back
-    /// to a shard of the recorded shape; the shard stays spilled on failure.
+    /// [`ShardIoError`] when the file is missing, does not parse back to a
+    /// shard of the recorded shape, or an injected `data.shard.load` fault
+    /// fires; the shard stays spilled on failure.
     ///
     /// # Panics
     ///
     /// Panics if `s >= n_shards()`.
-    pub fn load_shard(&mut self, s: usize) -> io::Result<bool> {
+    pub fn load_shard(&mut self, s: usize) -> Result<bool, ShardIoError> {
         assert!(s < self.shards.len(), "shard {s} out of bounds ({} shards)", self.shards.len());
         let Shard::Spilled { path, rows } = &self.shards[s] else {
             return Ok(false);
         };
-        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let text = std::fs::read_to_string(path)?;
+        let bad = |msg: String| ShardIoError { op: ShardIoOp::Load, shard: s, detail: msg };
+        frote_faults::point("data.shard.load").map_err(|f| bad(f.to_string()))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ShardIoError::io(ShardIoOp::Load, s, &e))?;
         let file: ShardFile = serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
         if file.width != self.width || file.rows != *rows {
             return Err(bad(format!(
@@ -503,10 +603,36 @@ impl ShardedMatrix {
                 file.rows, file.width, rows, self.width
             )));
         }
-        let cells = cells_from_hex(&file.cells_hex, file.rows * file.width)?;
+        let cells = cells_from_hex(&file.cells_hex, file.rows * file.width)
+            .map_err(|e| ShardIoError::io(ShardIoOp::Load, s, &e))?;
         self.shards[s] = Shard::Resident(FeatureMatrix::from_raw(self.width, cells));
         SHARDS_LOADED.inc();
         Ok(true)
+    }
+
+    /// [`ShardedMatrix::load_shard`] retried up to `attempts` times, for
+    /// transiently failing spill storage (counted in `shard.io_retries`).
+    ///
+    /// # Errors
+    ///
+    /// The last [`ShardIoError`] when every attempt failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()` or `attempts == 0`.
+    pub fn load_shard_retry(&mut self, s: usize, attempts: usize) -> Result<bool, ShardIoError> {
+        assert!(attempts > 0, "at least one attempt is required");
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                SHARD_IO_RETRIES.inc();
+            }
+            match self.load_shard(s) {
+                Ok(done) => return Ok(done),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("attempts > 0 implies at least one error"))
     }
 }
 
@@ -552,10 +678,15 @@ impl ShardedCache {
         let was_stale = self.stale_fit;
         self.stale_fit = false;
         let refit = Encoder::fit(ds);
-        if refit == self.encoder {
+        if refit == self.encoder && frote_faults::point("data.cache.sharded.append").is_ok() {
             let appended = ds.n_rows() - self.matrix.n_rows();
             self.encoder.encode_append_sharded(ds, &mut self.matrix);
             SyncOutcome::Appended { rows: appended }
+        } else if refit == self.encoder {
+            // An injected fault poisoned the append fast path: degrade to a
+            // full rebuild — bit-identical output, only the cost changes.
+            self.matrix = self.encoder.encode_dataset_sharded(ds);
+            SyncOutcome::Rebuilt(RebuildReason::Injected)
         } else {
             self.encoder = refit;
             self.matrix = self.encoder.encode_dataset_sharded(ds);
@@ -591,6 +722,27 @@ impl ShardedCache {
     /// between syncs).
     pub fn matrix_mut(&mut self) -> &mut ShardedMatrix {
         &mut self.matrix
+    }
+
+    /// Spills shard `s` of the cached encoding to `dir`; see
+    /// [`ShardedMatrix::spill_shard`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardIoError`] from the underlying spill; the shard stays resident.
+    pub fn spill_shard(&mut self, s: usize, dir: &std::path::Path) -> Result<bool, ShardIoError> {
+        self.matrix.spill_shard(s, dir)
+    }
+
+    /// Ensures shard `s` is resident again, retrying up to `attempts`
+    /// times; see [`ShardedMatrix::load_shard_retry`].
+    ///
+    /// # Errors
+    ///
+    /// The last [`ShardIoError`] when every attempt failed; the shard stays
+    /// spilled and the cache is otherwise untouched.
+    pub fn load_shard_retry(&mut self, s: usize, attempts: usize) -> Result<bool, ShardIoError> {
+        self.matrix.load_shard_retry(s, attempts)
     }
 }
 
@@ -904,5 +1056,72 @@ mod tests {
             assert_eq!(cache.matrix().n_shards(), 3, "6 rows at 2 rows/shard");
             assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&ds));
         });
+    }
+
+    #[test]
+    fn injected_load_faults_are_typed_and_retryable() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut m, dense) = filled(2, 2, 4);
+        m.spill_shard(0, &dir).unwrap();
+        m.spill_shard(1, &dir).unwrap();
+        // Every load fails with the typed error while the fault is armed,
+        // and the shard's residency is untouched.
+        frote_faults::test_support::with_spec(Some("data.shard.load:err:1000:4"), || {
+            let err = m.load_shard(0).unwrap_err();
+            assert_eq!(err.op, ShardIoOp::Load);
+            assert_eq!(err.shard, 0);
+            assert!(err.detail.contains("injected fault at data.shard.load"), "{err}");
+            assert!(m.is_spilled(0), "failed load must leave the shard spilled");
+            let err = m.load_shard_retry(0, 3).unwrap_err();
+            assert!(err.to_string().contains("shard 0 load failed"), "{err}");
+        });
+        // At 500‰ the firing set has gaps, so a bounded retry gets through
+        // and the recovered rows are bit-exact.
+        frote_faults::test_support::with_spec(Some("data.shard.load:err:500:4"), || {
+            assert!(m.load_shard_retry(0, 20).unwrap());
+            assert!(m.load_shard_retry(1, 20).unwrap());
+        });
+        assert_same(&m, &dense);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_spill_faults_leave_the_shard_resident() {
+        let dir = std::env::temp_dir().join(format!("frote-shard-sfault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut m, dense) = filled(1, 2, 4);
+        frote_faults::test_support::with_spec(Some("data.shard.spill:err:1000:4"), || {
+            let err = m.spill_shard(0, &dir).unwrap_err();
+            assert_eq!((err.op, err.shard), (ShardIoOp::Spill, 0));
+            assert!(!m.is_spilled(0));
+        });
+        // With 500‰ gaps a bounded retry spills successfully.
+        frote_faults::test_support::with_spec(Some("data.shard.spill:err:500:4"), || {
+            assert!(m.spill_shard_retry(0, &dir, 20).unwrap());
+        });
+        m.load_shard(0).unwrap();
+        assert_same(&m, &dense);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_append_fault_degrades_sharded_cache_to_rebuild() {
+        use crate::Schema;
+        let schema = Schema::builder("y", vec!["a".into(), "b".into()])
+            .categorical("k", vec!["p".into(), "q".into()])
+            .build();
+        let mut ds = Dataset::new(schema);
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        let mut cache = ShardedCache::fit(&ds);
+        ds.push_row(&[Value::Cat(1)], 1).unwrap();
+        frote_faults::test_support::with_spec(Some("data.cache.sharded.append:err:1000:2"), || {
+            assert_eq!(cache.sync(&ds), SyncOutcome::Rebuilt(RebuildReason::Injected));
+        });
+        // Graceful degradation: the rebuilt cache is bit-identical to the
+        // append path's result.
+        assert_eq!(cache.matrix().to_matrix(), cache.encoder().encode_dataset(&ds));
+        ds.push_row(&[Value::Cat(0)], 0).unwrap();
+        assert_eq!(cache.sync(&ds), SyncOutcome::Appended { rows: 1 }, "fault cleared");
     }
 }

@@ -19,6 +19,11 @@ pub enum RebuildReason {
     /// A prior truncate marked the fit stale (it may have been computed
     /// on since-dropped rows) and the re-checked fit did not match.
     StaleFit,
+    /// An injected fault (`frote-faults`) poisoned the append fast path;
+    /// the cache degraded to a full rebuild rather than trusting a
+    /// possibly-partial append. Output stays bit-identical — only the cost
+    /// changes.
+    Injected,
 }
 
 /// How a cache sync brought itself up to date with the dataset.
@@ -57,6 +62,7 @@ pub struct CacheCounters {
     rebuild_first_fit: &'static frote_obs::Counter,
     rebuild_fit_changed: &'static frote_obs::Counter,
     rebuild_stale_fit: &'static frote_obs::Counter,
+    rebuild_injected: &'static frote_obs::Counter,
     appended_rows: &'static frote_obs::Counter,
     truncates: &'static frote_obs::Counter,
     truncated_rows: &'static frote_obs::Counter,
@@ -76,6 +82,7 @@ impl CacheCounters {
             rebuild_first_fit: c("sync.rebuild.first_fit"),
             rebuild_fit_changed: c("sync.rebuild.fit_changed"),
             rebuild_stale_fit: c("sync.rebuild.stale_fit"),
+            rebuild_injected: c("sync.rebuild.injected"),
             appended_rows: c("appended_rows"),
             truncates: c("truncates"),
             truncated_rows: c("truncated_rows"),
@@ -96,6 +103,7 @@ impl CacheCounters {
                     RebuildReason::FirstFit => self.rebuild_first_fit.inc(),
                     RebuildReason::FitChanged => self.rebuild_fit_changed.inc(),
                     RebuildReason::StaleFit => self.rebuild_stale_fit.inc(),
+                    RebuildReason::Injected => self.rebuild_injected.inc(),
                 }
             }
         }

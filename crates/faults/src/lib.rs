@@ -1,0 +1,475 @@
+//! Deterministic failpoint injection for the FROTE reproduction.
+//!
+//! Production code marks a fallible step with a named *site*:
+//!
+//! ```
+//! fn predict_batch() -> Result<(), frote_faults::InjectedFault> {
+//!     frote_faults::point("serve.batch.predict")?;
+//!     // ... the real work ...
+//!     Ok(())
+//! }
+//! ```
+//!
+//! With no spec armed, every `point` call is one relaxed atomic load — the
+//! same gating discipline `frote-obs` uses for disabled metrics — so
+//! instrumented binaries pay nothing in normal operation. A spec arms sites
+//! via the `FROTE_FAULTS` env var (read once) or
+//! [`set_spec`]/[`clear_spec_override`] (the override wins, so tests control
+//! faults even under a CI-armed environment):
+//!
+//! ```text
+//! FROTE_FAULTS = <entry> [ ';' <entry> ]*
+//! <entry>      = <site> ':' <kind> ':' <rate‰> ':' <seed> [ ':' <delay_ms> ]
+//! <kind>       = 'err' | 'panic' | 'delay'
+//! ```
+//!
+//! `rate‰` is a firing rate in permille (0..=1000). Each armed site keeps an
+//! ordinal counter; hit `n` fires iff
+//! `SeedSplit::new(seed).seed(n) % 1000 < rate`. The firing *set* is a pure
+//! function of `(seed, rate)` over ordinals, so a given spec fires
+//! bit-identically at any `FROTE_THREADS` — which hits land on which thread
+//! may vary, but the n-th arrival at a site always gets the same verdict.
+//! `err` makes `point` return [`InjectedFault`], `panic` unwinds with a
+//! recognizable payload, and `delay` sleeps `delay_ms` (default 10) and then
+//! returns `Ok` — a latency fault, not a failure.
+//!
+//! Arming a new spec replaces the site table wholesale, resetting every
+//! ordinal counter: each armed phase of a test replays the same verdict
+//! sequence from hit 0.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use frote_obs::Counter;
+use frote_par::SeedSplit;
+
+/// Injected `err` faults returned from [`point`].
+static INJECTED_ERRS: Counter = Counter::thread_variant("faults.injected.err");
+/// Injected `panic` faults thrown from [`point`].
+static INJECTED_PANICS: Counter = Counter::thread_variant("faults.injected.panic");
+/// Injected `delay` faults slept through in [`point`].
+static INJECTED_DELAYS: Counter = Counter::thread_variant("faults.injected.delay");
+
+/// The spec has not been resolved yet (first `point` reads `FROTE_FAULTS`).
+const STATE_UNRESOLVED: u8 = 0;
+/// No sites armed: `point` is one relaxed load + compare.
+const STATE_OFF: u8 = 1;
+/// At least one site armed: `point` takes the slow path.
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNRESOLVED);
+
+/// Sleep applied by a `delay` entry that does not name one explicitly.
+const DEFAULT_DELAY_MS: u64 = 10;
+
+/// What an armed site does when its ordinal fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `point` returns `Err(InjectedFault)`.
+    Err,
+    /// `point` panics with an `InjectedFault` payload.
+    Panic,
+    /// `point` sleeps `delay_ms`, then returns `Ok(())`.
+    Delay,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "err" => Some(FaultKind::Err),
+            "panic" => Some(FaultKind::Panic),
+            "delay" => Some(FaultKind::Delay),
+            _ => None,
+        }
+    }
+}
+
+/// One armed site: the parsed entry plus its live ordinal counter.
+#[derive(Debug)]
+struct ArmedSite {
+    kind: FaultKind,
+    /// Firing rate in permille of hits.
+    rate: u64,
+    split: SeedSplit,
+    delay: Duration,
+    ordinal: AtomicU64,
+}
+
+impl ArmedSite {
+    /// The verdict for the next hit: `Some(kind)` when it fires.
+    fn next_verdict(&self) -> Option<(FaultKind, u64)> {
+        let n = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        (self.split.seed(n) % 1000 < self.rate).then_some((self.kind, n))
+    }
+
+    fn parse(fields: &[&str], entry: &str) -> Result<ArmedSite, SpecError> {
+        let bad = |detail: &str| SpecError { entry: entry.to_string(), detail: detail.to_string() };
+        if fields.len() < 4 || fields.len() > 5 {
+            return Err(bad("expected <site>:<kind>:<rate‰>:<seed>[:<delay_ms>]"));
+        }
+        let kind = FaultKind::parse(fields[1])
+            .ok_or_else(|| bad("kind must be one of err|panic|delay"))?;
+        let rate: u64 =
+            fields[2].parse().map_err(|_| bad("rate must be an integer permille (0..=1000)"))?;
+        if rate > 1000 {
+            return Err(bad("rate must be at most 1000 permille"));
+        }
+        let seed: u64 = fields[3].parse().map_err(|_| bad("seed must be a u64"))?;
+        let delay_ms = match fields.get(4) {
+            None => DEFAULT_DELAY_MS,
+            Some(ms) => ms.parse().map_err(|_| bad("delay_ms must be a u64"))?,
+        };
+        Ok(ArmedSite {
+            kind,
+            rate,
+            split: SeedSplit::new(seed),
+            delay: Duration::from_millis(delay_ms),
+            ordinal: AtomicU64::new(0),
+        })
+    }
+}
+
+/// The armed site table. `None` = nothing armed.
+fn table() -> MutexGuard<'static, Option<HashMap<String, ArmedSite>>> {
+    static TABLE: OnceLock<Mutex<Option<HashMap<String, ArmedSite>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(None)).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A malformed `FROTE_FAULTS` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The offending entry, verbatim.
+    pub entry: String,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad FROTE_FAULTS entry {:?}: {}", self.entry, self.detail)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The structured error an armed `err` site injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: String,
+    /// Which hit at the site fired (0-based since the spec was armed).
+    pub ordinal: u64,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.site, self.ordinal)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+fn parse_spec(spec: &str) -> Result<HashMap<String, ArmedSite>, SpecError> {
+    let mut sites = HashMap::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = entry.split(':').collect();
+        let site = fields[0].trim();
+        if site.is_empty() {
+            return Err(SpecError {
+                entry: entry.to_string(),
+                detail: "empty site name".to_string(),
+            });
+        }
+        sites.insert(site.to_string(), ArmedSite::parse(&fields, entry)?);
+    }
+    Ok(sites)
+}
+
+fn install(sites: Option<HashMap<String, ArmedSite>>) {
+    let state = match &sites {
+        Some(map) if !map.is_empty() => STATE_ON,
+        _ => STATE_OFF,
+    };
+    let mut slot = table();
+    *slot = sites;
+    STATE.store(state, Ordering::Release);
+}
+
+/// Arms `spec` (the `FROTE_FAULTS` grammar), replacing any armed table and
+/// resetting every ordinal counter. Overrides the environment until
+/// [`clear_spec_override`]. `None` disarms everything.
+///
+/// # Errors
+///
+/// [`SpecError`] on a malformed entry; the armed table is left unchanged.
+pub fn set_spec(spec: Option<&str>) -> Result<(), SpecError> {
+    let sites = match spec {
+        None => None,
+        Some(s) => Some(parse_spec(s)?),
+    };
+    install(sites);
+    Ok(())
+}
+
+/// Drops any [`set_spec`] override and re-resolves from `FROTE_FAULTS`.
+/// A malformed env spec disarms everything (the env is validated at
+/// process start by the binaries that honor it).
+pub fn clear_spec_override() {
+    install(env_spec());
+}
+
+fn env_spec() -> Option<HashMap<String, ArmedSite>> {
+    let raw = std::env::var("FROTE_FAULTS").ok()?;
+    parse_spec(&raw).ok().filter(|m| !m.is_empty())
+}
+
+#[cold]
+fn resolve_from_env() {
+    install(env_spec());
+}
+
+#[cold]
+fn point_armed(site: &str) -> Result<(), InjectedFault> {
+    let verdict = {
+        let slot = table();
+        let Some(armed) = slot.as_ref().and_then(|map| map.get(site)) else {
+            return Ok(());
+        };
+        match armed.next_verdict() {
+            None => return Ok(()),
+            Some((FaultKind::Delay, n)) => {
+                INJECTED_DELAYS.inc();
+                // Sleep outside the table lock.
+                (FaultKind::Delay, n, armed.delay)
+            }
+            Some((kind, n)) => (kind, n, Duration::ZERO),
+        }
+    };
+    match verdict {
+        (FaultKind::Delay, _, delay) => {
+            std::thread::sleep(delay);
+            Ok(())
+        }
+        (FaultKind::Err, n, _) => {
+            INJECTED_ERRS.inc();
+            Err(InjectedFault { site: site.to_string(), ordinal: n })
+        }
+        (FaultKind::Panic, n, _) => {
+            INJECTED_PANICS.inc();
+            std::panic::panic_any(InjectedFault { site: site.to_string(), ordinal: n });
+        }
+    }
+}
+
+/// The failpoint: call at a named site; the armed spec decides the outcome.
+///
+/// Unarmed (the overwhelmingly common case) this is one relaxed atomic load.
+///
+/// # Errors
+///
+/// [`InjectedFault`] when the site is armed with kind `err` and this hit's
+/// ordinal fires.
+///
+/// # Panics
+///
+/// Panics (with an [`InjectedFault`] payload, for `catch_unwind` + downcast)
+/// when the site is armed with kind `panic` and this hit fires.
+#[inline]
+pub fn point(site: &str) -> Result<(), InjectedFault> {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_OFF => Ok(()),
+        STATE_UNRESOLVED => {
+            resolve_from_env();
+            point(site)
+        }
+        _ => point_armed(site),
+    }
+}
+
+/// True when any site is currently armed (after env resolution).
+pub fn armed() -> bool {
+    if STATE.load(Ordering::Relaxed) == STATE_UNRESOLVED {
+        resolve_from_env();
+    }
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Extracts an [`InjectedFault`] from a `catch_unwind` payload, when the
+/// panic came from an armed `panic` site.
+pub fn fault_from_panic(payload: &(dyn std::any::Any + Send)) -> Option<&InjectedFault> {
+    payload.downcast_ref::<InjectedFault>()
+}
+
+pub mod test_support {
+    //! Serialized fault arming for tests.
+    //!
+    //! The armed table is process-global, so concurrent tests arming
+    //! different specs would trample each other. [`with_spec`] holds a
+    //! process-wide lock for the closure and restores the unarmed state
+    //! afterwards, even on panic.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The process-wide fault-spec lock, shared by every test that arms a
+    /// spec. Held for the whole closure.
+    fn spec_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    struct Disarm;
+
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            super::install(None);
+        }
+    }
+
+    /// Runs `f` with `spec` armed (or everything disarmed for `None`),
+    /// serialized against every other `with_spec` caller in the process.
+    /// Ordinal counters start from 0. The spec is disarmed on the way out,
+    /// panics included — the environment's `FROTE_FAULTS` is deliberately
+    /// *not* re-armed, so in-process tests stay deterministic even under a
+    /// CI chaos environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spec` is malformed.
+    pub fn with_spec<R>(spec: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _guard = spec_lock();
+        let _disarm = Disarm;
+        super::set_spec(spec).expect("test fault spec parses");
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firing_set(spec_entry: &str, site: &str, hits: u64) -> Vec<u64> {
+        test_support::with_spec(Some(spec_entry), || {
+            (0..hits).filter(|_| point(site).is_err()).collect()
+        })
+    }
+
+    #[test]
+    fn unarmed_points_are_ok() {
+        test_support::with_spec(None, || {
+            for _ in 0..100 {
+                point("nowhere").unwrap();
+            }
+            assert!(!armed());
+        });
+    }
+
+    #[test]
+    fn unlisted_sites_stay_clean_under_an_armed_spec() {
+        test_support::with_spec(Some("a.site:err:1000:1"), || {
+            assert!(armed());
+            for _ in 0..50 {
+                point("other.site").unwrap();
+            }
+            assert!(point("a.site").is_err());
+        });
+    }
+
+    #[test]
+    fn rate_1000_always_fires_and_rate_0_never_does() {
+        test_support::with_spec(Some("hot:err:1000:7;cold:err:0:7"), || {
+            for n in 0..20 {
+                let fault = point("hot").unwrap_err();
+                assert_eq!(fault.site, "hot");
+                assert_eq!(fault.ordinal, n);
+                point("cold").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn firing_ordinals_are_deterministic_and_seed_keyed() {
+        let a = firing_set("s:err:300:42", "s", 200);
+        let b = firing_set("s:err:300:42", "s", 200);
+        assert_eq!(a, b, "same spec must fire the same ordinals");
+        assert!(!a.is_empty() && a.len() < 200, "300‰ should fire some but not all of 200 hits");
+        let c = firing_set("s:err:300:43", "s", 200);
+        assert_ne!(a, c, "a different seed should reshuffle the firing set");
+    }
+
+    #[test]
+    fn firing_set_is_thread_count_invariant() {
+        // The verdict stream is keyed on arrival ordinal, not thread: the
+        // *multiset* of verdicts over N hits is fixed no matter how many
+        // threads produce them.
+        let serial_fired = firing_set("s:err:250:9", "s", 96).len();
+        for workers in [2usize, 4] {
+            let fired = test_support::with_spec(Some("s:err:250:9"), || {
+                let count = std::sync::atomic::AtomicU64::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| {
+                            for _ in 0..(96 / workers) {
+                                if point("s").is_err() {
+                                    count.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                });
+                count.into_inner()
+            });
+            assert_eq!(fired as usize, serial_fired, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn rearming_resets_ordinals() {
+        let a = firing_set("s:err:500:5", "s", 40);
+        let b = firing_set("s:err:500:5", "s", 40);
+        assert_eq!(a, b, "re-arming must replay from ordinal 0");
+    }
+
+    #[test]
+    fn panic_kind_unwinds_with_a_typed_payload() {
+        test_support::with_spec(Some("boom:panic:1000:3"), || {
+            let caught = std::panic::catch_unwind(|| point("boom")).unwrap_err();
+            let fault = fault_from_panic(&*caught).expect("typed payload");
+            assert_eq!(fault.site, "boom");
+        });
+    }
+
+    #[test]
+    fn delay_kind_sleeps_then_succeeds() {
+        test_support::with_spec(Some("slow:delay:1000:2:30"), || {
+            let start = std::time::Instant::now();
+            point("slow").unwrap();
+            assert!(start.elapsed() >= Duration::from_millis(30));
+        });
+    }
+
+    #[test]
+    fn spec_errors_are_structured() {
+        for (spec, needle) in [
+            ("site", "expected <site>"),
+            ("site:oops:10:1", "err|panic|delay"),
+            ("site:err:1001:1", "at most 1000"),
+            ("site:err:ten:1", "integer permille"),
+            ("site:err:10:x", "seed must be"),
+            ("site:delay:10:1:soon", "delay_ms must be"),
+            (":err:10:1", "empty site"),
+        ] {
+            let err = parse_spec(spec).unwrap_err();
+            assert!(err.to_string().contains(needle), "{spec} -> {err}");
+        }
+        // Separators: empty entries and whitespace are tolerated.
+        let map = parse_spec(" a:err:10:1 ; ; b:delay:5:2:20 ").unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["b"].delay, Duration::from_millis(20));
+    }
+}

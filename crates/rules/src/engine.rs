@@ -672,6 +672,12 @@ impl RuleMaskCache {
         let outcome = if self.rows == 0 {
             self.masks = self.compiled.rule_masks(ds);
             SyncOutcome::Rebuilt(frote_data::RebuildReason::FirstFit)
+        } else if frote_faults::point("rules.mask.append").is_err() {
+            // An injected fault poisoned the append fast path: degrade to a
+            // full re-evaluation — bit-identical masks, only the cost
+            // changes.
+            self.masks = self.compiled.rule_masks(ds);
+            SyncOutcome::Rebuilt(frote_data::RebuildReason::Injected)
         } else {
             for (clause, mask) in self.compiled.clauses.iter().zip(&mut self.masks) {
                 for i in self.rows..n {
@@ -946,6 +952,26 @@ mod tests {
         cache.truncate(base.n_rows());
         assert_eq!(cache.sync(&base), SyncOutcome::Unchanged, "exact rollback: nothing to redo");
         assert_eq!(cache.masks(), fresh.rule_masks(&base).as_slice());
+    }
+
+    #[test]
+    fn injected_append_fault_degrades_mask_cache_to_rebuild() {
+        let f = frs();
+        let mut cache = RuleMaskCache::compile(&f, &schema()).unwrap();
+        let mut d = ds();
+        cache.sync(&d);
+        d.push_row(&[Value::Num(1.0), Value::Cat(0)], 1).unwrap();
+        frote_faults::test_support::with_spec(Some("rules.mask.append:err:1000:3"), || {
+            assert_eq!(
+                cache.sync(&d),
+                SyncOutcome::Rebuilt(frote_data::RebuildReason::Injected),
+                "a poisoned append degrades to a full re-evaluation"
+            );
+        });
+        let fresh = CompiledRuleSet::compile(&f, &schema()).unwrap();
+        assert_eq!(cache.masks(), fresh.rule_masks(&d).as_slice(), "bit-identical degradation");
+        d.push_row(&[Value::Num(2.0), Value::Cat(0)], 1).unwrap();
+        assert_eq!(cache.sync(&d), SyncOutcome::Appended { rows: 1 }, "fault cleared");
     }
 
     #[test]

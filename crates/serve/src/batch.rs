@@ -41,12 +41,20 @@ static BATCHES: Counter = Counter::thread_variant("serve.batches");
 static BATCH_ROWS_MAX: Gauge = Gauge::thread_variant("serve.batch_rows_max");
 /// High-water queue depth (jobs waiting when a batch was formed).
 static QUEUE_DEPTH: Gauge = Gauge::thread_variant("serve.queue_depth");
+/// Requests shed by admission control: the queue was at capacity, the
+/// caller got a structured `503 Overloaded`. Depends on arrival timing.
+static SHED_REQUESTS: Counter = Counter::thread_variant("serve.shed_requests");
 /// Wall-clock of one micro-batch: snapshot resolve + concat + predict +
 /// reply fan-out.
 static BATCH_SPAN: Histogram = Histogram::new("serve.batch_ns");
 
 /// Default row budget per micro-batch.
 pub const DEFAULT_MAX_BATCH_ROWS: usize = 4096;
+
+/// Default bound on queued jobs before admission control sheds
+/// ([`ServeError::Overloaded`] → `503` + `Retry-After`). Keyed on the same
+/// queue the `serve.queue_depth` gauge watches.
+pub const DEFAULT_MAX_QUEUE_DEPTH: usize = 128;
 
 /// One scored batch's slice for one request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +76,7 @@ struct Shared {
     available: Condvar,
     open: AtomicBool,
     max_batch_rows: usize,
+    max_queue_depth: usize,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -81,14 +90,15 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts a batcher with the given per-batch row budget (clamped to at
-    /// least 1).
-    pub fn start(max_batch_rows: usize) -> Batcher {
+    /// Starts a batcher with the given per-batch row budget and queue
+    /// depth bound (each clamped to at least 1).
+    pub fn start(max_batch_rows: usize, max_queue_depth: usize) -> Batcher {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             open: AtomicBool::new(true),
             max_batch_rows: max_batch_rows.max(1),
+            max_queue_depth: max_queue_depth.max(1),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -104,8 +114,11 @@ impl Batcher {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Unavailable`] when the batcher is shut down (or the
-    /// scoring worker dropped the reply without answering).
+    /// [`ServeError::Overloaded`] when the queue is at its depth bound
+    /// (admission control: shed at the door, never queue unboundedly);
+    /// [`ServeError::Unavailable`] when the batcher is shut down, or the
+    /// scoring worker dropped the reply without answering (an injected
+    /// batch fault or a model panic — the worker itself lives on).
     pub fn submit(
         &self,
         entry: Arc<ModelEntry>,
@@ -114,10 +127,14 @@ impl Batcher {
         if !self.shared.open.load(Ordering::Acquire) {
             return Err(ServeError::Unavailable);
         }
-        REQUESTS.inc();
         let (reply, done) = mpsc::channel();
         {
             let mut queue = lock(&self.shared.queue);
+            if queue.len() >= self.shared.max_queue_depth {
+                SHED_REQUESTS.inc();
+                return Err(ServeError::Overloaded);
+            }
+            REQUESTS.inc();
             queue.push_back(Job { rows, entry, reply });
             QUEUE_DEPTH.set_max(queue.len() as f64);
         }
@@ -159,7 +176,16 @@ fn batch_loop(shared: &Shared) {
             take_batch(&mut queue, shared.max_batch_rows)
         };
         let _span = BATCH_SPAN.span();
-        run_batch(batch);
+        // The whole batch execution is unwind-guarded: an injected drain
+        // fault or panic fails *this batch's* requests (their replies are
+        // dropped -> structured 503 at the boundary) and the worker loops
+        // on — the batcher never dies mid-chaos.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            if frote_faults::point("serve.batch.drain").is_err() {
+                return;
+            }
+            run_batch(batch);
+        }));
     }
 }
 
@@ -194,18 +220,20 @@ fn run_batch(batch: Vec<Job>) {
     BATCHES.inc();
     BATCH_ROWS_MAX.set_max(total_rows as f64);
 
-    let scored = catch_unwind(AssertUnwindSafe(|| {
+    let scored = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<u32>, ServeError> {
+        frote_faults::point("serve.batch.predict")?;
         let mut combined = Dataset::with_shared_schema(Arc::clone(snapshot.schema()));
         for job in &batch {
             combined.extend_from(&job.rows).expect("schema pinned by the entry");
         }
         let indices: Vec<usize> = (0..combined.n_rows()).collect();
-        snapshot.model().predict_rows(&combined, &indices)
+        Ok(snapshot.model().predict_rows(&combined, &indices))
     }));
-    let Ok(predictions) = scored else {
-        // A model panic must not kill the batcher: dropping the replies
-        // fails the affected requests with `Unavailable`; the worker
-        // lives on. Validated input should never get here.
+    let Ok(Ok(predictions)) = scored else {
+        // A model panic or injected predict fault must not kill the
+        // batcher: dropping the replies fails the affected requests with
+        // `Unavailable` (a structured 503 at the boundary); the worker
+        // lives on. Validated input should never get here un-injected.
         return;
     };
     ROWS_SCORED.add(total_rows as u64);
@@ -247,7 +275,7 @@ mod tests {
     #[test]
     fn batched_predictions_match_direct_predict_rows() {
         let (_registry, entry, ds) = setup();
-        let batcher = Batcher::start(DEFAULT_MAX_BATCH_ROWS);
+        let batcher = Batcher::start(DEFAULT_MAX_BATCH_ROWS, DEFAULT_MAX_QUEUE_DEPTH);
         let rows = probe(&ds, 0..32);
         let resp = batcher.submit(Arc::clone(&entry), rows.clone()).unwrap();
         assert_eq!(resp.generation, 1);
@@ -259,7 +287,7 @@ mod tests {
     #[test]
     fn concurrent_submissions_all_answered_consistently() {
         let (_registry, entry, ds) = setup();
-        let batcher = Arc::new(Batcher::start(DEFAULT_MAX_BATCH_ROWS));
+        let batcher = Arc::new(Batcher::start(DEFAULT_MAX_BATCH_ROWS, DEFAULT_MAX_QUEUE_DEPTH));
         let expected = {
             let indices: Vec<usize> = (0..ds.n_rows()).collect();
             entry.current().model().predict_rows(&ds, &indices)
@@ -285,7 +313,7 @@ mod tests {
     #[test]
     fn shutdown_rejects_new_and_drains_old() {
         let (_registry, entry, ds) = setup();
-        let batcher = Batcher::start(DEFAULT_MAX_BATCH_ROWS);
+        let batcher = Batcher::start(DEFAULT_MAX_BATCH_ROWS, DEFAULT_MAX_QUEUE_DEPTH);
         batcher.shutdown();
         let err = batcher.submit(entry, probe(&ds, 0..4)).unwrap_err();
         assert!(matches!(err, ServeError::Unavailable));

@@ -3,7 +3,8 @@
 //! ```text
 //! frote-serve [--port N] [--workload NAME]... [--max-batch ROWS]
 //!             [--threads N] [--range-guard] [--metrics-out PATH]
-//!             [--stdin-watch]
+//!             [--stdin-watch] [--workers N] [--backlog N]
+//!             [--queue-depth N] [--read-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! Registers one model per `--workload` (default: `wine-rf`), prints
@@ -19,6 +20,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use frote_serve::workload::by_name;
 use frote_serve::{ModelRegistry, ServeConfig, Server};
@@ -31,12 +33,19 @@ struct Options {
     range_guard: bool,
     metrics_out: Option<String>,
     stdin_watch: bool,
+    workers: usize,
+    backlog: usize,
+    queue_depth: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: frote-serve [--port N] [--workload NAME]... [--max-batch ROWS] \
-         [--threads N] [--range-guard] [--metrics-out PATH] [--stdin-watch]"
+         [--threads N] [--range-guard] [--metrics-out PATH] [--stdin-watch] \
+         [--workers N] [--backlog N] [--queue-depth N] \
+         [--read-timeout-ms N] [--write-timeout-ms N]"
     );
     eprintln!("workloads: {}", frote_serve::workload::workload_names().join(", "));
     std::process::exit(2)
@@ -51,6 +60,11 @@ fn parse_options() -> Options {
         range_guard: false,
         metrics_out: None,
         stdin_watch: false,
+        workers: frote_serve::server::DEFAULT_WORKERS,
+        backlog: frote_serve::server::DEFAULT_CONN_BACKLOG,
+        queue_depth: frote_serve::batch::DEFAULT_MAX_QUEUE_DEPTH,
+        read_timeout: frote_serve::server::DEFAULT_CONN_TIMEOUT,
+        write_timeout: frote_serve::server::DEFAULT_CONN_TIMEOUT,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +84,19 @@ fn parse_options() -> Options {
                 opts.threads = Some(value("--threads").parse().unwrap_or_else(|_| usage()));
             }
             "--range-guard" => opts.range_guard = true,
+            "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--backlog" => opts.backlog = value("--backlog").parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => {
+                opts.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage());
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms").parse().unwrap_or_else(|_| usage());
+                opts.read_timeout = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms").parse().unwrap_or_else(|_| usage());
+                opts.write_timeout = Duration::from_millis(ms);
+            }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--stdin-watch" => opts.stdin_watch = true,
             "--help" | "-h" => usage(),
@@ -92,6 +119,18 @@ fn main() -> ExitCode {
     }
     frote_obs::set_metrics_enabled(true);
 
+    // Fail fast on a malformed FROTE_FAULTS spec: a chaos run with a typo'd
+    // spec silently testing nothing is worse than a refused start.
+    if let Ok(spec) = std::env::var("FROTE_FAULTS") {
+        if let Err(e) = frote_faults::set_spec(Some(&spec)) {
+            eprintln!("bad FROTE_FAULTS spec: {e}");
+            return ExitCode::from(2);
+        }
+        if frote_faults::armed() {
+            eprintln!("fault injection armed: {spec}");
+        }
+    }
+
     let registry = Arc::new(ModelRegistry::new());
     for name in &opts.workloads {
         let workload = match by_name(name) {
@@ -113,8 +152,15 @@ fn main() -> ExitCode {
         eprintln!("registered {name}");
     }
 
-    let config =
-        ServeConfig { addr: format!("127.0.0.1:{}", opts.port), max_batch_rows: opts.max_batch };
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{}", opts.port),
+        max_batch_rows: opts.max_batch,
+        workers: opts.workers,
+        conn_backlog: opts.backlog,
+        max_queue_depth: opts.queue_depth,
+        read_timeout: opts.read_timeout,
+        write_timeout: opts.write_timeout,
+    };
     let server = match Server::bind(&config, registry) {
         Ok(s) => Arc::new(s),
         Err(e) => {

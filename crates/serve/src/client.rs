@@ -3,16 +3,77 @@
 //! Shares the vendored HTTP/1.1 framing with the server, so the load
 //! generator, the perf probes, the integration tests, and the CI smoke
 //! job all speak the wire protocol through one implementation.
+//!
+//! [`Backoff`] + [`Client::request_with_retry`] implement the
+//! load-shedding contract from the other side: a `503` (admission
+//! control), `408` (deadline), or dropped connection is retried after a
+//! capped exponential delay with **deterministic** jitter (seeded
+//! [`frote_par::SeedSplit`], so chaos tests replay bit-identically), and
+//! a server-sent `Retry-After` hint is honored up to the cap.
 
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use frote_par::SeedSplit;
+
 use crate::http::{read_response, write_request, Response};
 use crate::ServeError;
 
+/// Capped exponential backoff with deterministic, seeded jitter.
+///
+/// Delay for attempt `n` is drawn uniformly (by the seeded stream) from
+/// `[half, full]` where `full = min(base << n, cap)` — "equal jitter", so
+/// retries decorrelate without ever collapsing to zero wait.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    jitter: SeedSplit,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and saturating at `cap`; `seed`
+    /// determines the jitter stream.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base: base.max(Duration::from_millis(1)),
+            cap,
+            attempt: 0,
+            jitter: SeedSplit::new(seed),
+        }
+    }
+
+    /// The delay before the next retry. `retry_after` (the server's hint)
+    /// raises the floor, capped at `cap` so a polite server cannot stall
+    /// the client unboundedly.
+    pub fn next_delay(&mut self, retry_after: Option<Duration>) -> Duration {
+        let shift = self.attempt.min(16);
+        let full = self.base.saturating_mul(1 << shift).min(self.cap);
+        let half = full / 2;
+        let span_ms = (full - half).as_millis() as u64;
+        let jitter_ms = match span_ms {
+            0 => 0,
+            s => self.jitter.seed(u64::from(self.attempt)) % (s + 1),
+        };
+        self.attempt += 1;
+        let delay = half + Duration::from_millis(jitter_ms);
+        match retry_after {
+            Some(hint) => delay.max(hint.min(self.cap)),
+            None => delay,
+        }
+    }
+
+    /// Resets the attempt counter (call after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
 /// One keep-alive connection to a serving-plane server.
 pub struct Client {
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
@@ -27,7 +88,18 @@ impl Client {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client { addr: addr.to_string(), reader, writer })
+    }
+
+    /// Drops the current connection and dials the same address again —
+    /// the retry path after the server shed or dropped us.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the reconnect fails.
+    pub fn reconnect(&mut self) -> Result<(), ServeError> {
+        *self = Client::connect(&self.addr)?;
+        Ok(())
     }
 
     /// Connects with a readiness loop: retries connect + `GET /health`
@@ -66,6 +138,49 @@ impl Client {
     ) -> Result<Response, ServeError> {
         write_request(&mut self.writer, method, path, body)?;
         read_response(&mut self.reader)
+    }
+
+    /// [`Client::request`] with the retry contract: a `503` (shed), `408`
+    /// (deadline), or transport failure is retried up to `max_attempts`
+    /// times with `backoff` delays (honoring `Retry-After`), reconnecting
+    /// first — the server closes the connection on both shed and deadline
+    /// paths. Any other response (including structured `4xx`/`500`) is
+    /// returned as-is: those are answers, not congestion.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error when every attempt failed to get *any*
+    /// response.
+    pub fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        max_attempts: usize,
+        backoff: &mut Backoff,
+    ) -> Result<Response, ServeError> {
+        let mut last: Option<Result<Response, ServeError>> = None;
+        for _ in 0..max_attempts.max(1) {
+            match self.request(method, path, body) {
+                Ok(resp) if resp.status == 503 || resp.status == 408 => {
+                    let hint = resp.retry_after.map(Duration::from_secs);
+                    last = Some(Ok(resp));
+                    std::thread::sleep(backoff.next_delay(hint));
+                    let _ = self.reconnect();
+                }
+                Ok(resp) => {
+                    backoff.reset();
+                    return Ok(resp);
+                }
+                Err(err @ (ServeError::Io { .. } | ServeError::Timeout)) => {
+                    last = Some(Err(err));
+                    std::thread::sleep(backoff.next_delay(None));
+                    let _ = self.reconnect();
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        last.expect("max_attempts clamped to >= 1")
     }
 
     fn expect_200(&mut self, method: &str, path: &str, body: &str) -> Result<String, ServeError> {

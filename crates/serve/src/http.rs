@@ -7,13 +7,35 @@
 //! responses written to any [`Write`], so the framing is unit-testable over
 //! in-memory buffers and shared verbatim by the server and the client.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 use crate::ServeError;
 
 /// Longest accepted request body, in bytes — a boundary guard against a
 /// malformed or hostile `Content-Length` allocating unbounded memory.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Longest accepted header section (request line + headers + blank line),
+/// in bytes. The body cap alone does not stop a hostile client from
+/// streaming unbounded header lines; past this budget the request is
+/// rejected with a structured `431` instead of growing memory.
+pub const MAX_HEADER_BYTES: u64 = 16 * 1024;
+
+/// Reads one `\n`-terminated line from the capped header section.
+/// A line that runs into the cap without its terminator is the
+/// header-bomb case: [`ServeError::HeadersTooLarge`], never an allocation
+/// proportional to what the peer sends.
+fn read_header_line<R: BufRead>(
+    head: &mut std::io::Take<R>,
+    line: &mut String,
+) -> Result<usize, ServeError> {
+    line.clear();
+    let n = head.read_line(line)?;
+    if head.limit() == 0 && !line.ends_with('\n') {
+        return Err(ServeError::HeadersTooLarge);
+    }
+    Ok(n)
+}
 
 /// One parsed HTTP/1.1 request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,11 +58,14 @@ pub struct Request {
 ///
 /// # Errors
 ///
-/// [`ServeError::BadRequest`] on malformed framing, [`ServeError::Io`] on
-/// transport failure mid-request.
+/// [`ServeError::BadRequest`] on malformed framing,
+/// [`ServeError::HeadersTooLarge`] when the header section runs past
+/// [`MAX_HEADER_BYTES`], [`ServeError::Timeout`] when a read deadline
+/// expires mid-request, [`ServeError::Io`] on transport failure.
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
+    let mut head = reader.by_ref().take(MAX_HEADER_BYTES);
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    if read_header_line(&mut head, &mut line)? == 0 {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
@@ -59,8 +84,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     let mut content_length = 0usize;
     let mut keep_alive = true;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        if read_header_line(&mut head, &mut line)? == 0 {
             return Err(ServeError::BadRequest { detail: "eof inside headers".to_string() });
         }
         let trimmed = line.trim_end();
@@ -86,8 +110,13 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| ServeError::BadRequest {
-        detail: format!("short body (wanted {content_length} bytes): {e}"),
+    reader.read_exact(&mut body).map_err(|e| match ServeError::from(e) {
+        // A deadline mid-body is the slow-client case (408), not a
+        // framing error.
+        ServeError::Timeout => ServeError::Timeout,
+        other => ServeError::BadRequest {
+            detail: format!("short body (wanted {content_length} bytes): {other}"),
+        },
     })?;
     let body = String::from_utf8(body)
         .map_err(|_| ServeError::BadRequest { detail: "body is not utf-8".to_string() })?;
@@ -101,6 +130,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -117,10 +149,31 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> Result<(), ServeError> {
+    write_response_ext(writer, status, body, keep_alive, None)
+}
+
+/// [`write_response`] with an optional `Retry-After` header (seconds) —
+/// the load-shedding contract: a `503` from admission control tells the
+/// client when to come back.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on transport failure.
+pub fn write_response_ext<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+) -> Result<(), ServeError> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {connection}\r\n{retry}\r\n{body}",
         reason(status),
         body.len(),
     )?;
@@ -146,13 +199,16 @@ pub fn write_request<W: Write>(
     Ok(())
 }
 
-/// One parsed response on the client side: status code and body.
+/// One parsed response on the client side: status code, body, and the
+/// `Retry-After` hint when the server sent one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (`200`, `400`, …).
     pub status: u16,
     /// Response body.
     pub body: String,
+    /// Parsed `Retry-After` header (seconds), when present.
+    pub retry_after: Option<u64>,
 }
 
 /// Reads one response from `reader` (the client half of the protocol).
@@ -178,6 +234,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ServeError>
         }
     };
     let mut content_length = 0usize;
+    let mut retry_after = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -192,6 +249,8 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ServeError>
                 content_length = value.trim().parse().map_err(|_| ServeError::BadRequest {
                     detail: format!("bad content-length {:?}", value.trim()),
                 })?;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -201,7 +260,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ServeError>
         .map_err(|e| ServeError::Io { detail: format!("short response body: {e}") })?;
     let body = String::from_utf8(body)
         .map_err(|_| ServeError::BadRequest { detail: "body is not utf-8".to_string() })?;
-    Ok(Response { status, body })
+    Ok(Response { status, body, retry_after })
 }
 
 #[cfg(test)]
@@ -263,6 +322,59 @@ mod tests {
         let resp = read_response(&mut Cursor::new(buf)).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "generation:3\nacc\n");
+    }
+
+    #[test]
+    fn oversized_header_section_is_431_not_oom() {
+        // One giant header line with no terminator: the reader must stop at
+        // the cap, not buffer what the peer keeps sending.
+        let mut raw = String::from("POST /x HTTP/1.1\r\nX-Bomb: ");
+        raw.push_str(&"a".repeat(2 * MAX_HEADER_BYTES as usize));
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err, ServeError::HeadersTooLarge);
+
+        // Many small headers crossing the cap hit the same wall.
+        let mut raw = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..2048 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err, ServeError::HeadersTooLarge);
+
+        // A request just under the cap still parses.
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nX-Pad: {}\r\nContent-Length: 2\r\n\r\nok",
+            "c".repeat(1024)
+        );
+        let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn header_cap_does_not_eat_into_the_body() {
+        // The body is read from the raw stream, not the capped head: a
+        // body larger than MAX_HEADER_BYTES must still arrive whole.
+        let body = "z".repeat(3 * MAX_HEADER_BYTES as usize);
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req.body.len(), body.len());
+    }
+
+    #[test]
+    fn retry_after_roundtrip() {
+        let mut buf = Vec::new();
+        write_response_ext(&mut buf, 503, "overloaded\n", true, Some(2)).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(2));
+
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "ok\n", true).unwrap();
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.retry_after, None);
     }
 
     #[test]

@@ -48,7 +48,7 @@ use std::fmt;
 
 pub use batch::{Batcher, ScoreResponse};
 pub use boundary::{parse_rows, render_rows, RowGuard};
-pub use client::Client;
+pub use client::{Backoff, Client};
 pub use registry::{FroteRefitter, ModelEntry, ModelRegistry, Refitter, Snapshot};
 pub use server::{ServeConfig, Server};
 pub use workload::Workload;
@@ -89,6 +89,22 @@ pub enum ServeError {
     Rule(frote_rules::RuleError),
     /// The server is shutting down and no longer accepts work.
     Unavailable,
+    /// Admission control shed this request: the batcher queue (or the
+    /// connection backlog) was at capacity. Maps to `503` with a
+    /// `Retry-After` header — the client backoff contract.
+    Overloaded,
+    /// A per-connection read/write deadline expired (slow-client
+    /// protection). Maps to `408`.
+    Timeout,
+    /// The request's header section exceeded the framing cap before a
+    /// blank line. Maps to `431`.
+    HeadersTooLarge,
+    /// An injected failpoint fired (`FROTE_FAULTS`); chaos testing only.
+    /// Maps to `500` — a structured error, never a dead worker.
+    Fault {
+        /// The failpoint site that fired.
+        site: String,
+    },
     /// Transport-level failure talking to a peer.
     Io {
         /// The rendered `std::io::Error`.
@@ -107,6 +123,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::Rule(e) => write!(f, "rule error: {e}"),
             ServeError::Unavailable => write!(f, "server shutting down"),
+            ServeError::Overloaded => write!(f, "overloaded: request shed by admission control"),
+            ServeError::Timeout => write!(f, "timeout: connection deadline expired"),
+            ServeError::HeadersTooLarge => write!(f, "request header section too large"),
+            ServeError::Fault { site } => write!(f, "injected fault at {site}"),
             ServeError::Io { detail } => write!(f, "io error: {detail}"),
         }
     }
@@ -122,6 +142,18 @@ impl From<frote_rules::RuleError> for ServeError {
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
+        // A socket deadline (`set_read_timeout`/`set_write_timeout`)
+        // surfaces as `WouldBlock` (unix) or `TimedOut` (windows); either
+        // way it is the structured-408 case, not a generic transport error.
+        if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+            return ServeError::Timeout;
+        }
         ServeError::Io { detail: e.to_string() }
+    }
+}
+
+impl From<frote_faults::InjectedFault> for ServeError {
+    fn from(f: frote_faults::InjectedFault) -> Self {
+        ServeError::Fault { site: f.site }
     }
 }

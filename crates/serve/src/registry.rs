@@ -37,6 +37,11 @@ use crate::ServeError;
 /// a fixed request sequence, so `benchdiff` gates it.
 static SWAPS: Counter = Counter::new("serve.swaps");
 
+/// Retrains that errored or panicked and were rolled back: the previous
+/// snapshot generation kept serving. Thread-variant — chaos specs and
+/// retried publishes make the count timing-dependent.
+static PUBLISH_FAILURES: Counter = Counter::thread_variant("serve.publish_failures");
+
 /// Bin budget for the registry's quantized view of the training data.
 pub const SERVE_BINS: usize = 256;
 
@@ -193,13 +198,36 @@ impl ModelEntry {
 
     /// Retrains through the entry's [`Refitter`] and publishes the result.
     ///
+    /// Transactional: a refit that errors *or panics* publishes nothing —
+    /// the current generation keeps serving, the failure is counted in
+    /// `serve.publish_failures`, and the caller gets a structured error
+    /// instead of a dead worker.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Unavailable`] when the entry was registered without a
-    /// refitter; refit errors pass through.
+    /// refitter; refit errors pass through; a refit panic surfaces as
+    /// [`ServeError::Fault`] (injected) or [`ServeError::Io`] (anything
+    /// else).
     pub fn republish(&self, rule: Option<&str>) -> Result<u64, ServeError> {
         let refitter = self.refitter.as_ref().ok_or(ServeError::Unavailable)?;
-        let snapshot = refitter.refit(rule)?;
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| refitter.refit(rule)));
+        let snapshot = match outcome {
+            Ok(Ok(snapshot)) => snapshot,
+            Ok(Err(err)) => {
+                PUBLISH_FAILURES.inc();
+                return Err(err);
+            }
+            Err(payload) => {
+                PUBLISH_FAILURES.inc();
+                let err = match frote_faults::fault_from_panic(&*payload) {
+                    Some(fault) => ServeError::Fault { site: fault.site.clone() },
+                    None => ServeError::Io { detail: "panic during retrain".to_string() },
+                };
+                return Err(err);
+            }
+        };
         Ok(self.publish(snapshot))
     }
 }
@@ -324,20 +352,29 @@ impl FroteRefitter {
 impl Refitter for FroteRefitter {
     fn refit(&self, rule: Option<&str>) -> Result<Snapshot, ServeError> {
         let mut state = lock(&self.state);
+        frote_faults::point("serve.publish.retrain")?;
         if let Some(text) = rule {
             let schema = state.ds.schema_handle();
             let parsed = parse_rule(text, &schema)?;
-            // Validated ingestion: a malformed or conflicting rule is
-            // rejected here, before any scan or retrain touches it.
-            state.frs.try_push(parsed, &schema)?;
+            // Clone-commit: the rule is validated into a *copy* of the rule
+            // set and the FROTE run reads the current dataset immutably, so
+            // an error or panic anywhere below leaves the serving state
+            // exactly as it was — republish's rollback guarantee.
+            let mut frs = state.frs.clone();
+            frs.try_push(parsed, &schema)?;
             let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(state.edits));
             let out = Frote::new(self.config)
-                .run(&state.ds, &*self.trainer, &state.frs, &mut rng)
+                .run(&state.ds, &*self.trainer, &frs, &mut rng)
                 .map_err(|e| ServeError::BadRequest { detail: format!("frote edit: {e}") })?;
             state.ds = out.dataset;
+            state.frs = frs;
         }
+        let snapshot = Snapshot::fit(&*self.trainer, &state.ds, self.guard(&state.ds)?);
+        // Commit the edit counter last: a failed refit must not advance the
+        // per-edit RNG stream, or the retry would diverge from the
+        // fault-free twin.
         state.edits += 1;
-        Ok(Snapshot::fit(&*self.trainer, &state.ds, self.guard(&state.ds)?))
+        Ok(snapshot)
     }
 }
 
@@ -395,6 +432,42 @@ mod tests {
         let registry = ModelRegistry::new();
         let entry = registry.register("car", snapshot(&ds), None);
         assert!(matches!(entry.republish(None), Err(ServeError::Unavailable)));
+    }
+
+    #[test]
+    fn republish_rolls_back_on_injected_error_and_panic() {
+        let ds = tiny_ds();
+        let refitter = FroteRefitter::new(
+            ds,
+            Box::new(trainer()),
+            FroteConfig {
+                iteration_limit: 1,
+                instances_per_iteration: Some(5),
+                ..Default::default()
+            },
+            false,
+            7,
+        );
+        let registry = ModelRegistry::new();
+        let first = refitter.initial_snapshot().unwrap();
+        let entry = registry.register("car", first, Some(Box::new(refitter)));
+
+        frote_faults::test_support::with_spec(Some("serve.publish.retrain:err:1000:1"), || {
+            let err = entry.republish(None).unwrap_err();
+            assert!(matches!(err, ServeError::Fault { .. }), "got {err:?}");
+            assert_eq!(entry.current().generation(), 1, "failed retrain publishes nothing");
+        });
+        frote_faults::test_support::with_spec(Some("serve.publish.retrain:panic:1000:1"), || {
+            let err = entry.republish(None).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Fault { .. }),
+                "a retrain panic must surface structured, got {err:?}"
+            );
+            assert_eq!(entry.current().generation(), 1, "panicked retrain publishes nothing");
+        });
+        // Faults cleared: the rolled-back entry publishes normally.
+        assert_eq!(entry.republish(None).unwrap(), 2);
+        assert_eq!(entry.current().generation(), 2);
     }
 
     #[test]

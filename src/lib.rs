@@ -20,6 +20,7 @@
 //! - [`par`] — deterministic parallel-execution runtime (thread pool + seed
 //!   splitting + the `FROTE_THREADS` resolver)
 //! - [`obs`] — zero-perturbation metrics registry + structured event trace
+//! - [`faults`] — deterministic failpoint injection (`FROTE_FAULTS`)
 //! - [`core`] — the FROTE algorithm itself
 //! - [`eval`] — the experiment harness reproducing every table and figure
 //! - [`serve`] — the serving plane: micro-batched scoring over std-only
@@ -28,6 +29,7 @@
 pub use frote as core;
 pub use frote_data as data;
 pub use frote_eval as eval;
+pub use frote_faults as faults;
 pub use frote_induct as induct;
 pub use frote_ml as ml;
 pub use frote_obs as obs;

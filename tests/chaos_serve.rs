@@ -1,0 +1,588 @@
+//! Chaos integration for the fault-hardened serving plane (PR 10).
+//!
+//! These tests run real servers over real TCP with `frote-faults`
+//! failpoints armed at every serve-path site and pin the robustness
+//! contract end to end:
+//!
+//! - **Correct or structured, never wrong:** under injected read/parse/
+//!   write/predict faults, every response a client manages to get is
+//!   either a bit-correct generation-consistent score or a structured
+//!   `4xx`/`5xx`; a dropped connection is retried with deterministic
+//!   backoff.
+//! - **The server never dies:** after a chaos wave the same server still
+//!   answers `/health` and shuts down cleanly.
+//! - **Faults are transient:** with the spec cleared, a fresh wave's
+//!   response digest matches a fault-free twin bit for bit.
+//! - **Deadlines:** a stalled client gets a structured `408`, not a stuck
+//!   worker.
+//! - **Admission control:** refused connections and shed requests get
+//!   structured `503` + `Retry-After`, and the batcher shed is observable.
+//! - **Graceful shutdown:** in-flight requests are answered during the
+//!   drain, in-process and through the `--stdin-watch` binary (exit 0).
+//!
+//! Every server-running section holds the process-wide fault lock (via
+//! `frote_faults::test_support::with_spec`, with `None` for fault-free
+//! sections) so concurrently scheduled tests cannot trample each other's
+//! armed spec.
+
+use std::hash::{Hash, Hasher};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use frote_data::{Dataset, Schema, Value};
+use frote_faults::test_support::with_spec;
+use frote_ml::tree::{DecisionTreeTrainer, TreeParams};
+use frote_ml::{Classifier, TrainAlgorithm};
+use frote_par::test_support::with_threads;
+use frote_serve::client::parse_score_body;
+use frote_serve::{
+    render_rows, Backoff, Client, ModelRegistry, RowGuard, ServeConfig, Server, Snapshot,
+};
+
+fn trainer() -> DecisionTreeTrainer {
+    DecisionTreeTrainer::new(TreeParams { max_depth: 4, ..Default::default() }, 7)
+}
+
+fn mixed_dataset() -> Dataset {
+    let schema = Arc::new(
+        Schema::builder("y", vec!["no".into(), "yes".into()])
+            .numeric("age")
+            .categorical("job", vec!["eng".into(), "law".into(), "med".into()])
+            .numeric("income")
+            .build(),
+    );
+    let mut ds = Dataset::with_shared_schema(schema);
+    for i in 0..120u32 {
+        let age = f64::from(i % 60) + 20.0;
+        let job = i % 3;
+        let income = f64::from(i % 7) * 11.0 + 30.0;
+        let label = u32::from((age > 45.0) ^ (job == 1));
+        ds.push_row(&[Value::Num(age), Value::Cat(job), Value::Num(income)], label).unwrap();
+    }
+    ds
+}
+
+fn snapshot_for(ds: &Dataset) -> Snapshot {
+    Snapshot::fit(&trainer(), ds, RowGuard::not_null(ds.schema()).unwrap())
+}
+
+/// Class-name ground truth for the request covering rows
+/// `start..start + n` (wrapping) — the local twin of the served model.
+fn expected_labels(model: &dyn Classifier, ds: &Dataset, start: usize, n: usize) -> Vec<String> {
+    let indices: Vec<usize> = (0..n).map(|k| (start + k) % ds.n_rows()).collect();
+    model
+        .predict_rows(ds, &indices)
+        .into_iter()
+        .map(|c| ds.schema().class_name(c).to_string())
+        .collect()
+}
+
+fn start_server(config: &ServeConfig, ds: &Dataset) -> (Arc<Server>, std::thread::JoinHandle<()>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("mixed", snapshot_for(ds), None);
+    let server = Arc::new(Server::bind(config, registry).unwrap());
+    let accept = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    (server, accept)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// One wave: `clients` concurrent connections each scoring `requests`
+/// fixed row windows with retry/backoff. Returns the FNV digest over every
+/// asserted response, combined in client order — two waves against
+/// bit-identical models must produce bit-identical digests.
+fn run_wave(
+    addr: &str,
+    ds: &Dataset,
+    model: &dyn Classifier,
+    clients: usize,
+    requests: usize,
+) -> u64 {
+    let digests: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut backoff = Backoff::new(
+                        0xC0FF + c as u64,
+                        Duration::from_millis(2),
+                        Duration::from_millis(50),
+                    );
+                    let mut h = Fnv(FNV_OFFSET);
+                    for i in 0..requests {
+                        let start = (c * requests + i) * 4;
+                        let indices: Vec<usize> =
+                            (0..4).map(|k| (start + k) % ds.n_rows()).collect();
+                        let body = render_rows(ds, &indices);
+                        let resp = score_with_chaos_retry(&mut client, &mut backoff, &body);
+                        let Some(resp) = resp else {
+                            // Gave up after bounded retries: acceptable under
+                            // chaos (it was structured the whole way), but it
+                            // must not happen fault-free — the digest would
+                            // differ and fail the twin comparison.
+                            ("gave-up", c, i).hash(&mut h);
+                            continue;
+                        };
+                        assert_eq!(resp.0, 1, "single published generation");
+                        let want = expected_labels(model, ds, start, 4);
+                        assert_eq!(resp.1, want, "client {c} request {i}: wrong scores");
+                        for label in &resp.1 {
+                            label.hash(&mut h);
+                        }
+                    }
+                    h.finish()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut h = Fnv(FNV_OFFSET);
+    for d in digests {
+        d.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Scores with the client retry contract plus a bounded local retry for
+/// `500 injected fault` responses (transient by construction). Returns
+/// `None` when every attempt came back structured-but-unsuccessful.
+fn score_with_chaos_retry(
+    client: &mut Client,
+    backoff: &mut Backoff,
+    body: &str,
+) -> Option<(u64, Vec<String>)> {
+    for _ in 0..12 {
+        let resp = match client.request_with_retry("POST", "/score/mixed", body, 6, backoff) {
+            Ok(resp) => resp,
+            Err(_) => {
+                // Transport gave out even after the retry loop's own
+                // reconnects; dial again and keep going.
+                let _ = client.reconnect();
+                continue;
+            }
+        };
+        match resp.status {
+            200 => return Some(parse_score_body(&resp.body).expect("well-formed 200 body")),
+            500 => {
+                assert!(
+                    resp.body.contains("injected fault"),
+                    "500 without an injected fault under chaos: {}",
+                    resp.body
+                );
+                std::thread::sleep(backoff.next_delay(None));
+            }
+            503 | 408 => std::thread::sleep(backoff.next_delay(None)),
+            other => panic!("unstructured response under chaos: {other} {}", resp.body),
+        }
+    }
+    None
+}
+
+/// Failpoints on every serve-path site at once — read/write drops, parse
+/// and predict faults, batch panics, and accept shedding.
+const CHAOS_SPEC: &str = "serve.conn.read:err:60:3;\
+                          serve.conn.parse:err:50:5;\
+                          serve.conn.write:err:50:9;\
+                          serve.batch.predict:err:60:7;\
+                          serve.batch.drain:panic:40:13;\
+                          serve.accept:err:120:11";
+
+#[test]
+fn chaos_wave_is_correct_or_structured_and_recovery_is_bit_identical() {
+    let ds = mixed_dataset();
+    let model = trainer().train(&ds);
+    for threads in [1usize, 2, 4] {
+        with_threads(threads, || {
+            // Fault-free twin: the reference digest.
+            let clean = with_spec(None, || {
+                let (server, accept) = start_server(&ServeConfig::default(), &ds);
+                let digest = run_wave(&server.local_addr().to_string(), &ds, &*model, 3, 12);
+                server.trigger_shutdown();
+                accept.join().unwrap();
+                digest
+            });
+
+            // Chaos wave: same workload under injected faults everywhere.
+            with_spec(Some(CHAOS_SPEC), || {
+                let (server, accept) = start_server(&ServeConfig::default(), &ds);
+                let addr = server.local_addr().to_string();
+                run_wave(&addr, &ds, &*model, 3, 12);
+                // The server never dies: it still answers after the wave
+                // (individual probes may hit injected faults — the spec is
+                // still armed — but one must get through).
+                let mut probe = Client::connect_with_retry(&addr, Duration::from_secs(5))
+                    .expect("server must survive the chaos wave");
+                assert!(
+                    (0..50).any(|_| {
+                        let ok = probe.health().is_ok();
+                        if !ok {
+                            let _ = probe.reconnect();
+                        }
+                        ok
+                    }),
+                    "no health probe succeeded after the chaos wave"
+                );
+                server.trigger_shutdown();
+                accept.join().unwrap();
+            });
+
+            // Faults cleared: the digest stream matches the twin bit for bit.
+            let recovered = with_spec(None, || {
+                let (server, accept) = start_server(&ServeConfig::default(), &ds);
+                let digest = run_wave(&server.local_addr().to_string(), &ds, &*model, 3, 12);
+                server.trigger_shutdown();
+                accept.join().unwrap();
+                digest
+            });
+            assert_eq!(
+                clean, recovered,
+                "post-chaos digest diverged from the fault-free twin at {threads} threads"
+            );
+        });
+    }
+}
+
+#[test]
+fn publish_faults_roll_back_over_the_wire() {
+    let workload = frote_serve::workload::by_name("wine-rf").unwrap();
+    let refitter = workload.refitter(false);
+    let first = refitter.initial_snapshot().unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(workload.name(), first, Some(Box::new(refitter)));
+
+    with_spec(None, || {
+        let server = Arc::new(Server::bind(&ServeConfig::default(), registry).unwrap());
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+
+        // Injected error and injected panic during the retrain: both come
+        // back as a structured 500 and the generation does not advance.
+        for kind in ["err", "panic"] {
+            let spec = format!("serve.publish.retrain:{kind}:1000:3");
+            frote_faults::set_spec(Some(&spec)).unwrap();
+            let resp = client.request("POST", "/publish/wine-rf", "").unwrap();
+            assert_eq!(resp.status, 500, "{kind}: {}", resp.body);
+            assert!(resp.body.contains("injected fault"), "{kind}: {}", resp.body);
+            let models = client.models().unwrap();
+            assert!(
+                models.contains("wine-rf 1 "),
+                "{kind}: generation advanced past a failed publish: {models}"
+            );
+        }
+        frote_faults::set_spec(None).unwrap();
+
+        // Cleared: the same publish path succeeds and swaps generation 2.
+        let generation = client.publish("wine-rf", None).unwrap();
+        assert_eq!(generation, 2);
+        let models = client.models().unwrap();
+        assert!(models.contains("wine-rf 2 "), "{models}");
+
+        server.trigger_shutdown();
+        accept.join().unwrap();
+    });
+}
+
+#[test]
+fn stalled_client_gets_structured_408_within_the_deadline() {
+    let ds = mixed_dataset();
+    with_spec(None, || {
+        let config =
+            ServeConfig { read_timeout: Duration::from_millis(150), ..ServeConfig::default() };
+        let (server, accept) = start_server(&config, &ds);
+
+        // A slow-loris: headers promise 64 body bytes, then silence.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"POST /score/mixed HTTP/1.1\r\nContent-Length: 64\r\n\r\npartial")
+            .unwrap();
+        stream.flush().unwrap();
+        let started = Instant::now();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let waited = started.elapsed();
+        assert!(
+            raw.starts_with("HTTP/1.1 408 "),
+            "stalled request must be a structured 408, got {raw:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "408 took {waited:?}, deadline was 150ms — the connection hung"
+        );
+
+        // The worker that hit the deadline still serves other connections.
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        client.health().unwrap();
+
+        server.trigger_shutdown();
+        accept.join().unwrap();
+    });
+}
+
+#[test]
+fn admission_control_sheds_connections_with_503_and_retry_after() {
+    let ds = mixed_dataset();
+    with_spec(Some("serve.accept:err:1000:5"), || {
+        let (server, accept) = start_server(&ServeConfig::default(), &ds);
+        let addr = server.local_addr().to_string();
+        // Every connection is refused at the door: structured 503 with a
+        // Retry-After hint, then close.
+        let mut client = Client::connect(&addr).unwrap();
+        let resp = client.request("GET", "/health", "").unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(resp.body.contains("overloaded"), "{}", resp.body);
+        assert_eq!(resp.retry_after, Some(1), "shed 503 must carry Retry-After");
+
+        // The backoff client rides it out once the fault clears.
+        frote_faults::set_spec(None).unwrap();
+        let mut backoff = Backoff::new(9, Duration::from_millis(2), Duration::from_millis(50));
+        let resp = client.request_with_retry("GET", "/health", "", 8, &mut backoff).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+
+        server.trigger_shutdown();
+        accept.join().unwrap();
+    });
+}
+
+#[test]
+fn batcher_queue_sheds_score_requests_with_503_and_retry_after() {
+    let ds = mixed_dataset();
+    let body = render_rows(&ds, &[0, 1, 2, 3]);
+    // Queue depth 1 and a 500ms injected drain delay: while the batch
+    // worker sleeps, one follow-up request queues and the rest shed.
+    with_spec(Some("serve.batch.drain:delay:1000:7:500"), || {
+        let config = ServeConfig { workers: 8, max_queue_depth: 1, ..ServeConfig::default() };
+        let (server, accept) = start_server(&config, &ds);
+        let addr = server.local_addr().to_string();
+
+        let shed = AtomicUsize::new(0);
+        let ok = AtomicUsize::new(0);
+        let barrier = Barrier::new(6);
+        std::thread::scope(|scope| {
+            // Occupy the batch worker (sleeps 500ms inside the drain).
+            let leader = {
+                let addr = addr.clone();
+                let body = &body;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    client.request("POST", "/score/mixed", body).unwrap().status
+                })
+            };
+            std::thread::sleep(Duration::from_millis(100));
+            // Six concurrent requests against a depth-1 queue: one queues,
+            // the rest are shed with a structured 503 + Retry-After.
+            let followers: Vec<_> = (0..6)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let body = &body;
+                    let barrier = &barrier;
+                    let shed = &shed;
+                    let ok = &ok;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).unwrap();
+                        barrier.wait();
+                        let resp = client.request("POST", "/score/mixed", body).unwrap();
+                        match resp.status {
+                            200 => ok.fetch_add(1, Ordering::Relaxed),
+                            503 => {
+                                assert_eq!(
+                                    resp.retry_after,
+                                    Some(1),
+                                    "shed score must carry Retry-After: {}",
+                                    resp.body
+                                );
+                                shed.fetch_add(1, Ordering::Relaxed)
+                            }
+                            other => panic!("unexpected status {other}: {}", resp.body),
+                        };
+                    })
+                })
+                .collect();
+            assert_eq!(leader.join().unwrap(), 200, "leader request must score");
+            for f in followers {
+                f.join().unwrap();
+            }
+        });
+        assert!(
+            shed.load(Ordering::Relaxed) >= 4,
+            "expected most of 6 concurrent requests shed by the depth-1 queue, got {} shed / {} ok",
+            shed.load(Ordering::Relaxed),
+            ok.load(Ordering::Relaxed)
+        );
+
+        server.trigger_shutdown();
+        accept.join().unwrap();
+    });
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_requests_in_process() {
+    let ds = mixed_dataset();
+    let model = trainer().train(&ds);
+    with_spec(None, || {
+        let (server, accept) = start_server(&ServeConfig::default(), &ds);
+        let addr = server.local_addr().to_string();
+        let successes = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..4usize {
+                let addr = addr.clone();
+                let ds = &ds;
+                let model = &model;
+                let successes = &successes;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    for i in 0.. {
+                        let start = (c + i) * 4;
+                        let indices: Vec<usize> =
+                            (0..4).map(|k| (start + k) % ds.n_rows()).collect();
+                        let body = render_rows(ds, &indices);
+                        match client.request("POST", "/score/mixed", &body) {
+                            Ok(resp) if resp.status == 200 => {
+                                // Anything answered during the drain must
+                                // still be bit-correct.
+                                let (generation, labels) = parse_score_body(&resp.body).unwrap();
+                                assert_eq!(generation, 1);
+                                assert_eq!(labels, expected_labels(&**model, ds, start, 4));
+                                successes.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(resp) => {
+                                // Shutdown refusals are structured.
+                                assert_eq!(resp.status, 503, "{}", resp.body);
+                                break;
+                            }
+                            // Connection closed by the drain: clean end.
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(150));
+            server.trigger_shutdown();
+        });
+        accept.join().unwrap();
+        assert!(
+            successes.load(Ordering::Relaxed) >= 4,
+            "clients should have scored before and during the drain"
+        );
+    });
+}
+
+/// Path of the `frote-serve` binary built alongside this test profile.
+fn frote_serve_bin() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // the test executable
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("frote-serve{}", std::env::consts::EXE_SUFFIX));
+    bin.exists().then_some(bin)
+}
+
+#[test]
+fn stdin_watch_drains_and_exits_zero_under_concurrent_load() {
+    use std::process::{Command, Stdio};
+
+    let Some(bin) = frote_serve_bin() else {
+        // Built via `cargo test --test chaos_serve` alone, the binary may
+        // not exist yet; the full tier-1 `cargo test` always builds it.
+        eprintln!("skipping: frote-serve binary not built");
+        return;
+    };
+    let mut child = Command::new(&bin)
+        .args(["--stdin-watch", "--workload", "wine-rf"])
+        .env_remove("FROTE_FAULTS")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn frote-serve");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut stdout, &mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .to_string();
+
+    let workload = frote_serve::workload::by_name("wine-rf").unwrap();
+    let ds = workload.dataset();
+    let model = workload.trainer().train(&ds);
+
+    let successes = AtomicUsize::new(0);
+    let stdin = child.stdin.take().unwrap();
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let addr = addr.clone();
+            let ds = &ds;
+            let model = &model;
+            let workload = &workload;
+            let successes = &successes;
+            scope.spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&addr, Duration::from_secs(10)).unwrap();
+                for i in 0.. {
+                    let start = (c + i) * 8;
+                    let body = workload.probe_body(ds, start, 8);
+                    match client.request("POST", &format!("/score/{}", workload.name()), &body) {
+                        Ok(resp) if resp.status == 200 => {
+                            let (_, labels) = parse_score_body(&resp.body).unwrap();
+                            assert_eq!(
+                                labels,
+                                expected_labels(&**model, ds, start, 8),
+                                "drained response must stay bit-correct"
+                            );
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) => {
+                            assert_eq!(resp.status, 503, "{}", resp.body);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        // Closing our end of the pipe is the graceful-stop request.
+        drop(stdin);
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after stdin EOF");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "stdin-watch shutdown must exit 0, got {status:?}");
+    assert!(
+        successes.load(Ordering::Relaxed) >= 4,
+        "clients should have scored before and during the drain"
+    );
+}
